@@ -1,0 +1,78 @@
+"""Benchmark harness helpers.
+
+Every benchmark regenerates one table or figure from the paper's
+evaluation (§5): it builds the systems, measures *simulated cycles*
+(the clock of :class:`repro.hw.cpu.Core`), prints the same rows/series
+the paper reports (run with ``-s`` to see them), asserts that the
+qualitative shape matches the paper, and records paper-vs-measured
+pairs into ``benchmarks/results.json`` for EXPERIMENTS.md.
+"""
+
+from __future__ import annotations
+
+import json
+import os
+import sys
+
+import pytest
+
+sys.path.insert(0, os.path.join(os.path.dirname(__file__), ".."))
+
+from repro.hw.machine import Machine
+from repro.sel4 import Sel4Kernel, Sel4Transport, Sel4XPCTransport
+from repro.zircon import ZirconKernel, ZirconTransport, ZirconXPCTransport
+
+RESULTS_PATH = os.path.join(os.path.dirname(__file__), "results.json")
+
+TRANSPORTS = {
+    "seL4-twocopy": (Sel4Kernel, Sel4Transport, {"copies": 2}),
+    "seL4-onecopy": (Sel4Kernel, Sel4Transport, {"copies": 1}),
+    "seL4-XPC": (Sel4Kernel, Sel4XPCTransport, {}),
+    "Zircon": (ZirconKernel, ZirconTransport, {}),
+    "Zircon-XPC": (ZirconKernel, ZirconXPCTransport, {}),
+}
+
+
+def build_system(name: str, mem_bytes: int = 256 * 1024 * 1024,
+                 cores: int = 2):
+    """(machine, kernel, transport, client_thread) for a system name."""
+    kernel_cls, transport_cls, kwargs = TRANSPORTS[name]
+    machine = Machine(cores=cores, mem_bytes=mem_bytes)
+    kernel = kernel_cls(machine)
+    client_proc = kernel.create_process("app")
+    client_thread = kernel.create_thread(client_proc)
+    kernel.run_thread(machine.core0, client_thread)
+    transport = transport_cls(kernel, machine.core0, client_thread,
+                              **kwargs)
+    return machine, kernel, transport, client_thread
+
+
+class _Results:
+    """Collects {experiment: {series: value}} across the session."""
+
+    def __init__(self) -> None:
+        self.data = {}
+
+    def record(self, experiment: str, entry: dict) -> None:
+        self.data.setdefault(experiment, {}).update(entry)
+
+    def flush(self) -> None:
+        existing = {}
+        if os.path.exists(RESULTS_PATH):
+            with open(RESULTS_PATH) as fh:
+                try:
+                    existing = json.load(fh)
+                except json.JSONDecodeError:
+                    existing = {}
+        existing.update(self.data)
+        with open(RESULTS_PATH, "w") as fh:
+            json.dump(existing, fh, indent=2, sort_keys=True)
+
+
+_results = _Results()
+
+
+@pytest.fixture(scope="session")
+def results():
+    yield _results
+    _results.flush()

@@ -1,0 +1,117 @@
+"""Paper Figure 1: the motivation measurements.
+
+(a) Sqlite3 + YCSB on seL4 spends 18-39 % of CPU time on IPC.
+(b) CDF of per-IPC time on YCSB-E: message transfer is ~58.7 % of
+    total IPC time (45.6-66.4 % across workloads).
+"""
+
+import pytest
+
+from repro.analysis import cdf, render_series, render_table
+from repro.apps.sqlite.db import Database
+from repro.apps.ycsb import YCSBDriver
+from repro.services.fs import build_fs_stack
+from benchmarks.conftest import build_system
+
+WORKLOADS = ["A", "B", "C", "D", "E", "F"]
+RECORDS = 120
+OPS = 60
+
+
+def _make_db(system="seL4-twocopy"):
+    machine, kernel, transport, ct = build_system(system)
+    server, fs, disk = build_fs_stack(transport, kernel,
+                                      disk_blocks=8192)
+    db = Database(fs)
+    driver = YCSBDriver(db, records=RECORDS, fields=4, field_size=100)
+    driver.load()
+    return machine, transport, driver
+
+
+def _ipc_fraction(machine, transport, driver, workload):
+    c0, i0 = machine.core0.cycles, transport.ipc_cycles
+    driver.run(workload, ops=OPS)
+    total = machine.core0.cycles - c0
+    ipc = transport.ipc_cycles - i0
+    return 100.0 * ipc / total
+
+
+def test_figure1a_cpu_time_spent_on_ipc(benchmark, results):
+    machine, transport, driver = _make_db()
+    fractions = benchmark.pedantic(
+        lambda: {wl: _ipc_fraction(machine, transport, driver, wl)
+                 for wl in WORKLOADS},
+        rounds=1, iterations=1)
+    print("\n" + render_table(
+        "Figure 1(a): % CPU time spent on IPC (Sqlite3 + YCSB, seL4)",
+        ["Workload", "IPC %", "paper"],
+        [[f"YCSB-{wl}", f"{fractions[wl]:.1f}", "18-39"]
+         for wl in WORKLOADS]))
+    results.record("figure1a", {
+        "paper": "18-39% of CPU time on IPC",
+        "measured_percent": {wl: round(v, 1)
+                             for wl, v in fractions.items()},
+    })
+    # Every workload spends a significant share in IPC; the write-heavy
+    # ones (A, F) more than the read-only one (C), which barely leaves
+    # the page cache.  Our baseline over-weights writes relative to the
+    # paper (EXPERIMENTS.md discusses the gap), so the band is wide.
+    for wl in WORKLOADS:
+        assert fractions[wl] < 85.0, wl
+    assert fractions["A"] > fractions["C"]
+    assert fractions["F"] > fractions["C"]
+    mid = [wl for wl in WORKLOADS if 15 <= fractions[wl] <= 60]
+    assert len(mid) >= 2  # several workloads sit in the paper's band
+
+
+def test_figure1b_ipc_time_cdf_on_ycsb_e(benchmark, results):
+    """Per-IPC latency distribution and the transfer share."""
+    machine, kernel, transport, ct = build_system("seL4-twocopy")
+    server, fs, disk = build_fs_stack(transport, kernel,
+                                      disk_blocks=8192)
+    db = Database(fs)
+    driver = YCSBDriver(db, records=RECORDS, fields=4, field_size=100)
+    driver.load()
+
+    samples = []
+    transfers = []
+    original_call = transport.call
+
+    def tracing_call(sid, meta=(), payload=b"", **kw):
+        before = transport.ipc_cycles
+        before_xfer = kernel.transfer_cycles_total
+        out = original_call(sid, meta, payload, **kw)
+        cost = transport.ipc_cycles - before
+        if cost > 0:
+            samples.append(cost)
+            transfers.append(kernel.transfer_cycles_total - before_xfer)
+        return out
+
+    transport.call = tracing_call
+    benchmark.pedantic(lambda: driver.run("E", ops=OPS),
+                       rounds=1, iterations=1)
+    transport.call = original_call
+
+    points = cdf(samples)
+    deciles = {f"p{p}": int(_pct(samples, p))
+               for p in (10, 25, 50, 75, 90, 99)}
+    transfer_share = 100.0 * sum(transfers) / sum(samples)
+    print("\nFigure 1(b): CDF of IPC time on YCSB-E "
+          f"({len(samples)} IPCs)")
+    print("   " + ", ".join(f"{k}={v}cyc" for k, v in deciles.items()))
+    print(f"   message transfer share: {transfer_share:.1f}% "
+          "(paper: 58.7% on YCSB-E, 45.6-66.4% across workloads)")
+    results.record("figure1b", {
+        "paper": "data transfer = 58.7% of IPC time on YCSB-E",
+        "measured_transfer_percent": round(transfer_share, 1),
+        "ipc_cdf_deciles": deciles,
+    })
+    assert points[-1][1] == pytest.approx(1.0)
+    # The qualitative claim: message transfer takes roughly half or
+    # more of IPC time (paper: 58.7%; our twocopy baseline skews high).
+    assert 40.0 < transfer_share < 90.0
+
+
+def _pct(samples, p):
+    from repro.analysis import percentile
+    return percentile(samples, p)

@@ -1,0 +1,164 @@
+"""Paper Figure 7: OS-service throughput.
+
+(a) FS read throughput vs buffer size (2-16 KB),
+(b) FS write throughput vs buffer size,
+    series: Zircon, Zircon-XPC, seL4-onecopy, seL4-twocopy, seL4-XPC;
+    paper: XPC gains 7.8x/3.8x (read, vs Zircon/seL4) and 13.2x/3.0x
+    (write).
+(c) TCP throughput vs buffer size (Zircon vs Zircon-XPC); paper: 6x
+    average, up to 8x at small buffers, shrinking as the buffer grows.
+"""
+
+import os
+
+from repro.analysis import render_series, throughput_mb_s
+from repro.services.fs import build_fs_stack
+from repro.services.net import build_net_stack
+from benchmarks.conftest import build_system
+
+FS_SYSTEMS = ["Zircon", "Zircon-XPC", "seL4-onecopy", "seL4-twocopy",
+              "seL4-XPC"]
+BUF_SIZES = [2048, 4096, 8192, 16384]
+NET_SIZES = [256, 512, 1024, 2048, 4096]
+FILE_BYTES = 512 * 1024   # streamed file >> FS metadata cache
+PASS_BYTES = 128 * 1024   # bytes moved per measurement pass
+
+
+def _fs_throughput(system: str):
+    machine, kernel, transport, ct = build_system(
+        system, mem_bytes=512 * 1024 * 1024)
+    server, fs, disk = build_fs_stack(transport, kernel,
+                                      disk_blocks=4096)
+    fs.create("/data")
+    mirror = bytearray(os.urandom(FILE_BYTES))
+    fs.write("/data", bytes(mirror))
+    core = machine.core0
+    read_series, write_series = {}, {}
+    for buf in BUF_SIZES:
+        npasses = PASS_BYTES // buf
+        # --- read ---
+        before = core.cycles
+        for i in range(npasses):
+            off = (i * buf) % (FILE_BYTES - buf)
+            got = fs.read("/data", off, buf)
+            assert got == bytes(mirror[off:off + buf])
+        read_series[buf] = throughput_mb_s(npasses * buf,
+                                           core.cycles - before)
+        # --- write ---
+        chunk = os.urandom(buf)
+        before = core.cycles
+        for i in range(npasses):
+            off = (i * buf) % (FILE_BYTES - buf)
+            fs.write("/data", chunk, off)
+        write_series[buf] = throughput_mb_s(npasses * buf,
+                                            core.cycles - before)
+        for i in range(npasses):
+            off = (i * buf) % (FILE_BYTES - buf)
+            mirror[off:off + buf] = chunk
+    return read_series, write_series
+
+
+def test_figure7ab_fs_throughput(benchmark, results):
+    def run_all():
+        data = {}
+        for system in FS_SYSTEMS:
+            data[system] = _fs_throughput(system)
+        return data
+
+    data = benchmark.pedantic(run_all, rounds=1, iterations=1)
+    reads = {s: data[s][0] for s in FS_SYSTEMS}
+    writes = {s: data[s][1] for s in FS_SYSTEMS}
+    print("\n" + render_series(
+        "Figure 7(a): FS read throughput (MB/s)", "buffer (B)",
+        reads, BUF_SIZES, fmt="{:.1f}"))
+    print("\n" + render_series(
+        "Figure 7(b): FS write throughput (MB/s)", "buffer (B)",
+        writes, BUF_SIZES, fmt="{:.1f}"))
+
+    def avg_speedup(series, fast, slow):
+        return sum(series[fast][b] / series[slow][b]
+                   for b in BUF_SIZES) / len(BUF_SIZES)
+
+    summary = {
+        "read_vs_zircon": avg_speedup(reads, "seL4-XPC", "Zircon"),
+        "read_vs_sel4": avg_speedup(reads, "seL4-XPC", "seL4-twocopy"),
+        "write_vs_zircon": avg_speedup(writes, "Zircon-XPC", "Zircon"),
+        "write_vs_sel4": avg_speedup(writes, "seL4-XPC",
+                                     "seL4-twocopy"),
+    }
+    print("speedups: " + ", ".join(f"{k}={v:.1f}x"
+                                   for k, v in summary.items()))
+    results.record("figure7ab", {
+        "paper": {"read": "7.8x vs Zircon, 3.8x vs seL4",
+                  "write": "13.2x vs Zircon, 3.0x vs seL4"},
+        "measured_speedups": {k: round(v, 1)
+                              for k, v in summary.items()},
+        "read_mb_s": {s: {str(b): round(v, 1)
+                          for b, v in reads[s].items()}
+                      for s in FS_SYSTEMS},
+        "write_mb_s": {s: {str(b): round(v, 1)
+                           for b, v in writes[s].items()}
+                       for s in FS_SYSTEMS},
+    })
+    # Ordering at every buffer size: XPC > onecopy > twocopy > Zircon.
+    for buf in BUF_SIZES:
+        assert reads["seL4-XPC"][buf] > reads["seL4-onecopy"][buf]
+        assert reads["seL4-onecopy"][buf] >= reads["seL4-twocopy"][buf]
+        assert reads["seL4-twocopy"][buf] > reads["Zircon"][buf]
+        assert writes["seL4-XPC"][buf] > writes["seL4-twocopy"][buf]
+        assert writes["Zircon-XPC"][buf] > writes["Zircon"][buf]
+    # Speedup bands around the paper's factors (generous).
+    assert summary["read_vs_zircon"] > 4
+    assert 1.5 < summary["read_vs_sel4"] < 40
+    assert summary["write_vs_zircon"] > 3
+    assert 1.5 < summary["write_vs_sel4"] < 10
+
+
+def test_figure7c_tcp_throughput(benchmark, results):
+    def run_both():
+        series = {}
+        for system in ("Zircon", "Zircon-XPC"):
+            machine, kernel, transport, ct = build_system(
+                system, mem_bytes=512 * 1024 * 1024)
+            net_server, net, dev = build_net_stack(transport, kernel)
+            listener = net.socket()
+            net.listen(listener, 80)
+            client = net.socket()
+            net.connect(client, 80)
+            conn = net.accept(listener)
+            core = machine.core0
+            points = {}
+            for buf in NET_SIZES:
+                blob = os.urandom(buf)
+                rounds = max(2, 8192 // buf)
+                before = core.cycles
+                for _ in range(rounds):
+                    net.send(client, blob)
+                    got = net.recv(conn, buf)
+                    assert got == blob[:len(got)]
+                points[buf] = throughput_mb_s(rounds * buf,
+                                              core.cycles - before)
+            series[system] = points
+        return series
+
+    series = benchmark.pedantic(run_both, rounds=1, iterations=1)
+    print("\n" + render_series(
+        "Figure 7(c): TCP throughput (MB/s)", "buffer (B)",
+        series, NET_SIZES, fmt="{:.2f}"))
+    speedups = {b: series["Zircon-XPC"][b] / series["Zircon"][b]
+                for b in NET_SIZES}
+    print("Zircon-XPC speedup: "
+          + ", ".join(f"{b}B={v:.1f}x" for b, v in speedups.items()))
+    results.record("figure7c", {
+        "paper": "6x average, up to 8x small buffers, shrinking",
+        "measured": {s: {str(b): round(v, 2)
+                         for b, v in pts.items()}
+                     for s, pts in series.items()},
+        "speedups": {str(b): round(v, 1) for b, v in speedups.items()},
+    })
+    # XPC wins everywhere; both rise with buffer size; the gap shrinks.
+    for buf in NET_SIZES:
+        assert speedups[buf] > 3
+    zircon = [series["Zircon"][b] for b in NET_SIZES]
+    assert zircon == sorted(zircon)
+    assert speedups[NET_SIZES[-1]] < speedups[NET_SIZES[0]]

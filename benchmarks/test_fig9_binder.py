@@ -1,0 +1,135 @@
+"""Paper Figure 9: Android Binder — window manager / surface compositor.
+
+(a) latency via the transaction buffer (2-16 KB):
+    Binder 378.4 us @2KB -> 878.0 us @16KB;
+    Binder-XPC 8.2 us @2KB (46.2x) -> 29.0 us @16KB (30.2x).
+(b) latency via ashmem (4 KB - 32 MB):
+    Binder 0.5 ms @4KB -> 233.2 ms @32MB;
+    Binder-XPC 9.3 us @4KB (54.2x) -> 81.8 ms @32MB (2.8x);
+    Ashmem-XPC 0.3 ms @4KB (1.6x) -> 82.0 ms @32MB (2.8x).
+"""
+
+import os
+
+from repro.analysis import render_series
+from repro.binder import (
+    AshmemXPCFramework, BinderDriver, BinderFramework,
+    SurfaceCompositor, WindowManagerService, XPCBinderDriver,
+    XPCBinderFramework,
+)
+from repro.hw.machine import Machine
+from repro.kernel.kernel import BaseKernel
+
+BUFFER_SIZES = [2048, 4096, 8192, 16384]
+ASHMEM_SIZES = [4096, 65536, 1 << 20, 4 << 20, 32 << 20]
+
+CONFIGS = {
+    "Binder": (BinderFramework, BinderDriver),
+    "Binder-XPC": (XPCBinderFramework, XPCBinderDriver),
+    "Ashmem-XPC": (AshmemXPCFramework, BinderDriver),
+}
+
+
+def _setup(name):
+    fw_cls, drv_cls = CONFIGS[name]
+    machine = Machine(cores=1, mem_bytes=512 * 1024 * 1024)
+    kernel = BaseKernel(machine, "linux")
+    wm_proc = kernel.create_process("windowmanager")
+    sc_proc = kernel.create_process("compositor")
+    wm_thread = kernel.create_thread(wm_proc)
+    sc_thread = kernel.create_thread(sc_proc)
+    framework = fw_cls(drv_cls(kernel))
+    core = machine.core0
+    kernel.run_thread(core, wm_thread)
+    wm = WindowManagerService(framework, wm_proc, wm_thread)
+    framework.add_service(core, wm)
+    kernel.run_thread(core, sc_thread)
+    return machine, SurfaceCompositor(framework, core, sc_thread)
+
+
+def _latency_us(machine, send, surface, cycles_per_us=100):
+    send(surface)            # warm (ashmem create/mmap, relay segs)
+    before = machine.core0.cycles
+    send(surface)
+    return (machine.core0.cycles - before) / cycles_per_us
+
+
+def test_figure9a_buffer_latency(benchmark, results):
+    def run():
+        series = {}
+        for name in ("Binder", "Binder-XPC"):
+            machine, compositor = _setup(name)
+            series[name] = {
+                size: _latency_us(machine, compositor.send_via_buffer,
+                                  os.urandom(size))
+                for size in BUFFER_SIZES
+            }
+        return series
+
+    series = benchmark.pedantic(run, rounds=1, iterations=1)
+    print("\n" + render_series(
+        "Figure 9(a): Binder buffer latency (us)", "arg size (B)",
+        series, BUFFER_SIZES, fmt="{:.1f}"))
+    results.record("figure9a", {
+        "paper": {"Binder": "378.4us @2KB, 878us @16KB",
+                  "Binder-XPC": "8.2us @2KB (46.2x), 29us @16KB "
+                                "(30.2x)"},
+        "measured_us": {s: {str(k): round(v, 1)
+                            for k, v in pts.items()}
+                        for s, pts in series.items()},
+    })
+    # Absolute bands around the paper's endpoints (generous).
+    assert 200 < series["Binder"][2048] < 600
+    assert 500 < series["Binder"][16384] < 1400
+    assert series["Binder-XPC"][2048] < 40
+    assert series["Binder-XPC"][16384] < 80
+    # Speedup is large and both curves grow with size.
+    for size in BUFFER_SIZES:
+        assert series["Binder"][size] / series["Binder-XPC"][size] > 10
+
+
+def test_figure9b_ashmem_latency(benchmark, results):
+    def run():
+        series = {}
+        for name in CONFIGS:
+            machine, compositor = _setup(name)
+            series[name] = {
+                size: _latency_us(machine, compositor.send_via_ashmem,
+                                  os.urandom(size))
+                for size in ASHMEM_SIZES
+            }
+        return series
+
+    series = benchmark.pedantic(run, rounds=1, iterations=1)
+    print("\n" + render_series(
+        "Figure 9(b): Binder ashmem latency (us)", "arg size (B)",
+        series, ASHMEM_SIZES, fmt="{:.1f}"))
+    ratios = {size: series["Binder"][size] / series["Binder-XPC"][size]
+              for size in ASHMEM_SIZES}
+    print("Binder/Binder-XPC ratio: "
+          + ", ".join(f"{s >> 10}KB={v:.1f}x"
+                      for s, v in ratios.items()))
+    results.record("figure9b", {
+        "paper": {"Binder": "0.5ms @4KB -> 233.2ms @32MB",
+                  "Binder-XPC": "9.3us @4KB (54.2x) -> 81.8ms (2.8x)",
+                  "Ashmem-XPC": "0.3ms @4KB (1.6x) -> 82.0ms (2.8x)"},
+        "measured_us": {s: {str(k): round(v, 1)
+                            for k, v in pts.items()}
+                        for s, pts in series.items()},
+        "ratios": {str(k): round(v, 1) for k, v in ratios.items()},
+    })
+    # Paper endpoint bands.
+    assert 300 < series["Binder"][4096] < 1000          # ~0.5 ms
+    assert 150_000 < series["Binder"][32 << 20] < 350_000   # ~233 ms
+    assert series["Binder-XPC"][4096] < 50              # ~9.3 us
+    assert 40_000 < series["Binder-XPC"][32 << 20] < 150_000  # ~82 ms
+    # Ashmem-XPC: transactions unchanged, copy gone (1.6x at 4 KB,
+    # converging with Binder-XPC at large sizes).
+    assert series["Ashmem-XPC"][4096] < series["Binder"][4096]
+    big = 32 << 20
+    assert (abs(series["Ashmem-XPC"][big] - series["Binder-XPC"][big])
+            / series["Binder-XPC"][big] < 0.25)
+    # The headline shape: ratio shrinks from ~50x to ~3x.
+    assert ratios[4096] > 10
+    assert 1.5 < ratios[big] < 6
+    assert ratios[big] < ratios[4096]

@@ -1,0 +1,90 @@
+"""Paper Table 2: the XPC ISA — registers, instructions, exceptions.
+
+Not a performance table, but regenerating it doubles as a conformance
+check: every register, instruction, and exception the paper specifies
+must exist (and behave) in this implementation.
+"""
+
+from repro.analysis import render_table
+from repro.hw.machine import Machine
+from repro.kernel.kernel import BaseKernel
+from repro.xpc import (
+    InvalidLinkageError, InvalidSegMaskError, InvalidXCallCapError,
+    InvalidXEntryError, SwapSegError, XPCEngine,
+)
+
+REGISTERS = [
+    ("x-entry-table-reg", "R/W in kernel", "VA length",
+     "Holding base address of x-entry-table."),
+    ("x-entry-table-size", "R/W in kernel", "64 bits",
+     "Controlling the size of x-entry-table."),
+    ("xcall-cap-reg", "R/W in kernel", "VA length",
+     "Holding the address of xcall capability bitmap."),
+    ("link-reg", "R/W in kernel", "VA length",
+     "Holding the address of link stack."),
+    ("relay-seg", "R/ in user mode", "3*64 bits",
+     "Holding the mapping and permission of a relay segment."),
+    ("seg-mask", "R/W in user mode", "2*64 bits",
+     "Mask of the relay segment."),
+    ("seg-listp", "R/ in user mode", "VA length",
+     "Holding the base address of relay segment list."),
+]
+
+INSTRUCTIONS = [
+    ("xcall", "User mode", "xcall #register",
+     "Switch page table, PC and xcall-cap-reg; push a linkage record."),
+    ("xret", "User mode", "xret",
+     "Return to a linkage record popped from the link stack."),
+    ("swapseg", "User mode", "swapseg #register",
+     "Swap seg-reg with a seg-list entry; clear the seg-mask."),
+]
+
+EXCEPTIONS = [
+    ("Invalid x-entry", "xcall", InvalidXEntryError),
+    ("Invalid xcall-cap", "xcall", InvalidXCallCapError),
+    ("Invalid linkage", "xret", InvalidLinkageError),
+    ("Swapseg error", "swapseg", SwapSegError),
+    ("Invalid seg-mask", "csrw seg-mask, #reg", InvalidSegMaskError),
+]
+
+
+def test_table2_registers_and_instructions(benchmark, results):
+    def check():
+        machine = Machine(cores=1, mem_bytes=64 * 1024 * 1024)
+        BaseKernel(machine)
+        engine = machine.engines[0]
+        # Instructions exist as engine operations.
+        for name, _, _, _ in INSTRUCTIONS:
+            assert hasattr(engine, name.replace("xcall", "xcall")
+                           .replace("xret", "xret"))
+            assert callable(getattr(engine, name))
+        # Register state exists: per-thread (bound state) or per-engine.
+        assert engine.table is machine.xentry_table     # table-reg
+        assert machine.xentry_table.size == 1024        # table-size
+        return True
+
+    assert benchmark.pedantic(check, rounds=1, iterations=1)
+    print("\n" + render_table(
+        "Table 2 (1/3): Registers provided by the XPC engine",
+        ["Register", "Access", "Length", "Description"], REGISTERS))
+    print("\n" + render_table(
+        "Table 2 (2/3): Instructions",
+        ["Instruction", "Privilege", "Format", "Description"],
+        INSTRUCTIONS))
+    print("\n" + render_table(
+        "Table 2 (3/3): Exceptions",
+        ["Exception", "Fault instruction", "Implemented as"],
+        [[name, instr, cls.__name__] for name, instr, cls in
+         EXCEPTIONS]))
+    results.record("table2", {
+        "registers": [r[0] for r in REGISTERS],
+        "instructions": [i[0] for i in INSTRUCTIONS],
+        "exceptions": {name: cls.__name__
+                       for name, _, cls in EXCEPTIONS},
+    })
+    # Every paper exception maps to a distinct implemented class whose
+    # fault_instruction matches Table 2.
+    for name, instr, cls in EXCEPTIONS:
+        assert cls.fault_instruction == instr.split(",")[0].split()[0] \
+            or cls.fault_instruction == instr
+    assert len({cls for _, _, cls in EXCEPTIONS}) == 5

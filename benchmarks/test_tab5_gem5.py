@@ -1,0 +1,38 @@
+"""Paper Tables 4 and 5: the gem5/ARM generality experiment.
+
+Table 4 is the simulator configuration; Table 5 the replayed IPC-logic
+costs: baseline 66 (+58) / 79 (+58), XPC 7 (+58) / 10 (+58).
+"""
+
+from repro.analysis import render_table
+from repro.gem5 import HPIConfig, table5
+
+PAPER = {
+    "Baseline (cycles)": {"call": 66, "ret": 79, "tlb": 58},
+    "XPC (cycles)": {"call": 7, "ret": 10, "tlb": 58},
+}
+
+
+def test_table4_simulator_configuration(benchmark, results):
+    config = benchmark.pedantic(HPIConfig, rounds=1, iterations=1)
+    rows = list(config.rows())
+    print("\n" + render_table("Table 4: Simulator configuration",
+                              ["Parameters", "Values"], rows))
+    results.record("table4", {"config": dict(rows)})
+    assert dict(rows)["Cores"] == "8 In-order cores @2.0GHz"
+
+
+def test_table5_ipc_cost_in_arm(benchmark, results):
+    measured = benchmark.pedantic(table5, rounds=1, iterations=1)
+    print("\n" + render_table(
+        "Table 5: IPC cost in ARM (gem5); +58 = TLB flush, removable "
+        "with a tagged TLB",
+        ["Systems", "IPC Call", "IPC Ret"],
+        [[system, f"{vals['call']} (+{vals['tlb']})",
+          f"{vals['ret']} (+{vals['tlb']})"]
+         for system, vals in measured.items()]))
+    results.record("table5", {"paper": PAPER, "measured": measured})
+    assert measured == PAPER
+    benchmark.extra_info["speedup_call"] = (
+        measured["Baseline (cycles)"]["call"]
+        / measured["XPC (cycles)"]["call"])

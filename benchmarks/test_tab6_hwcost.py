@@ -1,0 +1,58 @@
+"""Paper Table 6: hardware resource costs in the FPGA.
+
+    Resource   Freedom   XPC     Cost
+    LUT        44643     45531   1.99%
+    FF         30379     31386   3.31%
+    DSP48      15        16      6.67%
+    (no LUTRAM / SRL / BRAM added)
+"""
+
+from repro.analysis import render_table
+from repro.hwcost import estimate, xpc_engine_components
+
+PAPER = {
+    "LUT": ("44643", "45531", "1.99%"),
+    "LUTRAM": ("3370", "3370", "0.00%"),
+    "SRL": ("636", "636", "0.00%"),
+    "FF": ("30379", "31386", "3.31%"),
+    "RAMB36": ("3", "3", "0.00%"),
+    "RAMB18": ("48", "48", "0.00%"),
+    "DSP48 Blocks": ("15", "16", "6.67%"),
+}
+
+
+def test_table6_hardware_costs(benchmark, results):
+    report = benchmark.pedantic(estimate, rounds=1, iterations=1)
+    rows = report.rows()
+    print("\n" + render_table(
+        "Table 6: Hardware resource costs in FPGA",
+        ["Resource", "Freedom", "XPC (ours)", "Cost (ours)",
+         "XPC (paper)", "Cost (paper)"],
+        [[name, base, total, cost, PAPER[name][1], PAPER[name][2]]
+         for name, base, total, cost in rows]))
+    results.record("table6", {
+        "paper": {k: v[2] for k, v in PAPER.items()},
+        "measured": {name: cost for name, _, _, cost in rows},
+    })
+    as_dict = {name: (base, total, cost)
+               for name, base, total, cost in rows}
+    assert abs(report.overhead("LUT") - 1.99) < 0.15
+    assert abs(report.overhead("FF") - 3.31) < 0.15
+    assert as_dict["DSP48 Blocks"][1] == 16
+    for untouched in ("LUTRAM", "SRL", "RAMB36", "RAMB18"):
+        assert as_dict[untouched][2] == "0.00%"
+
+
+def test_table6_component_inventory(benchmark, results):
+    parts = benchmark.pedantic(xpc_engine_components, rounds=1,
+                               iterations=1)
+    print("\n" + render_table(
+        "XPC engine netlist (resource estimate inputs)",
+        ["Component", "LUTs", "FFs", "DSPs", "Note"],
+        [[p.name, p.luts, p.ffs, p.dsps, p.note] for p in parts]))
+    names = {p.name for p in parts}
+    # Every Table 2 register is present in the netlist.
+    for register in ("x-entry-table-reg", "x-entry-table-size",
+                     "xcall-cap-reg", "link-reg", "relay-seg",
+                     "seg-mask", "seg-listp"):
+        assert register in names

@@ -1,0 +1,56 @@
+"""repro — a reproduction of *XPC: Architectural Support for Secure and
+Efficient Cross Process Call* (Du et al., ISCA 2019).
+
+The package provides:
+
+* :mod:`repro.hw` — a functional + cycle-accounting machine model
+  (cores, page tables, TLB, caches, physical memory);
+* :mod:`repro.xpc` — the XPC engine: x-entries, xcall-cap, link stack,
+  relay segments, and the ``xcall``/``xret``/``swapseg`` instructions;
+* :mod:`repro.kernel` — the common OS control plane;
+* :mod:`repro.sel4`, :mod:`repro.zircon`, :mod:`repro.binder` — three
+  kernel personalities, each with and without XPC;
+* :mod:`repro.services`, :mod:`repro.apps` — user-level servers (file
+  system, network, crypto, cache) and applications (SQLite-like DB,
+  YCSB, HTTP server) used by the paper's evaluation;
+* :mod:`repro.gem5`, :mod:`repro.hwcost`, :mod:`repro.compare` — the
+  generality, hardware-cost, and related-work models.
+
+Quickstart::
+
+    from repro import Machine, BaseKernel, XPCService, xpc_call
+
+    machine = Machine(cores=1)
+    kernel = BaseKernel(machine)
+    core = machine.core0
+    server = kernel.create_process("server")
+    client = kernel.create_process("client")
+    sthread = kernel.create_thread(server)
+    cthread = kernel.create_thread(client)
+    kernel.run_thread(core, sthread)
+    svc = XPCService(kernel, core, sthread,
+                     lambda call: sum(call.args))
+    kernel.grant_xcall_cap(core, server, cthread, svc.entry_id)
+    kernel.run_thread(core, cthread)
+    assert xpc_call(core, svc.entry_id, 2, 3) == 5
+"""
+
+from repro.params import CycleParams, DEFAULT_PARAMS
+from repro.hw import Machine, Core, PhysicalMemory, AddressSpace, PagePerm
+from repro.kernel import BaseKernel, Process, Thread
+from repro.xpc import (
+    XPCEngine, XPCConfig, XPCError, RelaySegment, SegMask, SegReg,
+)
+from repro.runtime import XPCService, XPCCallContext, xpc_call, RelayBuffer
+
+__version__ = "1.0.0"
+
+__all__ = [
+    "CycleParams", "DEFAULT_PARAMS",
+    "Machine", "Core", "PhysicalMemory", "AddressSpace", "PagePerm",
+    "BaseKernel", "Process", "Thread",
+    "XPCEngine", "XPCConfig", "XPCError", "RelaySegment", "SegMask",
+    "SegReg",
+    "XPCService", "XPCCallContext", "xpc_call", "RelayBuffer",
+    "__version__",
+]

@@ -1,0 +1,12 @@
+"""Measurement and reporting helpers for the benchmark harness."""
+
+from repro.analysis.stats import (
+    cdf, geomean, normalize, ops_per_sec, percentile, speedup,
+    throughput_mb_s,
+)
+from repro.analysis.report import render_series, render_table
+
+__all__ = [
+    "cdf", "geomean", "normalize", "ops_per_sec", "percentile",
+    "speedup", "throughput_mb_s", "render_series", "render_table",
+]

@@ -1,0 +1,43 @@
+"""Plain-text table/series renderers used by the benchmark harness.
+
+Every benchmark prints the same rows/series the paper's table or
+figure reports, through these helpers, so ``pytest benchmarks/ -s``
+regenerates a text version of the evaluation section.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, Iterable, List, Sequence
+
+
+def render_table(title: str, headers: Sequence[str],
+                 rows: Iterable[Sequence]) -> str:
+    """Aligned monospace table with a title rule."""
+    str_rows = [[str(c) for c in row] for row in rows]
+    widths = [len(h) for h in headers]
+    for row in str_rows:
+        for i, cell in enumerate(row):
+            widths[i] = max(widths[i], len(cell))
+
+    def fmt(cells: Sequence[str]) -> str:
+        return "  ".join(c.ljust(w) for c, w in zip(cells, widths))
+
+    rule = "-" * (sum(widths) + 2 * (len(widths) - 1))
+    lines = [title, "=" * len(title), fmt(headers), rule]
+    lines += [fmt(row) for row in str_rows]
+    return "\n".join(lines)
+
+
+def render_series(title: str, x_label: str,
+                  series: Dict[str, Dict], x_values: Sequence,
+                  fmt: str = "{:.2f}") -> str:
+    """A figure as a table: one column per x, one row per series."""
+    headers = [x_label] + [str(x) for x in x_values]
+    rows = []
+    for name, points in series.items():
+        row = [name]
+        for x in x_values:
+            value = points.get(x)
+            row.append("-" if value is None else fmt.format(value))
+        rows.append(row)
+    return render_table(title, headers, rows)

@@ -1,0 +1,104 @@
+"""Event tracing: observe the machine's IPC activity over time.
+
+Attach a :class:`Tracer` to cores and XPC engines and every trap,
+address-space switch, xcall, xret, and swapseg is recorded with its
+cycle timestamp — the simulator equivalent of the paper's Panda
+record-and-replay methodology (§5.6).  Used for debugging transports
+and for the timeline assertions in the test suite.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Callable, Dict, Iterable, List, Optional
+
+
+@dataclass(frozen=True)
+class TraceEvent:
+    cycle: int
+    core_id: int
+    kind: str          # "trap" | "trap-ret" | "as-switch" | "xcall" ...
+    detail: str = ""
+
+    def __str__(self) -> str:
+        return (f"[{self.cycle:>10}] core{self.core_id} "
+                f"{self.kind:<10} {self.detail}")
+
+
+class Tracer:
+    """A bounded in-memory event recorder."""
+
+    def __init__(self, capacity: int = 100_000) -> None:
+        if capacity <= 0:
+            raise ValueError("capacity must be positive")
+        self.capacity = capacity
+        self.events: List[TraceEvent] = []
+        self.dropped = 0
+
+    # ------------------------------------------------------------------
+    def emit(self, core, kind: str, detail: str = "") -> None:
+        if len(self.events) >= self.capacity:
+            self.dropped += 1
+            return
+        self.events.append(
+            TraceEvent(core.cycles, core.core_id, kind, detail))
+
+    # ------------------------------------------------------------------
+    def attach(self, machine) -> "Tracer":
+        """Attach to every core and engine of *machine*."""
+        for core in machine.cores:
+            core.tracer = self
+        for engine in machine.engines:
+            engine.tracer = self
+        return self
+
+    def detach(self, machine) -> None:
+        for core in machine.cores:
+            core.tracer = None
+        for engine in machine.engines:
+            engine.tracer = None
+
+    # ------------------------------------------------------------------
+    def filter(self, kind: Optional[str] = None,
+               core_id: Optional[int] = None) -> List[TraceEvent]:
+        out = self.events
+        if kind is not None:
+            out = [e for e in out if e.kind == kind]
+        if core_id is not None:
+            out = [e for e in out if e.core_id == core_id]
+        return out
+
+    def counts(self) -> Dict[str, int]:
+        out: Dict[str, int] = {}
+        for event in self.events:
+            out[event.kind] = out.get(event.kind, 0) + 1
+        return out
+
+    def spans(self, open_kind: str, close_kind: str) -> List[int]:
+        """Durations (cycles) between matching open/close events,
+        LIFO-paired per core (xcall/xret nesting)."""
+        stacks: Dict[int, List[int]] = {}
+        durations: List[int] = []
+        for event in self.events:
+            if event.kind == open_kind:
+                stacks.setdefault(event.core_id, []).append(event.cycle)
+            elif event.kind == close_kind:
+                stack = stacks.get(event.core_id)
+                if stack:
+                    durations.append(event.cycle - stack.pop())
+        return durations
+
+    def to_text(self, limit: int = 50) -> str:
+        lines = [str(e) for e in self.events[:limit]]
+        if len(self.events) > limit:
+            lines.append(f"... {len(self.events) - limit} more events")
+        if self.dropped:
+            lines.append(f"... {self.dropped} events dropped (capacity)")
+        return "\n".join(lines)
+
+    def clear(self) -> None:
+        self.events.clear()
+        self.dropped = 0
+
+    def __len__(self) -> int:
+        return len(self.events)

@@ -1,0 +1,2 @@
+"""Applications from the paper's evaluation: the mini-SQLite database,
+the YCSB driver, and the multi-server HTTP stack."""

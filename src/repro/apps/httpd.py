@@ -1,0 +1,154 @@
+"""The web-server application of paper §5.4 (Figure 8c).
+
+Three servers cooperate per request:
+
+* the **HTTP server** (this module) accepts a request and returns a
+  static HTML file,
+* the **file-cache server** caches the HTML files,
+* the **AES server** (encryption-enabled mode) encrypts the traffic
+  with a 128-bit key.
+
+A client sends ``GET`` requests over the TCP stack (two more servers:
+net stack + loopback device), so one request crosses up to five
+protection domains — the multi-server handover chain where XPC's
+relay-seg shines.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, Optional, Tuple
+
+from repro.services.crypto.server import CryptoClient
+from repro.services.filecache import FileCacheClient
+from repro.services.net.server import NetClient
+
+HTTP_PORT = 80
+_NONCE = b"httpnonc"
+
+
+def build_request(path: str) -> bytes:
+    return (f"GET {path} HTTP/1.1\r\nHost: repro\r\n"
+            "Connection: keep-alive\r\n\r\n").encode()
+
+
+def parse_request(raw: bytes) -> Optional[str]:
+    """Return the requested path, or None if malformed."""
+    try:
+        line = raw.split(b"\r\n", 1)[0].decode()
+        method, path, version = line.split(" ")
+    except (ValueError, UnicodeDecodeError):
+        return None
+    if method != "GET" or not version.startswith("HTTP/"):
+        return None
+    return path
+
+
+def build_response(status: int, body: bytes,
+                   encrypted: bool = False) -> bytes:
+    reason = {200: "OK", 404: "Not Found", 400: "Bad Request"}.get(
+        status, "?")
+    headers = (f"HTTP/1.1 {status} {reason}\r\n"
+               f"Content-Length: {len(body)}\r\n"
+               f"X-Encrypted: {'yes' if encrypted else 'no'}\r\n"
+               "\r\n").encode()
+    return headers + body
+
+
+def parse_response(raw: bytes) -> Tuple[int, Dict[str, str], bytes]:
+    head, _, body = raw.partition(b"\r\n\r\n")
+    lines = head.decode().split("\r\n")
+    status = int(lines[0].split(" ")[1])
+    headers = {}
+    for line in lines[1:]:
+        key, _, value = line.partition(": ")
+        headers[key] = value
+    return status, headers, body
+
+
+class HTTPServer:
+    """Serves static files from the cache, optionally encrypted."""
+
+    def __init__(self, net: NetClient, cache: FileCacheClient,
+                 crypto: Optional[CryptoClient] = None,
+                 encrypt: bool = False) -> None:
+        if encrypt and crypto is None:
+            raise ValueError("encryption mode needs a crypto client")
+        self.net = net
+        self.cache = cache
+        self.crypto = crypto
+        self.encrypt = encrypt
+        self.listen_sock = net.socket()
+        net.listen(self.listen_sock, HTTP_PORT)
+        self._conns: Dict[int, int] = {}
+        self._accepted_by_peer: Dict[int, int] = {}
+        self.requests = 0
+        self.not_found = 0
+
+    def publish(self, path: str, body: bytes) -> None:
+        """Install a static file in the cache server."""
+        self.cache.put(path, body)
+
+    def accept(self) -> int:
+        conn = self.net.accept(self.listen_sock)
+        self._conns[conn] = conn
+        self._accepted_by_peer[self.net.sockname(conn)[1]] = conn
+        return conn
+
+    def accept_for(self, client_port: int) -> int:
+        """Accept (or recall) the connection whose peer is *client_port*."""
+        conn = self._accepted_by_peer.get(client_port)
+        while conn is None:
+            self.accept()   # raises when the queue is empty
+            conn = self._accepted_by_peer.get(client_port)
+        return conn
+
+    def handle_one(self, conn: int, max_request: int = 2048) -> bool:
+        """Serve one request on *conn*; returns False if none pending."""
+        raw = self.net.recv(conn, max_request)
+        if not raw:
+            return False
+        path = parse_request(raw)
+        if path is None:
+            self.net.send(conn, build_response(400, b"bad request"))
+            return True
+        self.requests += 1
+        body = self.cache.get(path)
+        if body is None:
+            self.not_found += 1
+            self.net.send(conn, build_response(404, b"not found"))
+            return True
+        if self.encrypt:
+            body = self.crypto.encrypt(body, _NONCE)
+        self.net.send(conn, build_response(200, body, self.encrypt))
+        return True
+
+
+class HTTPClient:
+    """Drives requests against the HTTP server over the same stack."""
+
+    def __init__(self, net: NetClient,
+                 crypto: Optional[CryptoClient] = None) -> None:
+        self.net = net
+        self.crypto = crypto
+        self.sock = net.socket()
+
+    def connect(self) -> None:
+        self.net.connect(self.sock, HTTP_PORT)
+
+    def get(self, server: HTTPServer, path: str,
+            max_response: int = 64 * 1024) -> Tuple[int, bytes]:
+        """Send a GET and pump the server side until the reply lands."""
+        self.net.send(self.sock, build_request(path))
+        conn = server._conns.get(self.sock)
+        if conn is None:
+            # Accept the connection whose peer is us; other clients'
+            # pending connections stay parked on the server side.
+            my_port = self.net.sockname(self.sock)[0]
+            conn = server.accept_for(my_port)
+            server._conns[self.sock] = conn
+        server.handle_one(conn, max_request=2048)
+        raw = self.net.recv(self.sock, max_response)
+        status, headers, body = parse_response(raw)
+        if headers.get("X-Encrypted") == "yes" and self.crypto:
+            body = self.crypto.decrypt(body, _NONCE)
+        return status, body

@@ -1,0 +1,11 @@
+"""A mini-SQLite: pager, rollback journal, B+tree tables, catalog."""
+
+from repro.apps.sqlite.pager import PAGE_SIZE, Pager, PagerError
+from repro.apps.sqlite.journal import Journal, JournalError
+from repro.apps.sqlite.btree import BTree, BTreeError
+from repro.apps.sqlite.db import Database, DBError
+
+__all__ = [
+    "PAGE_SIZE", "Pager", "PagerError", "Journal", "JournalError",
+    "BTree", "BTreeError", "Database", "DBError",
+]

@@ -1,0 +1,285 @@
+"""A B+tree over pager pages — the table storage of the mini-SQLite.
+
+Variable-length keys and values live in 4 KB pages: leaves hold the
+rows and are chained for range scans; interior nodes hold separator
+keys.  Inserting into a full page splits it and propagates the
+separator upward, growing a new root when the old one splits (so the
+root page number can change; the database catalog tracks it).
+Deletion removes the row from its leaf without rebalancing —
+the same lazy strategy SQLite's freelist pages get away with for
+YCSB-style workloads.
+"""
+
+from __future__ import annotations
+
+import struct
+from dataclasses import dataclass, field
+from typing import Iterator, List, Optional, Tuple
+
+from repro.apps.sqlite.pager import PAGE_SIZE, Pager
+
+_LEAF = 1
+_INTERIOR = 2
+_LEAF_HDR = struct.calcsize("<BHI")       # type, nkeys, next_leaf+1
+_INT_HDR = struct.calcsize("<BHI")        # type, nkeys, rightmost
+
+#: CPU cost of decoding/encoding one node's cells (cycles/byte of
+#: page).  This is the b-tree's own compute, present in every system —
+#: it is what keeps the paper's Figure 1(a) IPC share at 18-39% rather
+#: than 100%.
+NODE_CYCLES_PER_BYTE = 1.1
+
+
+class BTreeError(Exception):
+    """Corrupt node or key too large for a page."""
+
+
+@dataclass
+class _Leaf:
+    cells: List[Tuple[bytes, bytes]] = field(default_factory=list)
+    next_leaf: Optional[int] = None
+
+    def serialize(self) -> bytes:
+        out = bytearray(struct.pack(
+            "<BHI", _LEAF, len(self.cells),
+            0 if self.next_leaf is None else self.next_leaf + 1))
+        for key, val in self.cells:
+            out += struct.pack("<HH", len(key), len(val)) + key + val
+        if len(out) > PAGE_SIZE:
+            raise BTreeError("leaf overflow at serialize time")
+        return bytes(out) + b"\x00" * (PAGE_SIZE - len(out))
+
+    @property
+    def size(self) -> int:
+        return _LEAF_HDR + sum(4 + len(k) + len(v)
+                               for k, v in self.cells)
+
+
+@dataclass
+class _Interior:
+    # children[i] covers keys < keys[i]; rightmost covers the rest.
+    keys: List[bytes] = field(default_factory=list)
+    children: List[int] = field(default_factory=list)
+    rightmost: int = 0
+
+    def serialize(self) -> bytes:
+        out = bytearray(struct.pack("<BHI", _INTERIOR, len(self.keys),
+                                    self.rightmost))
+        for key, child in zip(self.keys, self.children):
+            out += struct.pack("<HI", len(key), child) + key
+        if len(out) > PAGE_SIZE:
+            raise BTreeError("interior overflow at serialize time")
+        return bytes(out) + b"\x00" * (PAGE_SIZE - len(out))
+
+    @property
+    def size(self) -> int:
+        return _INT_HDR + sum(6 + len(k) for k in self.keys)
+
+
+def _parse(raw: bytes):
+    ntype, nkeys, extra = struct.unpack_from("<BHI", raw, 0)
+    off = _LEAF_HDR
+    if ntype == _LEAF:
+        node = _Leaf(next_leaf=None if extra == 0 else extra - 1)
+        for _ in range(nkeys):
+            klen, vlen = struct.unpack_from("<HH", raw, off)
+            off += 4
+            node.cells.append((raw[off:off + klen],
+                               raw[off + klen:off + klen + vlen]))
+            off += klen + vlen
+        return node
+    if ntype == _INTERIOR:
+        node = _Interior(rightmost=extra)
+        for _ in range(nkeys):
+            klen, child = struct.unpack_from("<HI", raw, off)
+            off += 6
+            node.keys.append(raw[off:off + klen])
+            node.children.append(child)
+            off += klen
+        return node
+    raise BTreeError(f"bad node type {ntype}")
+
+
+class BTree:
+    """One table's B+tree; ``root`` may move on a root split."""
+
+    MAX_CELL = PAGE_SIZE // 4  # keep at least ~4 cells per leaf
+
+    def __init__(self, pager: Pager, root: Optional[int] = None) -> None:
+        self.pager = pager
+        if root is None:
+            root = pager.allocate_page()
+            pager.write_page(root, _Leaf().serialize())
+        self.root = root
+
+    # ------------------------------------------------------------------
+    def _load(self, pgno: int):
+        self.pager._core().tick(int(PAGE_SIZE * NODE_CYCLES_PER_BYTE))
+        return _parse(self.pager.read_page(pgno))
+
+    def _store(self, pgno: int, node) -> None:
+        self.pager._core().tick(int(PAGE_SIZE * NODE_CYCLES_PER_BYTE))
+        self.pager.write_page(pgno, node.serialize())
+
+    # ------------------------------------------------------------------
+    def get(self, key: bytes) -> Optional[bytes]:
+        leaf = self._load(self._find_leaf(key))
+        for k, v in leaf.cells:
+            if k == key:
+                return v
+        return None
+
+    def _find_leaf(self, key: bytes) -> int:
+        pgno = self.root
+        node = self._load(pgno)
+        while isinstance(node, _Interior):
+            pgno = self._child_for(node, key)
+            node = self._load(pgno)
+        return pgno
+
+    @staticmethod
+    def _child_for(node: _Interior, key: bytes) -> int:
+        for i, sep in enumerate(node.keys):
+            if key < sep:
+                return node.children[i]
+        return node.rightmost
+
+    # ------------------------------------------------------------------
+    def insert(self, key: bytes, value: bytes) -> None:
+        """Insert or replace."""
+        if 4 + len(key) + len(value) > self.MAX_CELL:
+            raise BTreeError("cell too large for a page")
+        split = self._insert(self.root, key, value)
+        if split is not None:
+            sep, right_pgno = split
+            new_root = self.pager.allocate_page()
+            root_node = _Interior(keys=[sep], children=[self.root],
+                                  rightmost=right_pgno)
+            self.pager.write_page(new_root, root_node.serialize())
+            self.root = new_root
+
+    def _insert(self, pgno: int, key: bytes,
+                value: bytes) -> Optional[Tuple[bytes, int]]:
+        node = self._load(pgno)
+        if isinstance(node, _Leaf):
+            self._leaf_put(node, key, value)
+            if node.size <= PAGE_SIZE:
+                self._store(pgno, node)
+                return None
+            return self._split_leaf(pgno, node)
+        child = self._child_for(node, key)
+        split = self._insert(child, key, value)
+        if split is None:
+            return None
+        sep, right = split
+        idx = self._child_index(node, child)
+        node.keys.insert(idx, sep)
+        node.children.insert(idx, child)
+        if idx < len(node.children) - 1:
+            node.children[idx + 1] = right
+        else:
+            node.children[idx] = child
+            node.rightmost = right
+        if node.size <= PAGE_SIZE:
+            self._store(pgno, node)
+            return None
+        return self._split_interior(pgno, node)
+
+    @staticmethod
+    def _child_index(node: _Interior, child: int) -> int:
+        for i, c in enumerate(node.children):
+            if c == child:
+                return i
+        if node.rightmost == child:
+            return len(node.children)
+        raise BTreeError("child pointer vanished during split")
+
+    @staticmethod
+    def _leaf_put(node: _Leaf, key: bytes, value: bytes) -> None:
+        lo, hi = 0, len(node.cells)
+        while lo < hi:
+            mid = (lo + hi) // 2
+            if node.cells[mid][0] < key:
+                lo = mid + 1
+            else:
+                hi = mid
+        if lo < len(node.cells) and node.cells[lo][0] == key:
+            node.cells[lo] = (key, value)
+        else:
+            node.cells.insert(lo, (key, value))
+
+    def _split_leaf(self, pgno: int,
+                    node: _Leaf) -> Tuple[bytes, int]:
+        half = len(node.cells) // 2
+        right = _Leaf(cells=node.cells[half:],
+                      next_leaf=node.next_leaf)
+        right_pgno = self.pager.allocate_page()
+        node.cells = node.cells[:half]
+        node.next_leaf = right_pgno
+        self._store(right_pgno, right)
+        self._store(pgno, node)
+        return right.cells[0][0], right_pgno
+
+    def _split_interior(self, pgno: int,
+                        node: _Interior) -> Tuple[bytes, int]:
+        half = len(node.keys) // 2
+        sep = node.keys[half]
+        right = _Interior(keys=node.keys[half + 1:],
+                          children=node.children[half + 1:],
+                          rightmost=node.rightmost)
+        right_pgno = self.pager.allocate_page()
+        node.rightmost = node.children[half]
+        node.keys = node.keys[:half]
+        node.children = node.children[:half]
+        self._store(right_pgno, right)
+        self._store(pgno, node)
+        return sep, right_pgno
+
+    # ------------------------------------------------------------------
+    def delete(self, key: bytes) -> bool:
+        pgno = self._find_leaf(key)
+        node = self._load(pgno)
+        for i, (k, _) in enumerate(node.cells):
+            if k == key:
+                del node.cells[i]
+                self._store(pgno, node)
+                return True
+        return False
+
+    def scan(self, start: bytes, count: int
+             ) -> Iterator[Tuple[bytes, bytes]]:
+        """Yield up to *count* rows with key >= start, in order."""
+        pgno: Optional[int] = self._find_leaf(start)
+        yielded = 0
+        while pgno is not None and yielded < count:
+            node = self._load(pgno)
+            for k, v in node.cells:
+                if k >= start:
+                    yield k, v
+                    yielded += 1
+                    if yielded >= count:
+                        return
+            pgno = node.next_leaf
+
+    def items(self) -> Iterator[Tuple[bytes, bytes]]:
+        """Full in-order iteration (smallest leaf first)."""
+        pgno = self.root
+        node = self._load(pgno)
+        while isinstance(node, _Interior):
+            pgno = node.children[0] if node.children else node.rightmost
+            node = self._load(pgno)
+        while True:
+            for cell in node.cells:
+                yield cell
+            if node.next_leaf is None:
+                return
+            node = self._load(node.next_leaf)
+
+    def depth(self) -> int:
+        depth = 1
+        node = self._load(self.root)
+        while isinstance(node, _Interior):
+            depth += 1
+            pgno = node.children[0] if node.children else node.rightmost
+            node = self._load(pgno)
+        return depth

@@ -1,0 +1,203 @@
+"""The mini-SQLite database: tables as B+trees + rollback journaling.
+
+The evaluation's ``Sqlite3`` stand-in: one database file served through
+the FS service, a page-0 catalog mapping table names to B+tree roots,
+and a rollback journal wrapping every write (the paper runs Sqlite3
+"with the default configuration with journaling enabled", §5.4).  The
+YCSB driver (:mod:`repro.apps.ycsb`) calls exactly this API.
+"""
+
+from __future__ import annotations
+
+import struct
+from typing import Dict, Iterator, List, Optional, Tuple
+
+from repro.apps.sqlite.btree import BTree
+from repro.apps.sqlite.journal import Journal
+from repro.apps.sqlite.pager import PAGE_SIZE, Pager
+from repro.services.fs.server import FSClient
+
+_CATALOG_MAGIC = 0x5342444D  # "MDBS"
+
+#: Per-statement CPU cost (parse + plan + row codec) — SQLite-scale
+#: work that exists identically in every system (paper Figure 1a).
+STATEMENT_CYCLES = 20000
+
+#: Row encode/decode cost per byte of value (VDBE-ish work).
+ROW_CODEC_PER_BYTE = 2.0
+
+
+class DBError(Exception):
+    """Unknown table, duplicate table, or catalog corruption."""
+
+
+class Database:
+    """A tiny relational-style store with transactions."""
+
+    def __init__(self, fs: FSClient, path: str = "/db",
+                 cache_pages: int = 24) -> None:
+        self.fs = fs
+        self.pager = Pager(fs, path, cache_pages=cache_pages)
+        self.journal = Journal(fs, self.pager)
+        self._tables: Dict[str, BTree] = {}
+        self._catalog: Dict[str, int] = {}
+        restored = self.journal.recover()
+        if restored:
+            self.pager.discard()
+        if self.pager.npages == 0:
+            self.pager.allocate_page()     # page 0: the catalog
+            self._save_catalog()
+            self.pager.flush()
+        else:
+            self._load_catalog()
+        self.reads = 0
+        self.writes = 0
+
+    # ------------------------------------------------------------------
+    # Catalog (page 0)
+    # ------------------------------------------------------------------
+    def _save_catalog(self) -> None:
+        out = bytearray(struct.pack("<IH", _CATALOG_MAGIC,
+                                    len(self._catalog)))
+        for name, root in sorted(self._catalog.items()):
+            raw = name.encode()
+            out += struct.pack("<HI", len(raw), root) + raw
+        if len(out) > PAGE_SIZE:
+            raise DBError("too many tables for the catalog page")
+        self.pager.write_page(0, bytes(out) +
+                              b"\x00" * (PAGE_SIZE - len(out)))
+
+    def _load_catalog(self) -> None:
+        raw = self.pager.read_page(0)
+        magic, count = struct.unpack_from("<IH", raw, 0)
+        if magic != _CATALOG_MAGIC:
+            raise DBError("bad catalog magic")
+        off = struct.calcsize("<IH")
+        self._catalog.clear()
+        for _ in range(count):
+            nlen, root = struct.unpack_from("<HI", raw, off)
+            off += 6
+            name = raw[off:off + nlen].decode()
+            off += nlen
+            self._catalog[name] = root
+
+    # ------------------------------------------------------------------
+    # Tables
+    # ------------------------------------------------------------------
+    def create_table(self, name: str) -> None:
+        if name in self._catalog:
+            raise DBError(f"table {name!r} exists")
+        self.journal.begin()
+        try:
+            tree = BTree(self.pager)
+            self._catalog[name] = tree.root
+            self._tables[name] = tree
+            self._save_catalog()
+            self.journal.commit()
+        except Exception:
+            self.journal.rollback()
+            self._catalog.pop(name, None)
+            self._tables.pop(name, None)
+            raise
+
+    def drop_table(self, name: str) -> None:
+        """Remove a table from the catalog (pages are reclaimed
+        lazily, like SQLite's freelist)."""
+        if name not in self._catalog:
+            raise DBError(f"no such table {name!r}")
+        self.journal.begin()
+        try:
+            del self._catalog[name]
+            self._tables.pop(name, None)
+            self._save_catalog()
+            self.journal.commit()
+        except Exception:
+            self.journal.rollback()
+            self._load_catalog()
+            raise
+
+    def _tree(self, table: str) -> BTree:
+        tree = self._tables.get(table)
+        if tree is None:
+            root = self._catalog.get(table)
+            if root is None:
+                raise DBError(f"no such table {table!r}")
+            tree = BTree(self.pager, root)
+            self._tables[table] = tree
+        return tree
+
+    def tables(self) -> List[str]:
+        return sorted(self._catalog)
+
+    # ------------------------------------------------------------------
+    # Explicit transactions (BEGIN ... COMMIT)
+    # ------------------------------------------------------------------
+    def begin(self) -> None:
+        self.journal.begin()
+
+    def commit(self) -> None:
+        self.journal.commit()
+
+    def rollback(self) -> None:
+        self.journal.rollback()
+        self._tables.clear()
+        self._load_catalog()
+
+    # ------------------------------------------------------------------
+    # Row operations (autocommit, like sqlite without BEGIN)
+    # ------------------------------------------------------------------
+    def insert(self, table: str, key: bytes, value: bytes) -> None:
+        self.pager._core().tick(
+            STATEMENT_CYCLES + int(len(value) * ROW_CODEC_PER_BYTE))
+        tree = self._tree(table)
+        autocommit = not self.journal.active
+        if autocommit:
+            self.journal.begin()
+        try:
+            tree.insert(key, value)
+            if self._catalog[table] != tree.root:
+                self._catalog[table] = tree.root
+                self._save_catalog()
+            if autocommit:
+                self.journal.commit()
+            self.writes += 1
+        except Exception:
+            if autocommit:
+                self.journal.rollback()
+                self._tables.pop(table, None)
+            raise
+
+    def update(self, table: str, key: bytes, value: bytes) -> None:
+        self.insert(table, key, value)
+
+    def get(self, table: str, key: bytes) -> Optional[bytes]:
+        self.pager._core().tick(STATEMENT_CYCLES)
+        self.reads += 1
+        return self._tree(table).get(key)
+
+    def delete(self, table: str, key: bytes) -> bool:
+        self.pager._core().tick(STATEMENT_CYCLES)
+        tree = self._tree(table)
+        autocommit = not self.journal.active
+        if autocommit:
+            self.journal.begin()
+        try:
+            found = tree.delete(key)
+            if autocommit:
+                self.journal.commit()
+            self.writes += 1
+            return found
+        except Exception:
+            if autocommit:
+                self.journal.rollback()
+                self._tables.pop(table, None)
+            raise
+
+    def scan(self, table: str, start: bytes,
+             count: int) -> List[Tuple[bytes, bytes]]:
+        self.pager._core().tick(STATEMENT_CYCLES)
+        self.reads += 1
+        return list(self._tree(table).scan(start, count))
+
+    def items(self, table: str) -> Iterator[Tuple[bytes, bytes]]:
+        return self._tree(table).items()

@@ -1,0 +1,144 @@
+"""The rollback journal (SQLite's default journaling mode).
+
+Before a page is modified inside a transaction, its original image is
+appended to ``<db>-journal``; commit writes the journal header count
+(the commit barrier), flushes the dirty pages to the database file,
+then deletes the journal.  If anything dies mid-transaction, the
+journal's page images restore the pre-transaction database —
+:meth:`Journal.recover` runs at open time, like SQLite's hot-journal
+check.  The evaluation runs "the default configuration with journaling
+enabled" (paper §5.4), which is what makes YCSB's write-heavy
+workloads so IPC-intensive.
+"""
+
+from __future__ import annotations
+
+import struct
+from typing import Dict, List, Set
+
+from repro.apps.sqlite.pager import PAGE_SIZE, Pager
+from repro.services.fs.server import FSClient
+
+_HEADER_FMT = "<II"   # magic, page count
+_MAGIC = 0x4A524E4C   # "JRNL"
+_ENTRY_FMT = "<I"     # page number, then the page image
+
+
+class JournalError(Exception):
+    """Transaction misuse or corrupt journal."""
+
+
+class Journal:
+    """Rollback journal for one pager."""
+
+    def __init__(self, fs: FSClient, pager: Pager) -> None:
+        self.fs = fs
+        self.pager = pager
+        self.path = pager.path + "-journal"
+        self._originals: Dict[int, bytes] = {}
+        self._order: List[int] = []
+        self._new_pages: Set[int] = set()
+        self.active = False
+        self.commits = 0
+        self.rollbacks = 0
+
+    # ------------------------------------------------------------------
+    def begin(self) -> None:
+        if self.active:
+            raise JournalError("nested transactions are not supported")
+        self.active = True
+        self._originals.clear()
+        self._order.clear()
+        self._new_pages.clear()
+        self.pager._journal = self
+
+    def record_original(self, pgno: int, image: bytes) -> None:
+        """Pager hook: save a page's pre-image, once per transaction."""
+        if not self.active:
+            return
+        if pgno in self._originals or pgno in self._new_pages:
+            return
+        self._originals[pgno] = image
+        self._order.append(pgno)
+
+    def note_new_page(self, pgno: int) -> None:
+        """Pages born inside the transaction have no pre-image."""
+        if self.active:
+            self._new_pages.add(pgno)
+
+    # ------------------------------------------------------------------
+    def commit(self) -> None:
+        if not self.active:
+            raise JournalError("commit without begin")
+        if self._originals:
+            self._write_journal()
+        self.pager.flush()          # dirty pages reach the DB file
+        if self._originals:
+            self.fs.truncate(self.path)  # journal delete = commit done
+        self._finish()
+        self.commits += 1
+
+    def rollback(self) -> None:
+        if not self.active:
+            raise JournalError("rollback without begin")
+        for pgno in self._order:
+            self.fs.write(self.pager.path, self._originals[pgno],
+                          pgno * PAGE_SIZE)
+        self.pager.discard()
+        if self.fs.exists(self.path):
+            self.fs.truncate(self.path)
+        self._finish()
+        self.rollbacks += 1
+
+    def _finish(self) -> None:
+        self.active = False
+        self.pager._journal = None
+        self._originals.clear()
+        self._order.clear()
+        self._new_pages.clear()
+
+    # ------------------------------------------------------------------
+    #: Marshaling the journal blob costs CPU in every system.
+    MARSHAL_CYCLES_PER_BYTE = 0.35
+
+    def _write_journal(self) -> None:
+        blob = bytearray(struct.pack(_HEADER_FMT, _MAGIC,
+                                     len(self._order)))
+        for pgno in self._order:
+            blob += struct.pack(_ENTRY_FMT, pgno)
+            blob += self._originals[pgno]
+        self.pager._core().tick(
+            int(len(blob) * self.MARSHAL_CYCLES_PER_BYTE))
+        if not self.fs.exists(self.path):
+            self.fs.create(self.path)
+        self.fs.write(self.path, bytes(blob), 0)
+        self.fs.fsync()
+
+    def recover(self) -> int:
+        """Hot-journal check at open: roll back a torn transaction.
+
+        Returns the number of pages restored.
+        """
+        if not self.fs.exists(self.path):
+            return 0
+        size = self.fs.stat(self.path)[2]
+        if size < struct.calcsize(_HEADER_FMT):
+            return 0
+        raw = self.fs.read(self.path, 0, size)
+        magic, count = struct.unpack_from(_HEADER_FMT, raw, 0)
+        if magic != _MAGIC:
+            return 0
+        off = struct.calcsize(_HEADER_FMT)
+        entry_size = struct.calcsize(_ENTRY_FMT) + PAGE_SIZE
+        restored = 0
+        for _ in range(count):
+            if off + entry_size > len(raw):
+                break  # torn journal tail: ignore the partial entry
+            (pgno,) = struct.unpack_from(_ENTRY_FMT, raw, off)
+            image = raw[off + 4:off + 4 + PAGE_SIZE]
+            self.fs.write(self.pager.path, image, pgno * PAGE_SIZE)
+            restored += 1
+            off += entry_size
+        self.fs.truncate(self.path)
+        self.pager.discard()
+        return restored

@@ -1,0 +1,115 @@
+"""The pager: a page cache between the B-tree and the FS service.
+
+Like SQLite's pager, it reads/writes fixed 4 KB pages of a single
+database file (through the FS *service*, i.e. across IPC), caches them,
+tracks dirty pages, and cooperates with the rollback journal: the first
+time a page is dirtied inside a transaction, its original image is
+handed to the journal before the change is allowed.
+"""
+
+from __future__ import annotations
+
+from collections import OrderedDict
+from typing import Dict, Optional, Set
+
+from repro.services.fs.server import FSClient
+
+PAGE_SIZE = 4096
+
+#: Pager-side bookkeeping cost per page operation.
+PAGE_OP_CYCLES = 60
+
+
+class PagerError(Exception):
+    """Page out of range or transaction misuse."""
+
+
+class Pager:
+    """Page cache + dirty tracking over one FS file."""
+
+    def __init__(self, fs: FSClient, path: str,
+                 cache_pages: int = 128) -> None:
+        self.fs = fs
+        self.path = path
+        self.cache_pages = cache_pages
+        self._cache: OrderedDict[int, bytearray] = OrderedDict()
+        self._dirty: Set[int] = set()
+        self.npages = 0
+        self._journal = None            # set by the journal on begin
+        if not fs.exists(path):
+            fs.create(path)
+        else:
+            size = fs.stat(path)[2]
+            if size % PAGE_SIZE:
+                raise PagerError(f"{path!r} is not page aligned")
+            self.npages = size // PAGE_SIZE
+
+    def _core(self):
+        return self.fs.transport.core
+
+    # ------------------------------------------------------------------
+    def allocate_page(self) -> int:
+        """Append a zeroed page; returns its page number."""
+        pgno = self.npages
+        self.npages += 1
+        page = bytearray(PAGE_SIZE)
+        self._insert_cache(pgno, page)
+        self._dirty.add(pgno)
+        if self._journal is not None:
+            self._journal.note_new_page(pgno)
+        return pgno
+
+    def read_page(self, pgno: int) -> bytes:
+        return bytes(self._page(pgno))
+
+    def write_page(self, pgno: int, data: bytes) -> None:
+        if len(data) != PAGE_SIZE:
+            raise PagerError("write_page needs exactly one page")
+        if self._journal is not None:
+            self._journal.record_original(pgno, self.read_page(pgno))
+        page = self._page(pgno)
+        page[:] = data
+        self._dirty.add(pgno)
+
+    def _page(self, pgno: int) -> bytearray:
+        if not 0 <= pgno < self.npages:
+            raise PagerError(f"page {pgno} out of range")
+        self._core().tick(PAGE_OP_CYCLES)
+        page = self._cache.get(pgno)
+        if page is not None:
+            self._cache.move_to_end(pgno)
+            return page
+        raw = self.fs.read(self.path, pgno * PAGE_SIZE, PAGE_SIZE)
+        page = bytearray(raw.ljust(PAGE_SIZE, b"\x00"))
+        self._insert_cache(pgno, page)
+        return page
+
+    def _insert_cache(self, pgno: int, page: bytearray) -> None:
+        while len(self._cache) >= self.cache_pages:
+            old_pgno, old_page = self._cache.popitem(last=False)
+            if old_pgno in self._dirty:
+                # Evicting a dirty page forces a write-back.
+                self.fs.write(self.path, bytes(old_page),
+                              old_pgno * PAGE_SIZE)
+                self._dirty.discard(old_pgno)
+        self._cache[pgno] = page
+
+    # ------------------------------------------------------------------
+    def flush(self) -> int:
+        """Write every dirty page back through the FS service."""
+        written = 0
+        for pgno in sorted(self._dirty):
+            page = self._cache.get(pgno)
+            if page is None:
+                continue
+            self.fs.write(self.path, bytes(page), pgno * PAGE_SIZE)
+            written += 1
+        self._dirty.clear()
+        return written
+
+    def discard(self) -> None:
+        """Drop the cache (after a rollback re-read from disk)."""
+        self._cache.clear()
+        self._dirty.clear()
+        size = self.fs.stat(self.path)[2]
+        self.npages = size // PAGE_SIZE

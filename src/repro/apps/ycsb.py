@@ -1,0 +1,185 @@
+"""The YCSB core workloads A–F (the paper's Figures 1 and 8 driver).
+
+Implements the standard Yahoo! Cloud Serving Benchmark semantics on the
+mini-SQLite database:
+
+========  =============================================  ===========
+workload  operation mix                                  request dist
+========  =============================================  ===========
+A         50% read / 50% update                          zipfian
+B         95% read / 5% update                           zipfian
+C         100% read                                      zipfian
+D         95% read / 5% insert (read latest)             latest
+E         95% scan / 5% insert (scan length ≤ 100)       zipfian
+F         50% read / 50% read-modify-write               zipfian
+========  =============================================  ===========
+
+The zipfian generator is the Gray et al. rejection-free construction
+used by the reference YCSB implementation.  Everything is seeded and
+deterministic.
+"""
+
+from __future__ import annotations
+
+import math
+import random
+from dataclasses import dataclass, field
+from typing import Callable, Dict, List, Optional
+
+from repro.apps.sqlite.db import Database
+
+FIELD_SIZE = 100
+FIELDS_PER_RECORD = 10
+DEFAULT_SCAN_MAX = 100
+
+
+class ZipfianGenerator:
+    """Zipf-distributed integers in [0, n) (theta = 0.99, YCSB default)."""
+
+    def __init__(self, n: int, theta: float = 0.99,
+                 rng: Optional[random.Random] = None) -> None:
+        if n <= 0:
+            raise ValueError("need a positive item count")
+        self.n = n
+        self.theta = theta
+        self.rng = rng or random.Random(42)
+        self.zetan = self._zeta(n, theta)
+        self.zeta2 = self._zeta(2, theta)
+        self.alpha = 1.0 / (1.0 - theta)
+        self.eta = ((1 - (2.0 / n) ** (1 - theta))
+                    / (1 - self.zeta2 / self.zetan))
+
+    @staticmethod
+    def _zeta(n: int, theta: float) -> float:
+        return sum(1.0 / (i ** theta) for i in range(1, n + 1))
+
+    def next(self) -> int:
+        u = self.rng.random()
+        uz = u * self.zetan
+        if uz < 1.0:
+            return 0
+        if uz < 1.0 + 0.5 ** self.theta:
+            return 1
+        return int(self.n * (self.eta * u - self.eta + 1) ** self.alpha)
+
+
+@dataclass
+class WorkloadSpec:
+    name: str
+    read: float = 0.0
+    update: float = 0.0
+    insert: float = 0.0
+    scan: float = 0.0
+    rmw: float = 0.0
+    latest: bool = False     # "read latest" distribution (workload D)
+
+
+WORKLOADS: Dict[str, WorkloadSpec] = {
+    "A": WorkloadSpec("A", read=0.5, update=0.5),
+    "B": WorkloadSpec("B", read=0.95, update=0.05),
+    "C": WorkloadSpec("C", read=1.0),
+    "D": WorkloadSpec("D", read=0.95, insert=0.05, latest=True),
+    "E": WorkloadSpec("E", scan=0.95, insert=0.05),
+    "F": WorkloadSpec("F", read=0.5, rmw=0.5),
+}
+
+
+@dataclass
+class YCSBStats:
+    ops: int = 0
+    reads: int = 0
+    updates: int = 0
+    inserts: int = 0
+    scans: int = 0
+    rmws: int = 0
+    missing: int = 0
+
+
+class YCSBDriver:
+    """Loads a table and runs one of the core workloads against it."""
+
+    def __init__(self, db: Database, table: str = "usertable",
+                 records: int = 1000, seed: int = 7,
+                 field_size: int = FIELD_SIZE,
+                 fields: int = FIELDS_PER_RECORD) -> None:
+        self.db = db
+        self.table = table
+        self.records = records
+        self.rng = random.Random(seed)
+        self.field_size = field_size
+        self.fields = fields
+        self.next_insert = records
+        self.zipf = ZipfianGenerator(records, rng=self.rng)
+        self.stats = YCSBStats()
+
+    # ------------------------------------------------------------------
+    @staticmethod
+    def key_for(i: int) -> bytes:
+        return f"user{i:012d}".encode()
+
+    def _value(self) -> bytes:
+        blob = self.rng.getrandbits(8 * self.field_size // 4)
+        one_field = blob.to_bytes(self.field_size // 4, "little") * 4
+        return one_field[:self.field_size] * self.fields
+
+    def load(self, batch: int = 50) -> None:
+        """Bulk-load the table (batched transactions, like YCSB load)."""
+        if self.table not in self.db.tables():
+            self.db.create_table(self.table)
+        i = 0
+        while i < self.records:
+            self.db.begin()
+            for j in range(i, min(i + batch, self.records)):
+                self.db.insert(self.table, self.key_for(j),
+                               self._value())
+            self.db.commit()
+            i += batch
+
+    # ------------------------------------------------------------------
+    def _pick_key(self, spec: WorkloadSpec) -> bytes:
+        if spec.latest:
+            # "Read latest": skew toward recently inserted records.
+            offset = self.zipf.next()
+            idx = max(0, self.next_insert - 1 - offset)
+        else:
+            idx = min(self.zipf.next(), self.next_insert - 1)
+        return self.key_for(idx)
+
+    def run(self, workload: str, ops: int = 100) -> YCSBStats:
+        name = workload.upper()
+        if name.startswith("YCSB-"):
+            name = name[5:]
+        spec = WORKLOADS[name]
+        self.stats = YCSBStats()
+        for _ in range(ops):
+            self._one_op(spec)
+        return self.stats
+
+    def _one_op(self, spec: WorkloadSpec) -> None:
+        s = self.stats
+        s.ops += 1
+        r = self.rng.random()
+        if r < spec.read:
+            if self.db.get(self.table, self._pick_key(spec)) is None:
+                s.missing += 1
+            s.reads += 1
+        elif r < spec.read + spec.update:
+            self.db.update(self.table, self._pick_key(spec),
+                           self._value())
+            s.updates += 1
+        elif r < spec.read + spec.update + spec.insert:
+            key = self.key_for(self.next_insert)
+            self.next_insert += 1
+            self.db.insert(self.table, key, self._value())
+            s.inserts += 1
+        elif r < spec.read + spec.update + spec.insert + spec.scan:
+            count = self.rng.randint(1, DEFAULT_SCAN_MAX)
+            self.db.scan(self.table, self._pick_key(spec), count)
+            s.scans += 1
+        else:
+            key = self._pick_key(spec)
+            value = self.db.get(self.table, key)
+            if value is None:
+                s.missing += 1
+            self.db.update(self.table, key, self._value())
+            s.rmws += 1

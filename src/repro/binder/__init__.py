@@ -1,0 +1,26 @@
+"""Android Binder on a Linux-like monolithic kernel, and its XPC port
+(paper §4.3, §5.5): driver, framework, Parcels, ashmem, and the window
+manager / surface compositor scenario of Figure 9."""
+
+from repro.binder.parcel import Parcel, ParcelError
+from repro.binder.ashmem import AshmemRegion, AshmemSubsystem
+from repro.binder.driver import BinderDriver, BinderNode
+from repro.binder.framework import (
+    BinderFramework, BinderProxy, BinderService, ServiceManager,
+)
+from repro.binder.xpcglue import (
+    AshmemXPCFramework, XPCBinderDriver, XPCBinderFramework,
+)
+from repro.binder.scenario import (
+    CODE_DRAW_ASHMEM, CODE_DRAW_BUFFER, DRAW_PER_BYTE, DRAW_PER_BYTE_CACHED,
+    SurfaceCompositor, WindowManagerService,
+)
+
+__all__ = [
+    "Parcel", "ParcelError", "AshmemRegion", "AshmemSubsystem",
+    "BinderDriver", "BinderNode", "BinderFramework", "BinderProxy",
+    "BinderService", "ServiceManager", "AshmemXPCFramework",
+    "XPCBinderDriver", "XPCBinderFramework", "CODE_DRAW_ASHMEM",
+    "CODE_DRAW_BUFFER", "DRAW_PER_BYTE", "DRAW_PER_BYTE_CACHED", "SurfaceCompositor",
+    "WindowManagerService",
+]

@@ -1,0 +1,141 @@
+"""libBinder: the Android Binder framework layer (paper §4.3).
+
+The framework sits between applications and the driver and is kept
+API-stable across the baseline and XPC variants, exactly as the paper's
+port does ("we keep the IPC interfaces provided by Android Binder
+framework (e.g., transact() and onTransact()) unmodified"):
+
+* :class:`BinderService` — the Bn-side base class; subclasses override
+  :meth:`on_transact`.
+* :class:`BinderProxy` — the Bp-side handle; :meth:`transact` marshals
+  and drives whatever data plane the framework was built with.
+* :class:`ServiceManager` — ``addService`` / ``getService``.
+
+Parcel (un)marshaling costs ``parcel_marshal_per_byte`` per byte on
+each side in the baseline; the XPC framework implements Parcels on the
+relay segment, dropping that to ``parcel_relay_per_byte``.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, Optional
+
+from repro.hw.cpu import Core
+from repro.kernel.kernel import KernelError
+from repro.kernel.process import Process, Thread
+from repro.binder.driver import BinderDriver
+from repro.binder.parcel import Parcel
+
+
+class BinderService:
+    """Base class for Bn (native/server) binder objects."""
+
+    def __init__(self, framework: "BinderFramework", process: Process,
+                 thread: Thread, name: str) -> None:
+        self.framework = framework
+        self.process = process
+        self.thread = thread
+        self.name = name
+        self.handle: Optional[int] = None
+
+    def on_transact(self, code: int, data: Parcel) -> Parcel:
+        raise NotImplementedError
+
+    # Receiver-side helpers ------------------------------------------------
+    def translate_fd(self, data: Parcel, fd: int) -> int:
+        """Resolve a sender fd to this process's fd (driver fixup)."""
+        return getattr(data, "fd_map", {}).get(fd, fd)
+
+
+class BinderProxy:
+    """Bp (proxy/client) side of a binder object."""
+
+    def __init__(self, framework: "BinderFramework", client: Thread,
+                 handle: int, name: str) -> None:
+        self.framework = framework
+        self.client = client
+        self.handle = handle
+        self.name = name
+
+    def transact(self, core: Core, code: int, data: Parcel) -> Parcel:
+        """The stable application-facing entry point."""
+        return self.framework.transact(core, self.client, self.handle,
+                                       code, data)
+
+    def transact_oneway(self, core: Core, code: int,
+                        data: Parcel) -> None:
+        """``TF_ONE_WAY``: fire-and-forget (no reply, async delivery).
+
+        Note: even the paper's Binder-XPC prototype leaves asynchronous
+        IPC on the original driver path ("asynchronous IPC usage like
+        death notification is not supported yet", §5.5), so this goes
+        through the kernel on every framework variant.
+        """
+        self.framework.driver.transact_oneway(
+            core, self.client, self.handle, code, data)
+
+    def link_to_death(self, core: Core, recipient) -> None:
+        """Register a death recipient for this binder object."""
+        self.framework.driver.link_to_death(core, self.handle,
+                                            recipient)
+
+
+class ServiceManager:
+    """The context manager (handle 0): service name registry."""
+
+    def __init__(self) -> None:
+        self._services: Dict[str, int] = {}
+
+    def add_service(self, name: str, handle: int) -> None:
+        if name in self._services:
+            raise KernelError(f"service {name!r} already registered")
+        self._services[name] = handle
+
+    def get_service(self, name: str) -> int:
+        handle = self._services.get(name)
+        if handle is None:
+            raise KernelError(f"no service named {name!r}")
+        return handle
+
+
+class BinderFramework:
+    """The glue object applications see: SM + driver + marshal costs."""
+
+    name = "Binder"
+
+    def __init__(self, driver: BinderDriver) -> None:
+        self.driver = driver
+        self.params = driver.params
+        self.service_manager = ServiceManager()
+
+    # -- registration ------------------------------------------------------
+    def add_service(self, core: Core, service: BinderService) -> int:
+        handle = self.driver.register_node(
+            service.process, service.thread, service.on_transact)
+        service.handle = handle
+        self.service_manager.add_service(service.name, handle)
+        return handle
+
+    def get_service(self, core: Core, client: Thread,
+                    name: str) -> BinderProxy:
+        handle = self.service_manager.get_service(name)
+        return BinderProxy(self, client, handle, name)
+
+    # -- the data plane (overridden by the XPC framework) --------------------
+    def transact(self, core: Core, client: Thread, handle: int,
+                 code: int, data: Parcel) -> Parcel:
+        # Framework-side marshal cost on the way in ...
+        core.tick(int(len(data) * self.params.parcel_marshal_per_byte))
+        reply = self.driver.transact(core, client, handle, code, data)
+        # ... and unmarshal on the way back.
+        core.tick(int(len(reply) * self.params.parcel_marshal_per_byte))
+        return reply
+
+    # -- ashmem ------------------------------------------------------------
+    def ashmem_create(self, core: Core, process: Process,
+                      size: int) -> int:
+        return self.driver.ashmem.create(core, process, size,
+                                         use_relay=False)
+
+    def ashmem_mmap(self, core: Core, process: Process, fd: int) -> int:
+        return self.driver.ashmem.mmap(core, process, fd)

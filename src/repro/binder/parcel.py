@@ -1,0 +1,113 @@
+"""Parcels: Android's IPC marshaling containers.
+
+A Parcel serializes typed values into a flat byte buffer.  The format is
+a simple self-describing TLV stream (type tag + payload), enough to
+carry everything the Binder scenarios need: integers, strings, byte
+blobs, and file descriptors (for ashmem passing).
+"""
+
+from __future__ import annotations
+
+import struct
+from typing import List, Union
+
+_TAG_I32 = 1
+_TAG_I64 = 2
+_TAG_STR = 3
+_TAG_BLOB = 4
+_TAG_FD = 5
+
+
+class ParcelError(Exception):
+    """Malformed parcel data or read-past-end."""
+
+
+class Parcel:
+    """A write-then-read marshaling buffer (like android.os.Parcel)."""
+
+    def __init__(self, data: bytes = b"") -> None:
+        self._buf = bytearray(data)
+        self._read_pos = 0
+
+    # -- writers -----------------------------------------------------------
+    def write_i32(self, value: int) -> None:
+        self._buf += struct.pack("<Bi", _TAG_I32, value)
+
+    def write_i64(self, value: int) -> None:
+        self._buf += struct.pack("<Bq", _TAG_I64, value)
+
+    def write_string(self, value: str) -> None:
+        raw = value.encode("utf-8")
+        self._buf += struct.pack("<BI", _TAG_STR, len(raw)) + raw
+
+    def write_blob(self, value: bytes) -> None:
+        self._buf += struct.pack("<BI", _TAG_BLOB, len(value)) + value
+
+    def write_fd(self, fd: int) -> None:
+        """File descriptors are fixed up by the driver on transfer."""
+        self._buf += struct.pack("<Bi", _TAG_FD, fd)
+
+    # -- readers -----------------------------------------------------------
+    def _take(self, n: int) -> bytes:
+        if self._read_pos + n > len(self._buf):
+            raise ParcelError("read past end of parcel")
+        out = bytes(self._buf[self._read_pos:self._read_pos + n])
+        self._read_pos += n
+        return out
+
+    def _expect(self, tag: int) -> None:
+        got = self._take(1)[0]
+        if got != tag:
+            raise ParcelError(f"expected tag {tag}, found {got}")
+
+    def read_i32(self) -> int:
+        self._expect(_TAG_I32)
+        return struct.unpack("<i", self._take(4))[0]
+
+    def read_i64(self) -> int:
+        self._expect(_TAG_I64)
+        return struct.unpack("<q", self._take(8))[0]
+
+    def read_string(self) -> str:
+        self._expect(_TAG_STR)
+        n = struct.unpack("<I", self._take(4))[0]
+        return self._take(n).decode("utf-8")
+
+    def read_blob(self) -> bytes:
+        self._expect(_TAG_BLOB)
+        n = struct.unpack("<I", self._take(4))[0]
+        return self._take(n)
+
+    def read_fd(self) -> int:
+        self._expect(_TAG_FD)
+        return struct.unpack("<i", self._take(4))[0]
+
+    # -- plumbing ----------------------------------------------------------
+    def marshal(self) -> bytes:
+        return bytes(self._buf)
+
+    def fds(self) -> List[int]:
+        """Scan for FD slots (the driver rewrites these on transfer)."""
+        fds, pos = [], 0
+        buf = self._buf
+        while pos < len(buf):
+            tag = buf[pos]
+            pos += 1
+            if tag in (_TAG_I32, _TAG_FD):
+                if tag == _TAG_FD:
+                    fds.append(struct.unpack("<i", buf[pos:pos + 4])[0])
+                pos += 4
+            elif tag == _TAG_I64:
+                pos += 8
+            elif tag in (_TAG_STR, _TAG_BLOB):
+                n = struct.unpack("<I", buf[pos:pos + 4])[0]
+                pos += 4 + n
+            else:
+                raise ParcelError(f"corrupt parcel at offset {pos - 1}")
+        return fds
+
+    def rewind(self) -> None:
+        self._read_pos = 0
+
+    def __len__(self) -> int:
+        return len(self._buf)

@@ -1,0 +1,7 @@
+"""Prior-IPC-mechanism models (paper §7, Table 7)."""
+
+from repro.compare.mechanisms import (
+    MECHANISMS, Mechanism, by_name, table7_rows,
+)
+
+__all__ = ["MECHANISMS", "Mechanism", "by_name", "table7_rows"]

@@ -1,0 +1,132 @@
+"""The IPC-mechanism comparison of paper Table 7.
+
+Each prior system is modeled by its qualitative properties (address
+spaces, trap-free?, scheduler-free?, TOCTTOU-safe?, handover?,
+granularity) and a cost formula for an N-hop call chain moving an
+n-byte message: traps, scheduling, copies, and remap/TLB-shootdown
+costs.  The bench prints the table and a quantitative 3-hop latency
+ablation on top of it.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Callable, List
+
+from repro.params import CycleParams, DEFAULT_PARAMS
+
+TLB_SHOOTDOWN = 4000   # conservative cross-core shootdown cost
+
+
+@dataclass(frozen=True)
+class Mechanism:
+    """One row of Table 7."""
+
+    name: str
+    mech_type: str            # Baseline / Software / Hardware
+    addr_space: str           # Multi / Single / Hybrid
+    switch_description: str
+    wo_trap: bool             # domain switch without trapping
+    wo_sched: bool            # domain switch without scheduling
+    message_description: str
+    wo_tocttou: bool
+    handover: bool
+    granularity: str          # Byte / Page
+    copies: str               # formula, N = hops in the chain
+    copy_count: Callable[[int], int]       # hops -> number of copies
+    remap_count: Callable[[int], int] = staticmethod(lambda n: 0)
+
+    def chain_cycles(self, hops: int, nbytes: int,
+                     params: CycleParams = DEFAULT_PARAMS) -> int:
+        """Latency of an N-hop chain moving an n-byte message."""
+        cycles = 0
+        per_switch = 0
+        if not self.wo_trap:
+            per_switch += params.trap_enter + params.trap_restore
+        if not self.wo_sched:
+            per_switch += (params.sched_enqueue + params.sched_pick
+                           + params.context_switch)
+        per_switch += params.ipc_logic // 2   # residual check logic
+        if self.wo_trap:
+            per_switch = max(per_switch, params.xcall_base
+                             + params.tlb_flush)
+        cycles += hops * per_switch
+        cycles += self.copy_count(hops) * params.copy_cycles(nbytes)
+        cycles += self.remap_count(hops) * TLB_SHOOTDOWN
+        return cycles
+
+
+MECHANISMS: List[Mechanism] = [
+    Mechanism(
+        "Mach-3.0", "Baseline", "Multi", "Kernel schedule",
+        False, False, "Kernel copy", True, False, "Byte",
+        "2*N", lambda n: 2 * n),
+    Mechanism(
+        "LRPC", "Software", "Multi", "Protected proc call",
+        False, True, "Copy on A-stack", True, False, "Byte",
+        "2*N", lambda n: 2 * n),
+    Mechanism(
+        "Mach (94)", "Software", "Multi", "Migrating thread",
+        False, True, "Kernel copy", True, False, "Byte",
+        "N", lambda n: n),
+    Mechanism(
+        "Tornado", "Software", "Multi", "Protected proc call",
+        False, True, "Remapping page", True, False, "Page",
+        "0+delta", lambda n: 0, lambda n: n),
+    Mechanism(
+        "L4", "Software", "Multi", "Direct proc switch",
+        False, True, "Temporary mapping", True, False, "Byte",
+        "N", lambda n: n),
+    Mechanism(
+        "CrossOver", "Software", "Multi", "Direct EPT switch",
+        True, True, "Shared memory", False, False, "Page",
+        "N-1", lambda n: max(n - 1, 0)),
+    Mechanism(
+        "SkyBridge", "Software", "Multi", "Direct EPT switch",
+        True, True, "Shared memory", False, False, "Page",
+        "N-1", lambda n: max(n - 1, 0)),
+    Mechanism(
+        "Opal", "Hardware", "Single", "Domain register",
+        True, True, "Shared memory", False, False, "Page",
+        "N-1", lambda n: max(n - 1, 0)),
+    Mechanism(
+        "CHERI", "Hardware", "Hybrid", "Function call",
+        True, True, "Memory capability", False, True, "Byte",
+        "0", lambda n: 0),
+    Mechanism(
+        "CODOMs", "Hardware", "Single", "Function call",
+        True, True, "Cap reg + perm list", False, True, "Byte",
+        "0", lambda n: 0),
+    Mechanism(
+        "DTU", "Hardware", "Multi", "Explicit",
+        True, True, "DMA-style data copy", True, False, "Byte",
+        "2*N", lambda n: 2 * n),
+    Mechanism(
+        "MMP", "Hardware", "Multi", "Call gate",
+        False, True, "Mapping + grant perm", False, False, "Byte",
+        "0+delta", lambda n: 0, lambda n: n),
+    Mechanism(
+        "XPC", "Hardware", "Multi", "Cross process call",
+        True, True, "Relay segment", True, True, "Byte",
+        "0", lambda n: 0),
+]
+
+
+def by_name(name: str) -> Mechanism:
+    for mech in MECHANISMS:
+        if mech.name == name:
+            return mech
+    raise KeyError(f"no mechanism named {name!r}")
+
+
+def table7_rows():
+    """Yield Table 7's qualitative rows."""
+    for m in MECHANISMS:
+        yield (m.name, m.mech_type, m.addr_space,
+               m.switch_description,
+               "yes" if m.wo_trap else "no",
+               "yes" if m.wo_sched else "no",
+               m.message_description,
+               "yes" if m.wo_tocttou else "no",
+               "yes" if m.handover else "no",
+               m.granularity, m.copies)

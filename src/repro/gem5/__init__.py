@@ -1,0 +1,11 @@
+"""The gem5 ARM HPI generality experiment (paper §5.6, Tables 4-5)."""
+
+from repro.gem5.hpi import HPIConfig, HPIPipeline, Op
+from repro.gem5.trace import (
+    SEL4_FASTPATH_CALL, SEL4_FASTPATH_REPLY, XPC_XCALL, XPC_XRET, table5,
+)
+
+__all__ = [
+    "HPIConfig", "HPIPipeline", "Op", "SEL4_FASTPATH_CALL",
+    "SEL4_FASTPATH_REPLY", "XPC_XCALL", "XPC_XRET", "table5",
+]

@@ -1,0 +1,143 @@
+"""Physical memory and frame allocation.
+
+The machine's DRAM is a single ``bytearray``.  A bitmap-free free-list frame
+allocator hands out 4 KB frames; relay segments additionally need physically
+*contiguous* ranges (paper §3.3: "a memory region backed with continuous
+physical memory"), served by :meth:`FrameAllocator.alloc_contiguous`.
+"""
+
+from __future__ import annotations
+
+from typing import List
+
+PAGE_SIZE = 4096
+PAGE_SHIFT = 12
+
+
+class OutOfMemoryError(MemoryError):
+    """Raised when the frame allocator cannot satisfy a request."""
+
+
+class FrameAllocator:
+    """First-fit allocator over physical frames.
+
+    Keeps a sorted list of free ``(start_frame, nframes)`` extents so that
+    contiguous allocation (needed by relay segments) is first-fit over
+    extents, and single-frame allocation just peels off the first extent.
+    """
+
+    def __init__(self, total_frames: int, reserved_frames: int = 0) -> None:
+        if reserved_frames >= total_frames:
+            raise ValueError("reserved frames exceed physical memory")
+        self.total_frames = total_frames
+        self._extents: List[List[int]] = [
+            [reserved_frames, total_frames - reserved_frames]
+        ]
+        self.allocated = 0
+
+    @property
+    def free_frames(self) -> int:
+        return sum(n for _, n in self._extents)
+
+    def alloc(self) -> int:
+        """Allocate one frame; return its frame number."""
+        return self.alloc_contiguous(1)
+
+    def alloc_contiguous(self, nframes: int) -> int:
+        """Allocate *nframes* physically contiguous frames (first fit)."""
+        if nframes <= 0:
+            raise ValueError("nframes must be positive")
+        for extent in self._extents:
+            start, size = extent
+            if size >= nframes:
+                extent[0] = start + nframes
+                extent[1] = size - nframes
+                if extent[1] == 0:
+                    self._extents.remove(extent)
+                self.allocated += nframes
+                return start
+        raise OutOfMemoryError(
+            f"no contiguous run of {nframes} frames "
+            f"({self.free_frames} free in {len(self._extents)} extents)"
+        )
+
+    def free(self, start_frame: int, nframes: int = 1) -> None:
+        """Return frames to the free list, coalescing neighbours."""
+        if nframes <= 0:
+            raise ValueError("nframes must be positive")
+        end = start_frame + nframes
+        for s, n in self._extents:
+            if start_frame < s + n and s < end:
+                raise ValueError(
+                    f"double free of frames [{start_frame}, {end})"
+                )
+        self._extents.append([start_frame, nframes])
+        self._extents.sort()
+        merged: List[List[int]] = []
+        for ext in self._extents:
+            if merged and merged[-1][0] + merged[-1][1] == ext[0]:
+                merged[-1][1] += ext[1]
+            else:
+                merged.append(ext)
+        self._extents = merged
+        self.allocated -= nframes
+
+
+class PhysicalMemory:
+    """Byte-addressable DRAM plus its frame allocator."""
+
+    def __init__(self, size: int = 256 * 1024 * 1024,
+                 reserved_bytes: int = PAGE_SIZE) -> None:
+        if size % PAGE_SIZE:
+            raise ValueError("memory size must be page aligned")
+        self.size = size
+        self._data = bytearray(size)
+        self.allocator = FrameAllocator(
+            size // PAGE_SIZE, reserved_bytes // PAGE_SIZE
+        )
+
+    # -- raw access (no timing; timing is charged by the Core) ----------
+    def read(self, pa: int, n: int) -> bytes:
+        self._check(pa, n)
+        return bytes(self._data[pa:pa + n])
+
+    def write(self, pa: int, data: bytes) -> None:
+        self._check(pa, len(data))
+        self._data[pa:pa + len(data)] = data
+
+    def copy(self, dst_pa: int, src_pa: int, n: int) -> None:
+        """Physical memmove (used by kernels and DMA models)."""
+        self._check(src_pa, n)
+        self._check(dst_pa, n)
+        self._data[dst_pa:dst_pa + n] = self._data[src_pa:src_pa + n]
+
+    def fill(self, pa: int, n: int, byte: int = 0) -> None:
+        self._check(pa, n)
+        self._data[pa:pa + n] = bytes([byte]) * n
+
+    def _check(self, pa: int, n: int) -> None:
+        if pa < 0 or n < 0 or pa + n > self.size:
+            raise IndexError(f"physical access [{pa:#x}, +{n}) out of range")
+
+    # -- allocation ------------------------------------------------------
+    def alloc_page(self) -> int:
+        """Allocate one zeroed page; return its physical address."""
+        frame = self.allocator.alloc()
+        pa = frame << PAGE_SHIFT
+        self.fill(pa, PAGE_SIZE)
+        return pa
+
+    def alloc_contiguous(self, nbytes: int) -> int:
+        """Allocate a zeroed, physically contiguous, page-aligned range."""
+        nframes = (nbytes + PAGE_SIZE - 1) // PAGE_SIZE
+        frame = self.allocator.alloc_contiguous(nframes)
+        pa = frame << PAGE_SHIFT
+        self.fill(pa, nframes * PAGE_SIZE)
+        return pa
+
+    def free_page(self, pa: int) -> None:
+        self.allocator.free(pa >> PAGE_SHIFT)
+
+    def free_contiguous(self, pa: int, nbytes: int) -> None:
+        nframes = (nbytes + PAGE_SIZE - 1) // PAGE_SIZE
+        self.allocator.free(pa >> PAGE_SHIFT, nframes)

@@ -1,0 +1,96 @@
+"""Set-associative TLB with optional ASID tagging.
+
+The paper's RocketChip platform has an *untagged* TLB ("the RocketChip does
+not support tagged TLB yet", §5.2), so every address-space switch flushes and
+costs ~40 cycles of flush/refill penalty; the "+Tagged TLB" optimization in
+Figure 5 removes that.  Both modes are modeled here.
+"""
+
+from __future__ import annotations
+
+from collections import OrderedDict
+from dataclasses import dataclass, field
+from typing import Optional, Tuple
+
+from repro.hw.memory import PAGE_SHIFT
+from repro.hw.paging import PagePerm
+
+
+@dataclass
+class TLBStats:
+    hits: int = 0
+    misses: int = 0
+    flushes: int = 0
+
+    @property
+    def accesses(self) -> int:
+        return self.hits + self.misses
+
+    @property
+    def hit_rate(self) -> float:
+        return self.hits / self.accesses if self.accesses else 0.0
+
+
+class TLB:
+    """LRU set-associative TLB.
+
+    Entries map ``(asid, vpn)`` -> ``(ppn, perm)``.  In untagged mode the
+    ASID field is ignored (always stored as 0) and :meth:`flush_all` must be
+    called on every address-space switch.
+    """
+
+    def __init__(self, entries: int = 256, ways: int = 4,
+                 tagged: bool = False) -> None:
+        if entries % ways:
+            raise ValueError("entries must divide evenly into ways")
+        self.sets = entries // ways
+        self.ways = ways
+        self.tagged = tagged
+        self._sets = [OrderedDict() for _ in range(self.sets)]
+        self.stats = TLBStats()
+
+    def _key(self, vpn: int, asid: int) -> Tuple[int, int]:
+        return (asid if self.tagged else 0, vpn)
+
+    def lookup(self, va: int, asid: int) -> Optional[Tuple[int, PagePerm]]:
+        vpn = va >> PAGE_SHIFT
+        tset = self._sets[vpn % self.sets]
+        key = self._key(vpn, asid)
+        entry = tset.get(key)
+        if entry is None:
+            self.stats.misses += 1
+            return None
+        tset.move_to_end(key)
+        self.stats.hits += 1
+        return entry
+
+    def insert(self, va: int, asid: int, pa_page: int,
+               perm: PagePerm) -> None:
+        vpn = va >> PAGE_SHIFT
+        tset = self._sets[vpn % self.sets]
+        key = self._key(vpn, asid)
+        if key in tset:
+            tset.move_to_end(key)
+        elif len(tset) >= self.ways:
+            tset.popitem(last=False)
+        tset[key] = (pa_page, perm)
+
+    def invalidate(self, va: int, asid: int) -> None:
+        """Invalidate one translation (all ASIDs in untagged mode)."""
+        vpn = va >> PAGE_SHIFT
+        tset = self._sets[vpn % self.sets]
+        tset.pop(self._key(vpn, asid), None)
+
+    def flush_all(self) -> None:
+        for tset in self._sets:
+            tset.clear()
+        self.stats.flushes += 1
+
+    def flush_asid(self, asid: int) -> None:
+        if not self.tagged:
+            self.flush_all()
+            return
+        for tset in self._sets:
+            for key in [k for k in tset if k[0] == asid]:
+                del tset[key]
+        self.stats.flushes += 1

@@ -1,0 +1,11 @@
+"""FPGA resource-cost model (paper §5.7, Table 6)."""
+
+from repro.hwcost.resources import (
+    FREEDOM_BASELINE, Component, CostReport, estimate,
+    xpc_engine_components,
+)
+
+__all__ = [
+    "FREEDOM_BASELINE", "Component", "CostReport", "estimate",
+    "xpc_engine_components",
+]

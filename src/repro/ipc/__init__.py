@@ -1,0 +1,18 @@
+"""Kernel-neutral IPC transport layer.
+
+The paper evaluates the *same* user-level services (file system, network
+stack, SQLite, HTTP server) on five systems: seL4, seL4-XPC, Zircon,
+Zircon-XPC, and Android Binder / Binder-XPC.  This package defines the
+transport interface those services are written against, so each service
+is implemented once and measured on every kernel personality.
+"""
+
+from repro.ipc.transport import (
+    Transport, Payload, CopiedPayload, RelayPayload, ServerRegistration,
+)
+from repro.ipc.xpc_transport import XPCTransport
+
+__all__ = [
+    "Transport", "Payload", "CopiedPayload", "RelayPayload",
+    "ServerRegistration", "XPCTransport",
+]

@@ -1,0 +1,11 @@
+"""Common OS substrate shared by the seL4, Zircon, and Binder models."""
+
+from repro.kernel.objects import KernelObject, Right
+from repro.kernel.process import Process, Thread
+from repro.kernel.scheduler import Scheduler
+from repro.kernel.kernel import BaseKernel, KernelError
+
+__all__ = [
+    "KernelObject", "Right", "Process", "Thread", "Scheduler",
+    "BaseKernel", "KernelError",
+]

@@ -1,0 +1,287 @@
+"""BaseKernel: the XPC control plane (paper §3, §4.1, §4.2, §4.4).
+
+The kernel owns the four XPC object families —
+
+  1. the global x-entry table,
+  2. per-thread link stacks,
+  3. per-thread xcall capability bitmaps,
+  4. per-address-space relay-segment lists,
+
+— and implements the software side of the design: x-entry registration,
+grant-cap propagation, relay-segment creation (physically contiguous, and
+*never* overlapping any page-table mapping, so no TLB shootdown is ever
+needed), process termination (link-stack invalidation, lazy page-table
+zap, segment revocation), and the exception repair path for returns into
+dead processes.
+
+Kernel personalities (seL4-like, Zircon-like, Linux/Binder-like) subclass
+this with their own IPC data planes.
+"""
+
+from __future__ import annotations
+
+from typing import Callable, Dict, List, Optional, Tuple
+
+from repro.hw.cpu import Core, TrapCause
+from repro.hw.machine import Machine
+from repro.hw.memory import PAGE_SIZE
+from repro.hw.paging import AddressSpace, PagePerm
+from repro.kernel.process import Process, Thread
+from repro.kernel.scheduler import Scheduler
+from repro.xpc.engine import XPCEngine
+from repro.xpc.entry import XEntry
+from repro.xpc.relayseg import RelaySegment, SegReg, SEG_INVALID
+
+#: Relay segments live in a reserved VA region that the kernel never hands
+#: to mmap, guaranteeing the no-overlap invariant of §3.3.
+RELAY_VA_BASE = 0x0000_7000_0000_0000
+
+#: Control-plane costs (registration/grant are cold-path syscalls).
+_REGISTER_LOGIC = 180
+_GRANT_LOGIC = 90
+_SEG_CREATE_PER_PAGE = 12
+
+
+class KernelError(Exception):
+    """A kernel-level policy violation (not a hardware exception)."""
+
+
+class BaseKernel:
+    """Common control plane for every kernel personality."""
+
+    def __init__(self, machine: Machine, name: str = "kernel") -> None:
+        self.machine = machine
+        self.params = machine.params
+        self.name = name
+        self.scheduler = Scheduler(self.params)
+        self.processes: List[Process] = []
+        self.threads: List[Thread] = []
+        self.relay_segments: List[RelaySegment] = []
+        self._relay_va_cursor = RELAY_VA_BASE
+        self.ipc_stats: Dict[str, int] = {"calls": 0, "bytes": 0}
+        #: Subsystems (e.g. the Binder driver) that want to know when a
+        #: process dies — callables taking the dead Process.
+        self.death_hooks: List[Callable] = []
+
+    # ------------------------------------------------------------------
+    # Processes & threads
+    # ------------------------------------------------------------------
+    def create_process(self, name: str = "") -> Process:
+        aspace = AddressSpace(self.machine.memory, name)
+        process = Process(aspace, name)
+        self.processes.append(process)
+        return process
+
+    def create_thread(self, process: Process, name: str = "") -> Thread:
+        """Create a thread and its per-thread XPC objects (§4.1)."""
+        if not process.alive:
+            raise KernelError(f"{process} is dead")
+        thread = Thread(process, name)
+        self.threads.append(thread)
+        return thread
+
+    def run_thread(self, core: Core, thread: Thread) -> None:
+        """Dispatch *thread* onto *core*, installing its XPC registers."""
+        if not thread.alive:
+            raise KernelError(f"{thread} is dead")
+        core.current_thread = thread
+        core.set_address_space(thread.process.aspace, charge=False)
+        engine = self._engine(core)
+        if engine is not None:
+            engine.bind(thread, thread.xpc)
+
+    def _engine(self, core: Core) -> Optional[XPCEngine]:
+        return core.xpc_engine
+
+    # ------------------------------------------------------------------
+    # x-entry registration and capabilities (control plane, §4.2)
+    # ------------------------------------------------------------------
+    def register_xentry(self, core: Core, server_thread: Thread,
+                        handler: Callable, max_contexts: int = 1) -> XEntry:
+        """Syscall: register *handler* as an x-entry of the server.
+
+        The registering process receives the grant-cap for the new entry.
+        """
+        table = self.machine.xentry_table
+        if table is None:
+            raise KernelError("machine has no XPC engine")
+        core.trap(TrapCause.SYSCALL)
+        core.tick(_REGISTER_LOGIC)
+        process = server_thread.process
+        entry = table.register(
+            aspace=process.aspace,
+            handler=handler,
+            handler_thread=server_thread,
+            max_contexts=max_contexts,
+            owner_process=process,
+            callee_state=server_thread.home_caps,
+        )
+        process.grant_caps.add(entry.entry_id)
+        process.xentries.append(entry.entry_id)
+        core.trap_return()
+        return entry
+
+    def grant_xcall_cap(self, core: Core, granter: Process,
+                        grantee: Thread, entry_id: int,
+                        with_grant: bool = False) -> None:
+        """Syscall: grant ``xcall-cap`` for *entry_id* to *grantee*.
+
+        Requires the granter to hold the grant-cap (§4.2); ``with_grant``
+        additionally propagates the grant-cap itself.
+        """
+        core.trap(TrapCause.SYSCALL)
+        core.tick(_GRANT_LOGIC)
+        try:
+            if entry_id not in granter.grant_caps:
+                raise KernelError(
+                    f"{granter} holds no grant-cap for x-entry {entry_id}"
+                )
+            grantee.home_caps.grant(entry_id)
+            if with_grant:
+                grantee.process.grant_caps.add(entry_id)
+        finally:
+            core.trap_return()
+
+    def revoke_xcall_cap(self, thread: Thread, entry_id: int) -> None:
+        thread.home_caps.revoke(entry_id)
+
+    def remove_xentry(self, core: Core, process: Process,
+                      entry_id: int) -> None:
+        """Syscall: unregister an x-entry owned by *process*."""
+        core.trap(TrapCause.SYSCALL)
+        try:
+            if entry_id not in process.xentries:
+                raise KernelError(
+                    f"{process} does not own x-entry {entry_id}"
+                )
+            self.machine.xentry_table.remove(entry_id)
+            process.xentries.remove(entry_id)
+            process.grant_caps.discard(entry_id)
+            for engine in self.machine.engines:
+                if engine.cache is not None:
+                    engine.cache.evict(entry_id)
+        finally:
+            core.trap_return()
+
+    # ------------------------------------------------------------------
+    # Relay segments (§3.3, §4.4)
+    # ------------------------------------------------------------------
+    def create_relay_seg(self, core: Core, process: Process,
+                         nbytes: int) -> Tuple[RelaySegment, int]:
+        """Syscall: allocate a relay segment and park it in the seg-list.
+
+        Returns ``(segment, seg_list_slot)``.  The VA range comes from the
+        kernel-reserved relay region, so it can never collide with a
+        page-table mapping in *any* address space.
+        """
+        if nbytes <= 0:
+            raise KernelError("relay segment size must be positive")
+        core.trap(TrapCause.SYSCALL)
+        npages = (nbytes + PAGE_SIZE - 1) // PAGE_SIZE
+        core.tick(npages * _SEG_CREATE_PER_PAGE)
+        size = npages * PAGE_SIZE
+        pa = self.machine.memory.alloc_contiguous(size)
+        va = self._relay_va_cursor
+        self._relay_va_cursor += size + PAGE_SIZE
+        seg = RelaySegment(pa, va, size, PagePerm.RW, process)
+        self.relay_segments.append(seg)
+        slot = self._free_slot(process)
+        process.seg_list.store(slot, SegReg.for_segment(seg))
+        core.trap_return()
+        return seg, slot
+
+    def _free_slot(self, process: Process) -> int:
+        used = {i for i, _ in process.seg_list.segments()}
+        for i in range(process.seg_list.slots):
+            if i not in used:
+                return i
+        raise KernelError("seg-list full")
+
+    def activate_relay_seg(self, core: Core, thread: Thread,
+                           slot: int) -> None:
+        """Install the parked segment in *slot* as the thread's seg-reg.
+
+        This is the user-mode ``swapseg`` path; the kernel only sets it up
+        the first time (thereafter user code swaps without trapping).
+        """
+        engine = self._engine(core)
+        engine.swapseg(slot)
+
+    def free_relay_seg(self, core: Core, seg: RelaySegment) -> None:
+        """Syscall: destroy a relay segment and reclaim its memory."""
+        core.trap(TrapCause.SYSCALL)
+        try:
+            if seg.active_owner is not None:
+                raise KernelError("cannot free an active relay segment")
+            seg.revoked = True
+            self.machine.memory.free_contiguous(seg.pa_base, seg.length)
+            self.relay_segments.remove(seg)
+        finally:
+            core.trap_return()
+
+    # ------------------------------------------------------------------
+    # Process termination (§4.2, §4.4)
+    # ------------------------------------------------------------------
+    def kill_process(self, process: Process, lazy: bool = True) -> None:
+        """Terminate *process*.
+
+        ``lazy=True`` is the paper's optimization: zero the top-level page
+        table and let later returns fault into the kernel; ``lazy=False``
+        eagerly scans every link stack and invalidates the process's
+        linkage records.  Either way the process's relay segments are
+        revoked, with caller-owned segments left to their callers.
+        """
+        process.alive = False
+        for thread in process.threads:
+            thread.alive = False
+            thread.sched.runnable = False
+        if lazy:
+            process.aspace.page_table.zap()
+        else:
+            for thread in self.threads:
+                thread.xpc.link_stack.invalidate_records_of(process.aspace)
+        # Revoke the entries it served.
+        for entry_id in list(process.xentries):
+            entry = self.machine.xentry_table.peek(entry_id)
+            if entry is not None:
+                entry.valid = False
+        # Segment revocation (§4.4): segments owned by the dead process
+        # are revoked; a segment whose active owner is another (live)
+        # thread stays with that caller.
+        for _, window in list(process.seg_list.segments()):
+            seg = window.segment
+            owner = seg.active_owner
+            if seg.owner_process is process and (
+                    owner is None or getattr(owner, "process", None)
+                    is process):
+                seg.revoked = True
+        for hook in self.death_hooks:
+            hook(process)
+
+    def repair_return(self, core: Core, thread: Thread):
+        """Handle an ``xret`` that faulted on a dead-process record.
+
+        Pops invalidated/dead linkage records until a live caller is
+        found, then restores it and reports a timeout error to it —
+        exactly the A→B→C recovery of §4.2.  Returns the restored record,
+        or None if the whole chain is gone.
+        """
+        core.trap(TrapCause.XPC_EXCEPTION)
+        stack = thread.xpc.link_stack
+        restored = None
+        while stack.depth:
+            record = stack.peek()
+            alive = (record.valid
+                     and getattr(record.caller_thread, "alive", True))
+            # Pop the record regardless; hardware pop semantics.
+            stack._records.pop()
+            if alive:
+                restored = record
+                break
+        if restored is not None:
+            thread.xpc.seg_reg = restored.seg_reg
+            thread.xpc.seg_mask = restored.seg_mask
+            thread.xpc.cap_bitmap = restored.caller_state
+            core.set_address_space(restored.caller_aspace)
+        core.trap_return()
+        return restored

@@ -1,0 +1,31 @@
+"""Generic kernel objects and access rights."""
+
+from __future__ import annotations
+
+import enum
+import itertools
+
+
+class Right(enum.IntFlag):
+    """Access rights attached to capabilities/handles."""
+
+    NONE = 0
+    READ = 1
+    WRITE = 2
+    SEND = 4
+    RECV = 8
+    GRANT = 16
+    ALL = READ | WRITE | SEND | RECV | GRANT
+
+
+class KernelObject:
+    """Base class for anything a capability or handle can point at."""
+
+    _ids = itertools.count(1)
+
+    def __init__(self, name: str = "") -> None:
+        self.koid = next(KernelObject._ids)
+        self.name = name or f"{type(self).__name__}-{self.koid}"
+
+    def __repr__(self) -> str:
+        return f"<{type(self).__name__} koid={self.koid} {self.name!r}>"

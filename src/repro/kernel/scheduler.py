@@ -1,0 +1,61 @@
+"""A round-robin scheduler with cycle-accounted queue operations.
+
+Used by the Zircon model on every channel round trip (Zircon "does not
+optimize the scheduling in the IPC path", paper §5.2) and by the seL4
+slow path.  The fast paths — seL4 fastpath and XPC — bypass it entirely.
+"""
+
+from __future__ import annotations
+
+from collections import deque
+from typing import Deque, Optional
+
+from repro.hw.cpu import Core
+from repro.kernel.process import Thread
+from repro.params import CycleParams
+
+
+class Scheduler:
+    """Per-machine run queue (one logical queue keeps the model simple)."""
+
+    def __init__(self, params: CycleParams) -> None:
+        self.params = params
+        self._queue: Deque[Thread] = deque()
+        self.enqueues = 0
+        self.switches = 0
+
+    def enqueue(self, core: Core, thread: Thread) -> None:
+        """Make *thread* runnable (charges run-queue manipulation)."""
+        thread.sched.runnable = True
+        self._queue.append(thread)
+        self.enqueues += 1
+        core.tick(self.params.sched_enqueue)
+
+    def block(self, core: Core, thread: Thread) -> None:
+        """Block *thread* (dequeue if queued)."""
+        thread.sched.runnable = False
+        try:
+            self._queue.remove(thread)
+        except ValueError:
+            pass
+        core.tick(self.params.sched_enqueue)
+
+    def pick_next(self, core: Core) -> Optional[Thread]:
+        """Pop the next runnable thread (charges the pick cost)."""
+        core.tick(self.params.sched_pick)
+        while self._queue:
+            thread = self._queue.popleft()
+            if thread.sched.runnable and thread.alive:
+                return thread
+        return None
+
+    def context_switch(self, core: Core, to_thread: Thread) -> None:
+        """Full context switch to *to_thread* on *core*."""
+        self.switches += 1
+        core.tick(self.params.context_switch)
+        core.current_thread = to_thread
+        core.set_address_space(to_thread.process.aspace)
+
+    @property
+    def queued(self) -> int:
+        return len(self._queue)

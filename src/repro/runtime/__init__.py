@@ -1,0 +1,11 @@
+"""User-level XPC runtime library (paper §3.1 programming model, §4.2)."""
+
+from repro.runtime.xpclib import (
+    XPCService, XPCCallContext, XPCBusyError, xpc_call, RelayBuffer,
+)
+from repro.runtime.negotiation import SizeNode, negotiate_size
+
+__all__ = [
+    "XPCService", "XPCCallContext", "XPCBusyError", "xpc_call",
+    "RelayBuffer", "SizeNode", "negotiate_size",
+]

@@ -1,0 +1,14 @@
+"""A seL4-like microkernel: capability spaces, synchronous endpoints,
+notifications, fast-path/slow-path IPC — plus the seL4-XPC port."""
+
+from repro.sel4.caps import Capability, CapType, CSpace, CapError
+from repro.sel4.endpoint import Endpoint
+from repro.sel4.notification import Notification, WouldBlock
+from repro.sel4.kernel import Sel4Kernel, IPCBreakdown
+from repro.sel4.xpcglue import Sel4Transport, Sel4XPCTransport
+
+__all__ = [
+    "Capability", "CapType", "CSpace", "CapError", "Endpoint",
+    "Notification", "WouldBlock", "Sel4Kernel", "IPCBreakdown",
+    "Sel4Transport", "Sel4XPCTransport",
+]

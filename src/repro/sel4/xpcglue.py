@@ -1,0 +1,65 @@
+"""seL4 transports: the baseline endpoint path and the seL4-XPC port.
+
+:class:`Sel4Transport` drives :meth:`Sel4Kernel.ipc_call` (fast/slow
+path + shared memory, one or two copies).  :class:`Sel4XPCTransport` is
+the paper's seL4-XPC port (§5.1): servers register x-entries through the
+XPC library and clients ``xcall`` directly — no kernel trap, no copy.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, Tuple
+
+from repro.hw.cpu import Core
+from repro.ipc.transport import ServerRegistration, Transport
+from repro.ipc.xpc_transport import XPCTransport
+from repro.kernel.objects import Right
+from repro.kernel.process import Thread
+from repro.sel4.kernel import Sel4Kernel
+
+
+class Sel4Transport(Transport):
+    """Baseline seL4 endpoint IPC (copies = 1 → seL4-onecopy, 2 → two)."""
+
+    def __init__(self, kernel: Sel4Kernel, core: Core,
+                 client_thread: Thread, copies: int = 2) -> None:
+        super().__init__()
+        self.kernel = kernel
+        self.core = core
+        self.client_thread = client_thread
+        self.copies = copies
+        self.name = f"seL4-{'one' if copies == 1 else 'two'}copy"
+        self._client_slots: Dict[int, int] = {}
+
+    def _bind(self, reg: ServerRegistration) -> None:
+        server_slot = self.kernel.create_endpoint(
+            reg.server_process, reg.name)
+        self.kernel.bind_endpoint(
+            reg.server_process, server_slot, reg.server_thread,
+            reg.handler)
+        client_slot = self.kernel.mint_endpoint_cap(
+            reg.server_process, server_slot,
+            self.client_thread.process, Right.SEND)
+        self._client_slots[reg.sid] = client_slot
+
+    def call(self, sid: int, meta: tuple = (), payload: bytes = b"",
+             reply_capacity: int = 0,
+             cross_core: bool = False,
+             window_slice=None) -> Tuple[tuple, bytes]:
+        self._reg(sid)  # validate the service id
+        self.call_count += 1
+        self.bytes_moved += len(payload)
+        slot = self._client_slots[sid]
+        self.kernel.run_thread(self.core, self.client_thread)
+        result = self.kernel.ipc_call(
+            self.core, self.client_thread, slot, meta, payload,
+            reply_capacity=reply_capacity, copies=self.copies,
+            cross_core=cross_core)
+        self.ipc_cycles += self.kernel.last_mech_cycles
+        return result
+
+
+class Sel4XPCTransport(XPCTransport):
+    """The seL4-XPC port: pure XPC data plane on the seL4 kernel."""
+
+    name = "seL4-XPC"

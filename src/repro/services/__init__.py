@@ -1,0 +1,6 @@
+"""User-level servers: file system, network, crypto, file cache, names."""
+
+from repro.services.filecache import FileCacheClient, FileCacheServer
+from repro.services.nameserver import NameServer
+
+__all__ = ["FileCacheClient", "FileCacheServer", "NameServer"]

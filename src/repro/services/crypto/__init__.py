@@ -1,0 +1,8 @@
+"""AES-128 and the encryption server of the web-server evaluation."""
+
+from repro.services.crypto.aes import AES128
+from repro.services.crypto.server import (
+    AES_CYCLES_PER_BYTE, CryptoClient, CryptoServer,
+)
+
+__all__ = ["AES128", "AES_CYCLES_PER_BYTE", "CryptoClient", "CryptoServer"]

@@ -1,0 +1,110 @@
+"""The in-memory file-cache server of the web-server evaluation.
+
+"An in-memory file cache server which is used to cache the HTML files
+in both modes" (paper §5.4).  A plain LRU byte-store behind an IPC
+boundary; the HTTP server asks it for files before hitting the FS.
+"""
+
+from __future__ import annotations
+
+from collections import OrderedDict
+from typing import Optional, Tuple
+
+from repro.ipc.transport import Payload, RelayPayload, Transport
+
+OP_GET = "get"
+OP_PUT = "put"
+OP_DEL = "del"
+OP_STATS = "stats"
+
+#: Server-side lookup cost.
+LOOKUP_CYCLES = 90
+
+
+class FileCacheServer:
+    """LRU cache of path -> bytes, over IPC."""
+
+    def __init__(self, transport: Transport, server_process,
+                 server_thread, capacity_bytes: int = 4 * 1024 * 1024,
+                 name: str = "filecache") -> None:
+        self.transport = transport
+        self.capacity = capacity_bytes
+        self._store: OrderedDict[str, bytes] = OrderedDict()
+        self._used = 0
+        self.hits = 0
+        self.misses = 0
+        self.sid = transport.register(
+            name, self._handle, server_process, server_thread)
+
+    def _handle(self, meta: tuple, payload: Payload):
+        op = meta[0]
+        self.transport.core.tick(LOOKUP_CYCLES)
+        if op == OP_GET:
+            data = self._get(meta[1])
+            if data is None:
+                self.misses += 1
+                return (-1, "miss"), None
+            self.hits += 1
+            if isinstance(payload, RelayPayload):
+                payload.write(data, 0)
+                # Serving from cache into the window is one real copy.
+                self.transport.core.tick(
+                    self.transport.kernel.params.copy_cycles(len(data)))
+                return (0, len(data)), len(data)
+            return (0, len(data)), data
+        if op == OP_PUT:
+            self._put(meta[1], payload.read(meta[2]))
+            return (0,), None
+        if op == OP_DEL:
+            self._evict(meta[1])
+            return (0,), None
+        if op == OP_STATS:
+            return (self.hits, self.misses, self._used), None
+        return (-1, f"unknown cache op {op!r}"), None
+
+    def _get(self, path: str) -> Optional[bytes]:
+        data = self._store.get(path)
+        if data is not None:
+            self._store.move_to_end(path)
+        return data
+
+    def _put(self, path: str, data: bytes) -> None:
+        self._evict(path)
+        while self._used + len(data) > self.capacity and self._store:
+            _, old = self._store.popitem(last=False)
+            self._used -= len(old)
+        if len(data) <= self.capacity:
+            self._store[path] = data
+            self._used += len(data)
+
+    def _evict(self, path: str) -> None:
+        old = self._store.pop(path, None)
+        if old is not None:
+            self._used -= len(old)
+
+
+class FileCacheClient:
+    """Stub for the file-cache server."""
+
+    def __init__(self, transport: Transport,
+                 sid: Optional[int] = None,
+                 name: str = "filecache") -> None:
+        self.transport = transport
+        self.sid = sid if sid is not None else transport.lookup(name)
+
+    def get(self, path: str,
+            expected_size: int = 64 * 1024) -> Optional[bytes]:
+        meta, data = self.transport.call(
+            self.sid, (OP_GET, path), reply_capacity=expected_size)
+        if meta[0] != 0:
+            return None
+        return data[:meta[1]]
+
+    def put(self, path: str, data: bytes) -> None:
+        self.transport.call(self.sid, (OP_PUT, path, len(data)), data)
+
+    def delete(self, path: str) -> None:
+        self.transport.call(self.sid, (OP_DEL, path))
+
+    def stats(self) -> Tuple[int, int, int]:
+        return self.transport.call(self.sid, (OP_STATS,))[0]

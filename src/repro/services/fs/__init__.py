@@ -1,0 +1,19 @@
+"""The microkernel file-system stack: block-device server, write-ahead
+log, xv6fs, buffer cache, and the IPC-facing FS server (paper §5.3)."""
+
+from repro.services.fs.blockdev import (
+    BSIZE, BlockClient, BlockDeviceError, BlockServer, RamDisk,
+)
+from repro.services.fs.cache import BufferCache
+from repro.services.fs.log import Log, LogFullError, LOG_MAX_BLOCKS
+from repro.services.fs.xv6fs import FSError, Inode, SuperBlock, Xv6FS
+from repro.services.fs.server import (
+    FSClient, FSServer, build_fs_stack,
+)
+
+__all__ = [
+    "BSIZE", "BlockClient", "BlockDeviceError", "BlockServer", "RamDisk",
+    "BufferCache", "Log", "LogFullError", "LOG_MAX_BLOCKS",
+    "FSError", "Inode", "SuperBlock", "Xv6FS",
+    "FSClient", "FSServer", "build_fs_stack",
+]

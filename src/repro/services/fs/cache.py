@@ -1,0 +1,64 @@
+"""A small write-through buffer cache in the FS server.
+
+Sits between the log/file-system code and the block-device *client*, so
+repeated metadata reads don't cross the IPC boundary; every write still
+goes straight to the device (write-through), keeping the crash model
+honest.
+"""
+
+from __future__ import annotations
+
+from collections import OrderedDict
+
+from repro.services.fs.blockdev import BlockClient
+
+
+class BufferCache:
+    """LRU block cache with the BlockClient interface."""
+
+    def __init__(self, dev: BlockClient, capacity: int = 64) -> None:
+        if capacity <= 0:
+            raise ValueError("cache capacity must be positive")
+        self.dev = dev
+        self.capacity = capacity
+        self.block_size = dev.block_size
+        self.nblocks = dev.nblocks
+        self._cache: OrderedDict[int, bytes] = OrderedDict()
+        self.hits = 0
+        self.misses = 0
+        #: Blocks at or beyond this number are never cached (the FS
+        #: server sets it to the data-area start so bulk file data
+        #: streams through while metadata stays hot).
+        self.no_cache_from: int = 1 << 62
+
+    def bread(self, blockno: int) -> bytes:
+        data = self._cache.get(blockno)
+        if data is not None:
+            self._cache.move_to_end(blockno)
+            self.hits += 1
+            return data
+        self.misses += 1
+        data = self.dev.bread(blockno)
+        self._insert(blockno, data)
+        return data
+
+    def bwrite(self, blockno: int, data: bytes) -> None:
+        self.dev.bwrite(blockno, data)   # write-through
+        self._insert(blockno, data)
+
+    def flush(self) -> None:
+        self.dev.flush()
+
+    def invalidate(self) -> None:
+        """Drop everything (used after a simulated crash/reboot)."""
+        self._cache.clear()
+
+    def _insert(self, blockno: int, data: bytes) -> None:
+        if blockno >= self.no_cache_from:
+            self._cache.pop(blockno, None)
+            return
+        if blockno in self._cache:
+            self._cache.move_to_end(blockno)
+        elif len(self._cache) >= self.capacity:
+            self._cache.popitem(last=False)
+        self._cache[blockno] = data

@@ -1,0 +1,126 @@
+"""The xv6fs write-ahead log (paper §5.3: "a log-based file system
+named xv6fs from fscq").
+
+Transactions follow the classic xv6 protocol:
+
+1. ``begin_op`` / ``end_op`` bracket a system call; dirty blocks are
+   absorbed in memory via ``log_write``;
+2. commit copies every dirty block into the on-disk log area, then
+   writes the log header (the commit point), then installs the blocks
+   to their home locations, then clears the header.
+
+A crash before the header write loses the transaction but never
+corrupts the file system; a crash after it is repaired by
+:meth:`Log.recover` on the next mount.  The property tests in
+``tests/services/test_log_crash.py`` exercise exactly this invariant
+with fault injection at every possible write.
+"""
+
+from __future__ import annotations
+
+import struct
+from typing import Dict, List
+
+from repro.services.fs.blockdev import BlockClient
+
+LOG_MAX_BLOCKS = 63  # log data blocks per transaction window
+
+
+class LogFullError(Exception):
+    """Transaction exceeded the log window."""
+
+
+class Log:
+    """The in-memory side of the on-disk log."""
+
+    def __init__(self, dev: BlockClient, logstart: int,
+                 nlog: int = LOG_MAX_BLOCKS + 1) -> None:
+        self.dev = dev
+        self.logstart = logstart          # header block
+        self.capacity = nlog - 1          # data blocks after the header
+        self._pending: Dict[int, bytes] = {}
+        self._order: List[int] = []
+        self.outstanding = 0
+        self.committed_transactions = 0
+        self.recover()
+
+    # ------------------------------------------------------------------
+    # Transaction bracketing
+    # ------------------------------------------------------------------
+    def begin_op(self) -> None:
+        self.outstanding += 1
+
+    def end_op(self) -> None:
+        if self.outstanding <= 0:
+            raise RuntimeError("end_op without begin_op")
+        self.outstanding -= 1
+        if self.outstanding == 0 and self._pending:
+            self._commit()
+
+    def log_write(self, blockno: int, data: bytes) -> None:
+        """Absorb a dirty block into the current transaction."""
+        if self.outstanding <= 0:
+            raise RuntimeError("log_write outside a transaction")
+        if len(data) != self.dev.block_size:
+            raise ValueError("log_write needs a whole block")
+        if blockno not in self._pending:
+            if len(self._pending) >= self.capacity:
+                raise LogFullError(
+                    f"transaction exceeds {self.capacity} log blocks"
+                )
+            self._order.append(blockno)
+        self._pending[blockno] = data
+
+    # ------------------------------------------------------------------
+    # Commit protocol
+    # ------------------------------------------------------------------
+    def _write_head(self, blocknos: List[int]) -> None:
+        head = struct.pack("<I", len(blocknos))
+        head += b"".join(struct.pack("<I", b) for b in blocknos)
+        head += b"\x00" * (self.dev.block_size - len(head))
+        self.dev.bwrite(self.logstart, head)
+
+    def _read_head(self) -> List[int]:
+        raw = self.dev.bread(self.logstart)
+        (n,) = struct.unpack_from("<I", raw, 0)
+        if n > self.capacity:
+            return []  # corrupt/uninitialized header reads as empty
+        return [struct.unpack_from("<I", raw, 4 + 4 * i)[0]
+                for i in range(n)]
+
+    def _commit(self) -> None:
+        blocknos = list(self._order)
+        # 1. copy dirty blocks into the log area
+        for i, blockno in enumerate(blocknos):
+            self.dev.bwrite(self.logstart + 1 + i, self._pending[blockno])
+        # 2. commit point: the header names the blocks
+        self._write_head(blocknos)
+        # 3. install to home locations
+        for blockno in blocknos:
+            self.dev.bwrite(blockno, self._pending[blockno])
+        # 4. clear the header
+        self._write_head([])
+        self._pending.clear()
+        self._order.clear()
+        self.committed_transactions += 1
+
+    def recover(self) -> int:
+        """Replay a committed-but-uninstalled transaction (mount time).
+
+        Returns the number of blocks installed.
+        """
+        blocknos = self._read_head()
+        for i, blockno in enumerate(blocknos):
+            self.dev.bwrite(blockno, self.dev.bread(self.logstart + 1 + i))
+        if blocknos:
+            self._write_head([])
+        self._pending.clear()
+        self._order.clear()
+        self.outstanding = 0
+        return len(blocknos)
+
+    def read_through(self, blockno: int) -> bytes:
+        """Read seeing the current (uncommitted) transaction."""
+        if blockno in self._pending:
+            return self._pending[blockno]
+        return self.dev.bread(blockno)

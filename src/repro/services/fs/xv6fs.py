@@ -1,0 +1,576 @@
+"""xv6fs: the log-based inode file system of the paper's FS evaluation.
+
+A faithful port of the xv6/FSCQ on-disk layout to this simulator:
+
+    [ boot | superblock | log header + log | inodes | bitmap | data ]
+
+with 4 KB blocks, 64-byte inodes (12 direct + 1 indirect pointer), and
+flat struct-packed directories.  Every metadata mutation runs inside a
+write-ahead-log transaction (:mod:`repro.services.fs.log`), so a crash
+at any point is repaired by log recovery.
+"""
+
+from __future__ import annotations
+
+import struct
+from dataclasses import dataclass
+from typing import List, Optional, Tuple
+
+from repro.services.fs.log import Log, LOG_MAX_BLOCKS
+
+FS_MAGIC = 0x10203040
+NDIRECT = 12
+T_FREE, T_DIR, T_FILE = 0, 1, 2
+
+_INODE_FMT = "<HHI" + "I" * (NDIRECT + 1)   # type, nlink, size, addrs
+INODE_SIZE = struct.calcsize(_INODE_FMT)     # 60 bytes
+DIRENT_FMT = "<I28s"
+DIRENT_SIZE = struct.calcsize(DIRENT_FMT)    # 32 bytes
+MAX_NAME = 27
+ROOT_INUM = 1
+
+
+class FSError(Exception):
+    """File-system level error (ENOENT, EEXIST, ENOSPC...)."""
+
+
+@dataclass
+class SuperBlock:
+    size: int          # total blocks
+    nlog: int
+    ninodes: int
+    logstart: int
+    inodestart: int
+    bmapstart: int
+    datastart: int
+
+    _FMT = "<IIIIIIII"
+
+    def pack(self, block_size: int) -> bytes:
+        raw = struct.pack(self._FMT, FS_MAGIC, self.size, self.nlog,
+                          self.ninodes, self.logstart, self.inodestart,
+                          self.bmapstart, self.datastart)
+        return raw + b"\x00" * (block_size - len(raw))
+
+    @classmethod
+    def unpack(cls, raw: bytes) -> "SuperBlock":
+        magic, size, nlog, ninodes, logstart, inodestart, bmapstart, \
+            datastart = struct.unpack_from(cls._FMT, raw, 0)
+        if magic != FS_MAGIC:
+            raise FSError("bad superblock magic (unformatted disk?)")
+        return cls(size, nlog, ninodes, logstart, inodestart, bmapstart,
+                   datastart)
+
+
+@dataclass
+class Inode:
+    inum: int
+    itype: int
+    nlink: int
+    size: int
+    addrs: List[int]
+
+    def pack(self) -> bytes:
+        return struct.pack(_INODE_FMT, self.itype, self.nlink,
+                           self.size, *self.addrs)
+
+    @classmethod
+    def unpack(cls, inum: int, raw: bytes) -> "Inode":
+        fields = struct.unpack_from(_INODE_FMT, raw, 0)
+        return cls(inum, fields[0], fields[1], fields[2],
+                   list(fields[3:]))
+
+
+class Xv6FS:
+    """The file system proper, layered on a log over a block device."""
+
+    def __init__(self, dev) -> None:
+        self.dev = dev
+        self.bsize = dev.block_size
+        self.sb = SuperBlock.unpack(dev.bread(1))
+        self.log = Log(dev, self.sb.logstart, self.sb.nlog)
+        self._ipb = self.bsize // INODE_SIZE
+        self._nindirect = self.bsize // 4
+
+    # ------------------------------------------------------------------
+    # mkfs
+    # ------------------------------------------------------------------
+    @classmethod
+    def mkfs(cls, dev, ninodes: int = 256) -> "Xv6FS":
+        """Format *dev* and return a mounted file system."""
+        bsize = dev.block_size
+        nlog = LOG_MAX_BLOCKS + 1
+        ipb = bsize // INODE_SIZE
+        ninodeblocks = (ninodes + ipb - 1) // ipb
+        nbitmap = (dev.nblocks + bsize * 8 - 1) // (bsize * 8)
+        logstart = 2
+        inodestart = logstart + nlog
+        bmapstart = inodestart + ninodeblocks
+        datastart = bmapstart + nbitmap
+        if datastart >= dev.nblocks:
+            raise FSError("disk too small for this geometry")
+        sb = SuperBlock(dev.nblocks, nlog, ninodes, logstart,
+                        inodestart, bmapstart, datastart)
+        zero = b"\x00" * bsize
+        dev.bwrite(1, sb.pack(bsize))
+        for b in range(logstart, datastart):
+            dev.bwrite(b, zero)
+        fs = cls(dev)
+        # Root directory.
+        fs.log.begin_op()
+        root = fs._ialloc(T_DIR)
+        assert root.inum == ROOT_INUM
+        fs._dirlink(root, ".", root.inum)
+        fs._dirlink(root, "..", root.inum)
+        root.nlink = 2
+        fs._iupdate(root)
+        fs.log.end_op()
+        return fs
+
+    # ------------------------------------------------------------------
+    # Low-level block / inode helpers (inside a transaction)
+    # ------------------------------------------------------------------
+    def _bread(self, blockno: int) -> bytes:
+        return self.log.read_through(blockno)
+
+    def _bwrite(self, blockno: int, data: bytes) -> None:
+        self.log.log_write(blockno, data)
+
+    def _balloc(self) -> int:
+        """Allocate a zeroed data block."""
+        for bmap_block in range(self.sb.bmapstart, self.sb.datastart):
+            raw = bytearray(self._bread(bmap_block))
+            base = (bmap_block - self.sb.bmapstart) * self.bsize * 8
+            for i in range(self.bsize * 8):
+                blockno = base + i
+                if blockno < self.sb.datastart:
+                    continue
+                if blockno >= self.sb.size:
+                    break
+                if not raw[i >> 3] & (1 << (i & 7)):
+                    raw[i >> 3] |= 1 << (i & 7)
+                    self._bwrite(bmap_block, bytes(raw))
+                    self._bwrite(blockno, b"\x00" * self.bsize)
+                    return blockno
+        raise FSError("out of data blocks")
+
+    def _bfree(self, blockno: int) -> None:
+        i = blockno
+        bmap_block = self.sb.bmapstart + i // (self.bsize * 8)
+        raw = bytearray(self._bread(bmap_block))
+        bit = i % (self.bsize * 8)
+        if not raw[bit >> 3] & (1 << (bit & 7)):
+            raise FSError(f"freeing free block {blockno}")
+        raw[bit >> 3] &= ~(1 << (bit & 7))
+        self._bwrite(bmap_block, bytes(raw))
+
+    def _inode_block(self, inum: int) -> Tuple[int, int]:
+        return (self.sb.inodestart + inum // self._ipb,
+                (inum % self._ipb) * INODE_SIZE)
+
+    def _iget(self, inum: int) -> Inode:
+        if not 0 <= inum < self.sb.ninodes:
+            raise FSError(f"inum {inum} out of range")
+        block, off = self._inode_block(inum)
+        raw = self._bread(block)
+        return Inode.unpack(inum, raw[off:off + INODE_SIZE])
+
+    def _iupdate(self, ino: Inode) -> None:
+        block, off = self._inode_block(ino.inum)
+        raw = bytearray(self._bread(block))
+        raw[off:off + INODE_SIZE] = ino.pack()
+        self._bwrite(block, bytes(raw))
+
+    def _ialloc(self, itype: int) -> Inode:
+        for inum in range(1, self.sb.ninodes):
+            ino = self._iget(inum)
+            if ino.itype == T_FREE:
+                ino.itype = itype
+                ino.nlink = 1
+                ino.size = 0
+                ino.addrs = [0] * (NDIRECT + 1)
+                self._iupdate(ino)
+                return ino
+        raise FSError("out of inodes")
+
+    def _itrunc(self, ino: Inode) -> None:
+        for i in range(NDIRECT):
+            if ino.addrs[i]:
+                self._bfree(ino.addrs[i])
+                ino.addrs[i] = 0
+        if ino.addrs[NDIRECT]:
+            raw = self._bread(ino.addrs[NDIRECT])
+            for i in range(self._nindirect):
+                (addr,) = struct.unpack_from("<I", raw, i * 4)
+                if addr:
+                    self._bfree(addr)
+            self._bfree(ino.addrs[NDIRECT])
+            ino.addrs[NDIRECT] = 0
+        ino.size = 0
+        self._iupdate(ino)
+
+    def _bmap(self, ino: Inode, bn: int, alloc: bool = True) -> int:
+        """Block number of file block *bn*, allocating if needed."""
+        if bn < NDIRECT:
+            if ino.addrs[bn] == 0:
+                if not alloc:
+                    return 0
+                ino.addrs[bn] = self._balloc()
+                self._iupdate(ino)
+            return ino.addrs[bn]
+        bn -= NDIRECT
+        if bn >= self._nindirect:
+            raise FSError("file too large")
+        if ino.addrs[NDIRECT] == 0:
+            if not alloc:
+                return 0
+            ino.addrs[NDIRECT] = self._balloc()
+            self._iupdate(ino)
+        raw = bytearray(self._bread(ino.addrs[NDIRECT]))
+        (addr,) = struct.unpack_from("<I", raw, bn * 4)
+        if addr == 0:
+            if not alloc:
+                return 0
+            addr = self._balloc()
+            struct.pack_into("<I", raw, bn * 4, addr)
+            self._bwrite(ino.addrs[NDIRECT], bytes(raw))
+        return addr
+
+    # ------------------------------------------------------------------
+    # File contents
+    # ------------------------------------------------------------------
+    def _readi(self, ino: Inode, off: int, n: int) -> bytes:
+        if off >= ino.size or n <= 0:
+            return b""
+        n = min(n, ino.size - off)
+        out = bytearray()
+        while n > 0:
+            bn = off // self.bsize
+            boff = off % self.bsize
+            chunk = min(n, self.bsize - boff)
+            addr = self._bmap(ino, bn, alloc=False)
+            block = (b"\x00" * self.bsize if addr == 0
+                     else self._bread(addr))
+            out += block[boff:boff + chunk]
+            off += chunk
+            n -= chunk
+        return bytes(out)
+
+    def _writei(self, ino: Inode, off: int, data: bytes) -> int:
+        if off > ino.size:
+            raise FSError("write past EOF creates no holes here")
+        pos = off
+        view = memoryview(data)
+        while view:
+            bn = pos // self.bsize
+            boff = pos % self.bsize
+            chunk = min(len(view), self.bsize - boff)
+            addr = self._bmap(ino, bn, alloc=True)
+            if chunk == self.bsize:
+                self._bwrite(addr, bytes(view[:chunk]))
+            else:
+                block = bytearray(self._bread(addr))
+                block[boff:boff + chunk] = view[:chunk]
+                self._bwrite(addr, bytes(block))
+            pos += chunk
+            view = view[chunk:]
+        if pos > ino.size:
+            ino.size = pos
+            self._iupdate(ino)
+        else:
+            self._iupdate(ino)
+        return len(data)
+
+    # ------------------------------------------------------------------
+    # Directories & paths
+    # ------------------------------------------------------------------
+    def _dirlookup(self, dino: Inode, name: str) -> Optional[int]:
+        raw = self._readi(dino, 0, dino.size)
+        for off in range(0, len(raw), DIRENT_SIZE):
+            inum, packed = struct.unpack_from(DIRENT_FMT, raw, off)
+            if inum and packed.rstrip(b"\x00").decode() == name:
+                return inum
+        return None
+
+    def _dirlink(self, dino: Inode, name: str, inum: int) -> None:
+        if len(name) > MAX_NAME:
+            raise FSError(f"name too long: {name!r}")
+        if self._dirlookup(dino, name) is not None:
+            raise FSError(f"{name!r} exists")
+        entry = struct.pack(DIRENT_FMT, inum, name.encode())
+        raw = self._readi(dino, 0, dino.size)
+        for off in range(0, len(raw), DIRENT_SIZE):
+            (existing,) = struct.unpack_from("<I", raw, off)
+            if existing == 0:
+                self._writei(dino, off, entry)
+                return
+        self._writei(dino, dino.size, entry)
+
+    def _namei(self, path: str) -> Inode:
+        ino = self._iget(ROOT_INUM)
+        for part in _parts(path):
+            if ino.itype != T_DIR:
+                raise FSError(f"not a directory on the way to {path!r}")
+            inum = self._dirlookup(ino, part)
+            if inum is None:
+                raise FSError(f"no such file: {path!r}")
+            ino = self._iget(inum)
+        return ino
+
+    def _namei_parent(self, path: str) -> Tuple[Inode, str]:
+        parts = _parts(path)
+        if not parts:
+            raise FSError("cannot operate on the root this way")
+        dino = self._iget(ROOT_INUM)
+        for part in parts[:-1]:
+            inum = self._dirlookup(dino, part)
+            if inum is None:
+                raise FSError(f"no such directory on the way to {path!r}")
+            dino = self._iget(inum)
+        if dino.itype != T_DIR:
+            raise FSError(f"not a directory on the way to {path!r}")
+        return dino, parts[-1]
+
+    # ------------------------------------------------------------------
+    # Public system-call-level API (each call is one log transaction)
+    # ------------------------------------------------------------------
+    def create(self, path: str, itype: int = T_FILE) -> int:
+        self.log.begin_op()
+        try:
+            dino, name = self._namei_parent(path)
+            if self._dirlookup(dino, name) is not None:
+                raise FSError(f"{path!r} exists")
+            ino = self._ialloc(itype)
+            self._dirlink(dino, name, ino.inum)
+            if itype == T_DIR:
+                self._dirlink(ino, ".", ino.inum)
+                self._dirlink(ino, "..", dino.inum)
+            return ino.inum
+        finally:
+            self.log.end_op()
+
+    def lookup(self, path: str) -> int:
+        return self._namei(path).inum
+
+    def read(self, path: str, off: int = 0, n: int = -1) -> bytes:
+        self.log.begin_op()
+        try:
+            ino = self._namei(path)
+            if n < 0:
+                n = ino.size - off
+            return self._readi(ino, off, n)
+        finally:
+            self.log.end_op()
+
+    def write(self, path: str, data: bytes, off: int = 0) -> int:
+        # Large writes are split so no transaction overflows the log.
+        max_bytes = (LOG_MAX_BLOCKS // 2) * self.bsize
+        written = 0
+        while written < len(data) or not data:
+            chunk = data[written:written + max_bytes]
+            self.log.begin_op()
+            try:
+                ino = self._namei(path)
+                self._writei(ino, off + written, chunk)
+            finally:
+                self.log.end_op()
+            written += len(chunk)
+            if not data:
+                break
+        return written
+
+    def truncate(self, path: str) -> None:
+        self.log.begin_op()
+        try:
+            self._itrunc(self._namei(path))
+        finally:
+            self.log.end_op()
+
+    def unlink(self, path: str) -> None:
+        self.log.begin_op()
+        try:
+            dino, name = self._namei_parent(path)
+            inum = self._dirlookup(dino, name)
+            if inum is None:
+                raise FSError(f"no such file: {path!r}")
+            ino = self._iget(inum)
+            if ino.itype == T_DIR and self._dir_nonempty(ino):
+                raise FSError(f"directory not empty: {path!r}")
+            # Clear the directory entry.
+            raw = self._readi(dino, 0, dino.size)
+            for off in range(0, len(raw), DIRENT_SIZE):
+                entry_inum, packed = struct.unpack_from(DIRENT_FMT, raw,
+                                                        off)
+                if entry_inum == inum and \
+                        packed.rstrip(b"\x00").decode() == name:
+                    self._writei(dino, off,
+                                 b"\x00" * DIRENT_SIZE)
+                    break
+            ino.nlink -= 1
+            if ino.nlink <= 0 or (ino.itype == T_DIR
+                                  and ino.nlink <= 1):
+                self._itrunc(ino)
+                ino.itype = T_FREE
+            self._iupdate(ino)
+        finally:
+            self.log.end_op()
+
+    def rename(self, old: str, new: str) -> None:
+        """Move a file or directory (one atomic transaction)."""
+        self.log.begin_op()
+        try:
+            old_dir, old_name = self._namei_parent(old)
+            inum = self._dirlookup(old_dir, old_name)
+            if inum is None:
+                raise FSError(f"no such file: {old!r}")
+            new_dir, new_name = self._namei_parent(new)
+            if self._dirlookup(new_dir, new_name) is not None:
+                raise FSError(f"{new!r} exists")
+            moved = self._iget(inum)
+            if moved.itype == T_DIR and _is_prefix(old, new):
+                raise FSError("cannot move a directory into itself")
+            self._dirlink(new_dir, new_name, inum)
+            if old_dir.inum == new_dir.inum:
+                # Same parent: re-read it, or the unlink below would
+                # write back a stale (pre-dirlink) inode image.
+                old_dir = self._iget(old_dir.inum)
+            self._dir_unlink_entry(old_dir, old_name, inum)
+            if moved.itype == T_DIR and old_dir.inum != new_dir.inum:
+                # Re-point "..".
+                self._dir_unlink_entry(moved, "..",
+                                       self._dirlookup(moved, ".."))
+                self._dirlink(moved, "..", new_dir.inum)
+        finally:
+            self.log.end_op()
+
+    def _dir_unlink_entry(self, dino: Inode, name: str,
+                          inum: int) -> None:
+        raw = self._readi(dino, 0, dino.size)
+        for off in range(0, len(raw), DIRENT_SIZE):
+            entry_inum, packed = struct.unpack_from(DIRENT_FMT, raw, off)
+            if entry_inum == inum and \
+                    packed.rstrip(b"\x00").decode() == name:
+                self._writei(dino, off, b"\x00" * DIRENT_SIZE)
+                return
+        raise FSError(f"directory entry {name!r} vanished")
+
+    def stat(self, path: str) -> Tuple[int, int, int]:
+        """Return (inum, type, size)."""
+        ino = self._namei(path)
+        return ino.inum, ino.itype, ino.size
+
+    def listdir(self, path: str = "/") -> List[str]:
+        ino = self._namei(path)
+        if ino.itype != T_DIR:
+            raise FSError(f"{path!r} is not a directory")
+        raw = self._readi(ino, 0, ino.size)
+        names = []
+        for off in range(0, len(raw), DIRENT_SIZE):
+            inum, packed = struct.unpack_from(DIRENT_FMT, raw, off)
+            if inum:
+                name = packed.rstrip(b"\x00").decode()
+                if name not in (".", ".."):
+                    names.append(name)
+        return names
+
+    # ------------------------------------------------------------------
+    # Consistency checking
+    # ------------------------------------------------------------------
+    def fsck(self) -> List[str]:
+        """Check on-disk consistency; returns a list of problems.
+
+        Verifies (like a miniature e2fsck):
+
+        * every block reachable from an inode is marked allocated and
+          is referenced exactly once,
+        * every allocated data block is reachable,
+        * directory entries point at live inodes,
+        * no file's size exceeds its mapped blocks.
+
+        The crash-recovery property tests run this after every
+        simulated crash + log recovery: the log must always leave a
+        state where this returns ``[]``.
+        """
+        problems: List[str] = []
+        seen_blocks: Dict[int, int] = {}
+        live_inodes: set = set()
+
+        def note_block(addr: int, owner: str) -> None:
+            if addr == 0:
+                return
+            if not self.sb.datastart <= addr < self.sb.size:
+                problems.append(f"{owner}: block {addr} out of range")
+                return
+            if addr in seen_blocks:
+                problems.append(
+                    f"{owner}: block {addr} multiply referenced")
+            seen_blocks[addr] = seen_blocks.get(addr, 0) + 1
+            if not self._block_marked(addr):
+                problems.append(
+                    f"{owner}: block {addr} in use but free in bitmap")
+
+        # Walk every live inode.
+        for inum in range(1, self.sb.ninodes):
+            ino = self._iget(inum)
+            if ino.itype == T_FREE:
+                continue
+            live_inodes.add(inum)
+            owner = f"inode {inum}"
+            for i in range(NDIRECT):
+                note_block(ino.addrs[i], owner)
+            if ino.addrs[NDIRECT]:
+                note_block(ino.addrs[NDIRECT], owner + " (indirect)")
+                raw = self._bread(ino.addrs[NDIRECT])
+                for i in range(self._nindirect):
+                    (addr,) = struct.unpack_from("<I", raw, i * 4)
+                    note_block(addr, owner)
+            if ino.size > (NDIRECT + self._nindirect) * self.bsize:
+                problems.append(f"{owner}: absurd size {ino.size}")
+
+        # Every allocated data block must have been seen.
+        for addr in range(self.sb.datastart, self.sb.size):
+            if self._block_marked(addr) and addr not in seen_blocks:
+                problems.append(f"block {addr} allocated but orphaned")
+
+        # Directory entries must point at live inodes.
+        for inum in sorted(live_inodes):
+            ino = self._iget(inum)
+            if ino.itype != T_DIR:
+                continue
+            raw = self._readi(ino, 0, ino.size)
+            for off in range(0, len(raw), DIRENT_SIZE):
+                entry_inum, packed = struct.unpack_from(
+                    DIRENT_FMT, raw, off)
+                if entry_inum == 0:
+                    continue
+                name = packed.rstrip(b"\x00").decode(errors="replace")
+                if entry_inum not in live_inodes:
+                    problems.append(
+                        f"dirent {name!r} in inode {inum} points at "
+                        f"dead inode {entry_inum}")
+        return problems
+
+    def _block_marked(self, addr: int) -> bool:
+        bmap_block = self.sb.bmapstart + addr // (self.bsize * 8)
+        raw = self._bread(bmap_block)
+        bit = addr % (self.bsize * 8)
+        return bool(raw[bit >> 3] & (1 << (bit & 7)))
+
+    def _dir_nonempty(self, ino: Inode) -> bool:
+        raw = self._readi(ino, 0, ino.size)
+        for off in range(0, len(raw), DIRENT_SIZE):
+            inum, packed = struct.unpack_from(DIRENT_FMT, raw, off)
+            if inum and packed.rstrip(b"\x00").decode() not in (".", ".."):
+                return True
+        return False
+
+
+def _parts(path: str) -> List[str]:
+    return [p for p in path.split("/") if p]
+
+
+def _is_prefix(old: str, new: str) -> bool:
+    """True if *new* lies inside the subtree rooted at *old*."""
+    old_parts = _parts(old)
+    new_parts = _parts(new)
+    return new_parts[:len(old_parts)] == old_parts

@@ -1,0 +1,39 @@
+"""A user-level name server (the paper's Listing 1 pattern: "get
+server's entry ID and capability from parent process or a name
+server").
+
+Maps service names to transport service ids and, on XPC transports,
+performs the capability grant for the requesting thread — the
+grant-cap flow of §4.2.
+"""
+
+from __future__ import annotations
+
+from typing import Dict
+
+from repro.ipc.transport import Transport
+
+
+class NameServer:
+    """Name → service-id registry with capability handout."""
+
+    def __init__(self, transport: Transport) -> None:
+        self.transport = transport
+        self._names: Dict[str, int] = {}
+
+    def publish(self, name: str, sid: int) -> None:
+        if name in self._names:
+            raise KeyError(f"name {name!r} already published")
+        self._names[name] = sid
+
+    def resolve(self, name: str, requester_thread=None) -> int:
+        """Look a service up; grant the xcall-cap when asked for."""
+        sid = self._names.get(name)
+        if sid is None:
+            raise KeyError(f"no service published as {name!r}")
+        if requester_thread is not None:
+            self.transport.grant_to_thread(sid, requester_thread)
+        return sid
+
+    def names(self):
+        return sorted(self._names)

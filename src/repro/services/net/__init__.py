@@ -1,0 +1,18 @@
+"""The microkernel network stack: TCP/IP over a loopback device server
+(the lwIP substitution of paper §5.3)."""
+
+from repro.services.net.checksum import internet_checksum, verify_checksum
+from repro.services.net.ip import IPv4Header, IPError, build_packet, parse_packet
+from repro.services.net.tcp import (
+    MSS, Segment, TCB, TCPError, TCPState,
+)
+from repro.services.net.loopback import LoopbackServer
+from repro.services.net.stack import NetStack
+from repro.services.net.server import NetClient, NetServer, build_net_stack
+
+__all__ = [
+    "internet_checksum", "verify_checksum", "IPv4Header", "IPError",
+    "build_packet", "parse_packet", "MSS", "Segment", "TCB", "TCPError",
+    "TCPState", "LoopbackServer", "NetStack", "NetClient", "NetServer",
+    "build_net_stack",
+]

@@ -1,0 +1,20 @@
+"""The Internet checksum (RFC 1071), used by the IPv4 and TCP headers."""
+
+from __future__ import annotations
+
+import struct
+
+
+def internet_checksum(data: bytes) -> int:
+    """One's-complement sum of 16-bit words, folded to 16 bits."""
+    if len(data) % 2:
+        data += b"\x00"
+    total = sum(struct.unpack(f">{len(data) // 2}H", data))
+    while total >> 16:
+        total = (total & 0xFFFF) + (total >> 16)
+    return ~total & 0xFFFF
+
+
+def verify_checksum(data: bytes) -> bool:
+    """A block whose checksum field is included sums to zero."""
+    return internet_checksum(data) == 0

@@ -1,0 +1,62 @@
+"""Minimal IPv4: header build/parse with real checksums."""
+
+from __future__ import annotations
+
+import struct
+from dataclasses import dataclass
+
+from repro.services.net.checksum import internet_checksum
+
+IP_PROTO_TCP = 6
+IP_HDR_LEN = 20
+
+
+class IPError(Exception):
+    """Malformed or corrupt IP packet."""
+
+
+@dataclass
+class IPv4Header:
+    src: int                 # 32-bit addresses
+    dst: int
+    proto: int = IP_PROTO_TCP
+    total_len: int = IP_HDR_LEN
+    ttl: int = 64
+    ident: int = 0
+
+    def pack(self) -> bytes:
+        ver_ihl = (4 << 4) | 5
+        hdr = struct.pack(
+            ">BBHHHBBHII", ver_ihl, 0, self.total_len, self.ident,
+            0, self.ttl, self.proto, 0, self.src, self.dst,
+        )
+        csum = internet_checksum(hdr)
+        return hdr[:10] + struct.pack(">H", csum) + hdr[12:]
+
+    @classmethod
+    def parse(cls, raw: bytes) -> "IPv4Header":
+        if len(raw) < IP_HDR_LEN:
+            raise IPError("truncated IP header")
+        hdr = raw[:IP_HDR_LEN]
+        if internet_checksum(hdr) != 0:
+            raise IPError("bad IP header checksum")
+        ver_ihl, _, total_len, ident, _, ttl, proto, _, src, dst = \
+            struct.unpack(">BBHHHBBHII", hdr)
+        if ver_ihl >> 4 != 4:
+            raise IPError("not IPv4")
+        return cls(src, dst, proto, total_len, ttl, ident)
+
+
+def build_packet(src: int, dst: int, payload: bytes,
+                 proto: int = IP_PROTO_TCP, ident: int = 0) -> bytes:
+    hdr = IPv4Header(src, dst, proto, IP_HDR_LEN + len(payload),
+                     ident=ident)
+    return hdr.pack() + payload
+
+
+def parse_packet(raw: bytes):
+    """Return (header, payload); raises IPError on corruption."""
+    hdr = IPv4Header.parse(raw)
+    if hdr.total_len > len(raw):
+        raise IPError("IP total length exceeds the frame")
+    return hdr, raw[IP_HDR_LEN:hdr.total_len]

@@ -1,0 +1,97 @@
+"""Render ``benchmarks/results.json`` as a readable evaluation report.
+
+Usage::
+
+    python -m repro.tools.report [path/to/results.json]
+
+The benchmark suite (``pytest benchmarks/ --benchmark-only``) writes
+paper-vs-measured data for every table and figure; this tool prints a
+consolidated report of the whole reproduction in one place.
+"""
+
+from __future__ import annotations
+
+import json
+import os
+import sys
+from typing import Any
+
+from repro.analysis import render_table
+
+#: Presentation order + captions for the experiments.
+SECTIONS = [
+    ("table1", "Table 1 — seL4 one-way IPC breakdown"),
+    ("figure5", "Figure 5 — XPC optimization ladder"),
+    ("table3", "Table 3 — XPC instruction cycles"),
+    ("figure1a", "Figure 1(a) — CPU time spent on IPC"),
+    ("figure1b", "Figure 1(b) — IPC time CDF on YCSB-E"),
+    ("figure6_same_core", "Figure 6 — one-way call, same core"),
+    ("figure6_cross_core", "Figure 6 — one-way call, cross core"),
+    ("figure7ab", "Figure 7(a,b) — FS read/write throughput"),
+    ("figure7c", "Figure 7(c) — TCP throughput"),
+    ("figure8a", "Figure 8(a) — Sqlite3 on Zircon"),
+    ("figure8b", "Figure 8(b) — Sqlite3 on seL4"),
+    ("figure8c", "Figure 8(c) — HTTP server"),
+    ("figure9a", "Figure 9(a) — Binder buffer latency"),
+    ("figure9b", "Figure 9(b) — Binder ashmem latency"),
+    ("table4", "Table 4 — gem5 configuration"),
+    ("table5", "Table 5 — IPC cost in ARM"),
+    ("table6", "Table 6 — FPGA resource cost"),
+    ("table7", "Table 7 — mechanism comparison"),
+    ("table7_chain", "Table 7+ — 3-hop chain cost per mechanism"),
+    ("ablation_optimizations", "Ablation — optimizations in isolation"),
+    ("ablation_cap_scalability", "Ablation — bitmap vs radix cap"),
+    ("ablation_relay_pagetable", "Ablation — relay page table"),
+    ("ablation_handover", "Ablation — handover vs staging"),
+    ("ablation_policies", "Ablation — exhaustion policies"),
+]
+
+
+def _flatten(value: Any, prefix: str = ""):
+    """Yield (path, leaf) pairs for nested dicts."""
+    if isinstance(value, dict):
+        for key, child in value.items():
+            path = f"{prefix}.{key}" if prefix else str(key)
+            yield from _flatten(child, path)
+    else:
+        yield prefix, value
+
+
+def render_section(key: str, caption: str, data: Any) -> str:
+    rows = [[path, leaf] for path, leaf in _flatten(data)]
+    return render_table(caption, ["metric", "value"], rows)
+
+
+def main(argv=None) -> int:
+    argv = sys.argv[1:] if argv is None else argv
+    path = argv[0] if argv else os.path.join(
+        os.path.dirname(__file__), "..", "..", "..", "benchmarks",
+        "results.json")
+    path = os.path.abspath(path)
+    if not os.path.exists(path):
+        print(f"no results at {path}; run "
+              "`pytest benchmarks/ --benchmark-only` first",
+              file=sys.stderr)
+        return 1
+    with open(path) as fh:
+        results = json.load(fh)
+    print("XPC reproduction — consolidated evaluation report")
+    print("=" * 52)
+    print(f"source: {path}\n")
+    known = set()
+    for key, caption in SECTIONS:
+        if key in results:
+            known.add(key)
+            print(render_section(key, caption, results[key]))
+            print()
+    extra = sorted(set(results) - known)
+    for key in extra:
+        print(render_section(key, f"(uncategorized) {key}",
+                             results[key]))
+        print()
+    print(f"{len(known) + len(extra)} experiments reported.")
+    return 0
+
+
+if __name__ == "__main__":
+    raise SystemExit(main())

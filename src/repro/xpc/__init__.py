@@ -1,0 +1,36 @@
+"""The XPC engine: the paper's architectural contribution.
+
+Implements every register, instruction, and exception from the paper's
+Table 2:
+
+* ``x-entry-table-reg`` / ``x-entry-table-size`` — :mod:`repro.xpc.entry`
+* ``xcall-cap-reg`` (capability bitmap)         — :mod:`repro.xpc.capability`
+  (+ the §6.2 radix-tree alternative            — :mod:`repro.xpc.radix_cap`)
+* ``link-reg`` (link stack)                     — :mod:`repro.xpc.linkstack`
+* ``relay-seg`` / ``seg-mask`` / ``seg-listp``  — :mod:`repro.xpc.relayseg`
+  (+ the §6.2 relay page table                  — :mod:`repro.xpc.relay_pagetable`)
+* ``xcall`` / ``xret`` / ``swapseg``            — :mod:`repro.xpc.engine`
+* the five hardware exceptions                  — :mod:`repro.xpc.errors`
+"""
+
+from repro.xpc.errors import (
+    XPCError, InvalidXEntryError, InvalidXCallCapError,
+    InvalidLinkageError, InvalidSegMaskError, SwapSegError,
+)
+from repro.xpc.entry import XEntry, XEntryTable
+from repro.xpc.capability import XCallCapBitmap
+from repro.xpc.radix_cap import RadixCapTable
+from repro.xpc.linkstack import LinkageRecord, LinkStack
+from repro.xpc.relayseg import RelaySegment, SegReg, SegMask, SegList
+from repro.xpc.relay_pagetable import RelayPageTable
+from repro.xpc.engine_cache import XPCEngineCache
+from repro.xpc.engine import XPCEngine, XPCConfig, XPCThreadState
+
+__all__ = [
+    "XPCError", "InvalidXEntryError", "InvalidXCallCapError",
+    "InvalidLinkageError", "InvalidSegMaskError", "SwapSegError",
+    "XEntry", "XEntryTable", "XCallCapBitmap", "RadixCapTable",
+    "LinkageRecord", "LinkStack",
+    "RelaySegment", "SegReg", "SegMask", "SegList", "RelayPageTable",
+    "XPCEngineCache", "XPCEngine", "XPCConfig", "XPCThreadState",
+]

@@ -1,0 +1,283 @@
+"""The per-core XPC engine: ``xcall``, ``xret``, ``swapseg`` (paper §3.2).
+
+The engine is a unit of the core.  It holds the per-thread architectural
+registers (installed by the kernel on context switch), performs the four
+``xcall`` microcode steps from the paper —
+
+  1. test the caller's xcall-cap bit,
+  2. load + validity-check the target x-entry (optionally via the engine
+     cache),
+  3. push a linkage record onto the link stack (optionally non-blocking),
+  4. switch the page-table pointer and jump to the entrance —
+
+and the symmetric ``xret`` pop/validate/restore, including the relay-seg
+integrity check of §3.3.  Cycle costs follow Table 3 and Figure 5:
+``xcall`` is 34 cycles with a blocking link stack and a DRAM x-entry load,
+18 with the non-blocking stack, and 6 with an engine-cache hit on top;
+``xret`` is 23 and ``swapseg`` 11.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Optional, Tuple
+
+from repro.hw.cpu import Core
+from repro.hw.paging import PagePerm
+from repro.xpc.capability import XCallCapBitmap
+from repro.xpc.engine_cache import XPCEngineCache
+from repro.xpc.entry import XEntry, XEntryTable
+from repro.xpc.errors import (
+    InvalidLinkageError, InvalidSegMaskError, XPCError,
+)
+from repro.xpc.linkstack import LinkageRecord, LinkStack
+from repro.xpc.relayseg import (
+    NO_MASK, SEG_INVALID, SegList, SegMask, SegReg, apply_mask,
+)
+
+
+@dataclass
+class XPCConfig:
+    """Engine feature knobs (the optimization ladder of Figure 5)."""
+
+    nonblocking_linkstack: bool = True
+    engine_cache: bool = False
+    engine_cache_entries: int = 1
+    engine_cache_tagged: bool = False
+
+
+@dataclass
+class XPCThreadState:
+    """Per-thread XPC architectural state (switched by the kernel, §4.1).
+
+    ``cap_bitmap`` is what ``xcall-cap-reg`` points at; it doubles as the
+    runtime-state identifier for the split thread state of §4.2.
+    """
+
+    cap_bitmap: XCallCapBitmap
+    link_stack: LinkStack
+    seg_reg: SegReg = SEG_INVALID
+    seg_mask: SegMask = NO_MASK
+    seg_list: Optional[SegList] = None
+
+
+@dataclass
+class XPCEngineStats:
+    xcalls: int = 0
+    xrets: int = 0
+    swapsegs: int = 0
+    prefetches: int = 0
+    exceptions: int = 0
+    seg_bytes_passed: int = 0
+
+
+class XPCEngine:
+    """One core's XPC engine."""
+
+    def __init__(self, core: Core, table: XEntryTable,
+                 config: Optional[XPCConfig] = None) -> None:
+        self.core = core
+        self.table = table
+        self.config = config or XPCConfig()
+        self.params = core.params
+        self.cache = (
+            XPCEngineCache(table, self.config.engine_cache_entries,
+                           self.config.engine_cache_tagged)
+            if self.config.engine_cache else None
+        )
+        self.state: Optional[XPCThreadState] = None
+        self.current_thread = None
+        #: caller-identity register (t0 in the paper): the caller's
+        #: xcall-cap-reg value, set by hardware, unforgeable.
+        self.caller_id_reg: Optional[XCallCapBitmap] = None
+        self.stats = XPCEngineStats()
+        self.tracer = None          # optional repro.analysis.trace.Tracer
+        core.xpc_engine = self
+
+    # ------------------------------------------------------------------
+    # Kernel interface (context switch)
+    # ------------------------------------------------------------------
+    def bind(self, thread, state: XPCThreadState) -> None:
+        """Install *thread*'s XPC registers (kernel, on context switch)."""
+        self.current_thread = thread
+        self.state = state
+
+    def unbind(self) -> None:
+        self.current_thread = None
+        self.state = None
+
+    # ------------------------------------------------------------------
+    # Translation hook (seg-reg has priority over the page table)
+    # ------------------------------------------------------------------
+    def seg_translate(self, va: int, access: PagePerm) -> Optional[int]:
+        state = self.state
+        if state is None or not state.seg_reg.valid:
+            return None
+        seg = state.seg_reg
+        if not seg.contains(va):
+            return None
+        if not seg.perm & access:
+            return None
+        return seg.translate(va)
+
+    # ------------------------------------------------------------------
+    # seg-mask / swapseg
+    # ------------------------------------------------------------------
+    def write_seg_mask(self, mask: SegMask) -> None:
+        """``csrw seg-mask`` — validated against the current window."""
+        state = self._require_state()
+        if not mask.is_identity:
+            # Validation at write time (Table 2: "Invalid seg-mask").
+            apply_mask(state.seg_reg, mask)
+        state.seg_mask = mask
+        self.core.tick(1)
+
+    def swapseg(self, index: int) -> None:
+        """``swapseg #reg`` — exchange seg-reg with a seg-list slot."""
+        state = self._require_state()
+        if state.seg_list is None:
+            raise XPCError("no seg-list installed (seg-listp is null)")
+        outgoing = state.seg_reg
+        if outgoing.valid:
+            outgoing.segment.active_owner = None
+        incoming = state.seg_list.swap(index, outgoing)
+        if incoming.valid:
+            seg = incoming.segment
+            if seg.active_owner not in (None, self.current_thread):
+                # Undo the swap and trap: the kernel's one-active-owner
+                # invariant (§3.3) would be violated.
+                state.seg_list.swap(index, incoming)
+                if outgoing.valid:
+                    outgoing.segment.active_owner = self.current_thread
+                raise XPCError(
+                    "relay segment is active on another thread/core"
+                )
+            seg.active_owner = self.current_thread
+        state.seg_reg = incoming
+        state.seg_mask = NO_MASK
+        self.stats.swapsegs += 1
+        if self.tracer is not None:
+            self.tracer.emit(self.core, "swapseg", f"slot={index}")
+        self.core.tick(self.params.swapseg)
+
+    # ------------------------------------------------------------------
+    # xcall / xret
+    # ------------------------------------------------------------------
+    def prefetch(self, entry_id: int) -> None:
+        """``xcall`` with a negative ID prefetches ``-ID`` (§4.1)."""
+        if self.cache is None:
+            return
+        self.cache.prefetch(entry_id, self.current_thread)
+        self.stats.prefetches += 1
+        self.core.tick(self.params.xentry_load)
+
+    def xcall(self, entry_id: int) -> Tuple[XEntry, SegReg]:
+        """Execute ``xcall #reg``; returns (entry, window passed).
+
+        The runtime library is responsible for actually running the
+        handler (the engine only redirects the PC); any XPCError raised
+        here is delivered to the kernel as an exception.
+        """
+        state = self._require_state()
+        if entry_id < 0:
+            self.prefetch(-entry_id)
+            raise XPCError("prefetch pseudo-call does not transfer control")
+        cycles = 6  # cap bit test + pipeline redirect (Fig. 5 floor)
+        try:
+            # 1. capability check
+            state.cap_bitmap.check(entry_id)
+            # 2. x-entry load (engine cache first)
+            entry = None
+            if self.cache is not None:
+                entry = self.cache.lookup(entry_id, self.current_thread)
+            if entry is None:
+                entry = self.table.load(entry_id)
+                cycles += self.params.xentry_load
+            else:
+                cycles += self.params.xentry_cache_hit
+        except XPCError:
+            self.stats.exceptions += 1
+            self.core.tick(cycles)
+            raise
+        # 3. linkage record push (non-blocking hides the store latency)
+        passed_seg = apply_mask(state.seg_reg, state.seg_mask)
+        record = LinkageRecord(
+            caller_aspace=self.core.aspace,
+            caller_state=state.cap_bitmap,
+            caller_thread=self.current_thread,
+            seg_reg=state.seg_reg,
+            seg_mask=state.seg_mask,
+            passed_seg=passed_seg,
+            callee_entry_id=entry_id,
+            caller_seg_list=state.seg_list,
+        )
+        state.link_stack.push(record)
+        cycles += (self.params.link_push_nonblocking
+                   if self.config.nonblocking_linkstack
+                   else self.params.link_push)
+        self.core.tick(cycles)
+        # 4. page-table pointer + PC switch (TLB cost charged by the core)
+        if passed_seg.valid:
+            seg = passed_seg.segment
+            if seg.active_owner not in (None, self.current_thread):
+                raise XPCError(
+                    "relay segment active on another thread "
+                    "(kernel single-owner invariant violated)"
+                )
+            seg.active_owner = self.current_thread
+            self.stats.seg_bytes_passed += passed_seg.length
+        self.caller_id_reg = state.cap_bitmap
+        state.seg_reg = passed_seg
+        state.seg_mask = NO_MASK
+        state.cap_bitmap = entry.callee_state or state.cap_bitmap
+        owner = entry.owner_process
+        if owner is not None and getattr(owner, "seg_list", None) is not None:
+            state.seg_list = owner.seg_list
+        self.core.set_address_space(entry.aspace)
+        entry.invocations += 1
+        self.stats.xcalls += 1
+        if self.tracer is not None:
+            self.tracer.emit(self.core, "xcall",
+                             f"entry={entry_id} "
+                             f"seg={passed_seg.length if passed_seg.valid else 0}B")
+        return entry, passed_seg
+
+    def xret(self) -> LinkageRecord:
+        """Execute ``xret``: pop, validate, restore the caller."""
+        state = self._require_state()
+        self.core.tick(self.params.xret_base)
+        try:
+            record = state.link_stack.pop()
+        except XPCError:
+            self.stats.exceptions += 1
+            raise
+        # Relay-seg integrity: the callee must return exactly the window
+        # it was handed (§3.3 "Return a relay-seg").
+        if state.seg_reg != record.passed_seg:
+            self.stats.exceptions += 1
+            # Put the record back: the kernel will repair the chain.
+            record.valid = True
+            state.link_stack.push(record)
+            raise InvalidLinkageError(
+                "seg-reg does not match the window saved in the linkage "
+                "record (possible relay-seg theft)"
+            )
+        state.seg_reg = record.seg_reg
+        state.seg_mask = record.seg_mask
+        state.cap_bitmap = record.caller_state
+        if record.caller_seg_list is not None:
+            state.seg_list = record.caller_seg_list
+        if record.seg_reg.valid:
+            record.seg_reg.segment.active_owner = record.caller_thread
+        self.core.set_address_space(record.caller_aspace)
+        self.stats.xrets += 1
+        if self.tracer is not None:
+            self.tracer.emit(self.core, "xret",
+                             f"entry={record.callee_entry_id}")
+        return record
+
+    # ------------------------------------------------------------------
+    def _require_state(self) -> XPCThreadState:
+        if self.state is None:
+            raise XPCError("no thread bound to the XPC engine")
+        return self.state

@@ -1,0 +1,62 @@
+"""The five XPC hardware exceptions (paper Table 2).
+
+Each exception names the faulting instruction exactly as the paper does;
+all are reported to the kernel, which decides how to recover (e.g. a stale
+linkage record after a process in the chain died, §4.2).
+"""
+
+from __future__ import annotations
+
+
+class XPCError(Exception):
+    """Base class for exceptions raised by the XPC engine."""
+
+    fault_instruction = "?"
+
+
+class InvalidXEntryError(XPCError):
+    """``xcall``: calling an invalid x-entry."""
+
+    fault_instruction = "xcall"
+
+    def __init__(self, entry_id: int, reason: str = "invalid x-entry"):
+        self.entry_id = entry_id
+        super().__init__(f"{reason} (id={entry_id})")
+
+
+class InvalidXCallCapError(XPCError):
+    """``xcall``: calling an x-entry without xcall-cap."""
+
+    fault_instruction = "xcall"
+
+    def __init__(self, entry_id: int):
+        self.entry_id = entry_id
+        super().__init__(f"no xcall capability for x-entry {entry_id}")
+
+
+class InvalidLinkageError(XPCError):
+    """``xret``: returning to an invalid linkage record."""
+
+    fault_instruction = "xret"
+
+    def __init__(self, reason: str = "invalid linkage record"):
+        super().__init__(reason)
+
+
+class InvalidSegMaskError(XPCError):
+    """``csrw seg-mask``: masked window out of the seg-reg range."""
+
+    fault_instruction = "csrw seg-mask, #reg"
+
+    def __init__(self, reason: str = "seg-mask out of relay-seg range"):
+        super().__init__(reason)
+
+
+class SwapSegError(XPCError):
+    """``swapseg``: swapping an invalid entry from the segment list."""
+
+    fault_instruction = "swapseg"
+
+    def __init__(self, index: int, reason: str = "bad seg-list slot"):
+        self.index = index
+        super().__init__(f"{reason} (index={index})")

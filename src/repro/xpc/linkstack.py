@@ -1,0 +1,89 @@
+"""The per-thread link stack of linkage records (paper §3.2).
+
+``xcall`` pushes a linkage record — everything user space cannot recover
+by itself: the caller's page-table pointer, return address, xcall-cap-reg,
+seg-list-reg, relay segment window and mask, and a valid bit.  ``xret``
+pops and validates it.  The kernel walks link stacks when a process dies
+to invalidate its records (§4.2 Application Termination).
+
+The *non-blocking* variant lets the engine retire ``xcall`` before the
+record write completes ("save the linkage record lazily", §3.2), hiding
+16 cycles; functionally the record is identical.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import List, Optional
+
+from repro.hw.paging import AddressSpace
+from repro.xpc.errors import InvalidLinkageError
+from repro.xpc.relayseg import SegMask, SegReg
+
+#: 8 KB per-thread stack (§4.1) over ~16-byte-per-field records.
+DEFAULT_CAPACITY = 512
+
+
+@dataclass
+class LinkageRecord:
+    """One frame of the calling chain."""
+
+    caller_aspace: AddressSpace
+    caller_state: object            # caller's xcall-cap-reg (thread state)
+    caller_thread: object
+    seg_reg: SegReg                 # caller's seg-reg at call time
+    seg_mask: SegMask               # caller's seg-mask at call time
+    passed_seg: SegReg              # window actually handed to the callee
+    callee_entry_id: int
+    caller_seg_list: object = None  # caller's seg-list-reg (§3.2)
+    valid: bool = True
+    return_token: object = None     # opaque continuation for the runtime
+
+
+class LinkStack:
+    """Bounded LIFO of linkage records, one per thread."""
+
+    def __init__(self, capacity: int = DEFAULT_CAPACITY) -> None:
+        if capacity <= 0:
+            raise ValueError("link stack capacity must be positive")
+        self.capacity = capacity
+        self._records: List[LinkageRecord] = []
+
+    def push(self, record: LinkageRecord) -> None:
+        if len(self._records) >= self.capacity:
+            raise InvalidLinkageError("link stack overflow")
+        self._records.append(record)
+
+    def pop(self) -> LinkageRecord:
+        """Pop and validity-check the top record (hardware, at xret)."""
+        if not self._records:
+            raise InvalidLinkageError("xret with empty link stack")
+        record = self._records.pop()
+        if not record.valid:
+            raise InvalidLinkageError(
+                "xret to an invalidated linkage record"
+            )
+        return record
+
+    def peek(self) -> Optional[LinkageRecord]:
+        return self._records[-1] if self._records else None
+
+    def invalidate_records_of(self, aspace: AddressSpace) -> int:
+        """Kernel scan: mark every record of a dead process invalid.
+
+        Matches by page-table pointer, as §4.2 describes.  Returns the
+        number of records invalidated.
+        """
+        count = 0
+        for record in self._records:
+            if record.caller_aspace is aspace and record.valid:
+                record.valid = False
+                count += 1
+        return count
+
+    @property
+    def depth(self) -> int:
+        return len(self._records)
+
+    def __iter__(self):
+        return iter(self._records)

@@ -1,0 +1,118 @@
+"""Relay page table: the §6.2 extension for non-contiguous messages.
+
+"The relay segment mechanism has a limitation that it can only support
+contiguous memory.  This issue can be solved by extending the segment
+design to support a page table design ... The page table walker will
+choose the different page table according to the VA being translated.
+However, the ownership transfer property will be harder to achieve,
+and relay page table can only support page-level granularity."
+
+This module implements that dual-page-table design faithfully,
+including its stated weaknesses: translation costs a walk (per level)
+instead of a register compare, granularity is the page, and ownership
+is tracked per *table*, not per byte range — so masking can only
+shrink to page boundaries.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List, Optional, Tuple
+
+from repro.hw.memory import PAGE_SIZE, PhysicalMemory
+from repro.hw.paging import PageFault, PagePerm, PageTable
+from repro.xpc.errors import InvalidSegMaskError
+
+
+class RelayPageTable:
+    """A second page table selected by VA range (dual-PT design)."""
+
+    #: The walker costs a radix walk just like the primary table.
+    WALK_LEVELS = 3
+
+    def __init__(self, mem: PhysicalMemory, va_base: int,
+                 npages: int) -> None:
+        if npages <= 0:
+            raise ValueError("relay page table needs at least one page")
+        if va_base % PAGE_SIZE:
+            raise ValueError("va_base must be page aligned")
+        self.mem = mem
+        self.va_base = va_base
+        self.npages = npages
+        self.table = PageTable(mem)
+        self.pages: List[int] = []
+        for i in range(npages):
+            pa = mem.alloc_page()          # deliberately NOT contiguous
+            self.table.map(va_base + i * PAGE_SIZE, pa, PagePerm.RW)
+            self.pages.append(pa)
+        #: Ownership is per table (page granularity at best).
+        self.active_owner: object = None
+        #: Window of visible pages [first_page, first_page + page_count).
+        self.first_page = 0
+        self.page_count = npages
+
+    @property
+    def length(self) -> int:
+        return self.page_count * PAGE_SIZE
+
+    def contains(self, va: int, n: int = 1) -> bool:
+        lo = self.va_base + self.first_page * PAGE_SIZE
+        return lo <= va and va + n <= lo + self.length
+
+    def translate(self, va: int, access: PagePerm = PagePerm.R
+                  ) -> Optional[int]:
+        """Walk the relay table; None if the VA is outside the window."""
+        if not self.contains(va):
+            return None
+        pa_page, perm, _ = self.table.walk(va & ~(PAGE_SIZE - 1))
+        if not perm & access:
+            raise PageFault(va, access, "relay page table permission")
+        return pa_page + (va % PAGE_SIZE)
+
+    def walk_cycles(self, params) -> int:
+        return self.WALK_LEVELS * params.page_walk_per_level
+
+    # -- page-granular masking (the stated §6.2 limitation) -----------------
+    def mask_pages(self, first_page: int, page_count: int) -> None:
+        if first_page < 0 or page_count <= 0 \
+                or first_page + page_count > self.npages:
+            raise InvalidSegMaskError(
+                "relay-page-table mask outside the table"
+            )
+        self.first_page = first_page
+        self.page_count = page_count
+
+    def unmask(self) -> None:
+        self.first_page = 0
+        self.page_count = self.npages
+
+    # -- data helpers ---------------------------------------------------------
+    def write(self, data: bytes, offset: int = 0) -> None:
+        if offset + len(data) > self.npages * PAGE_SIZE:
+            raise IndexError("write escapes the relay page table")
+        pos = 0
+        while pos < len(data):
+            page = (offset + pos) // PAGE_SIZE
+            poff = (offset + pos) % PAGE_SIZE
+            chunk = min(len(data) - pos, PAGE_SIZE - poff)
+            self.mem.write(self.pages[page] + poff,
+                           data[pos:pos + chunk])
+            pos += chunk
+
+    def read(self, n: int, offset: int = 0) -> bytes:
+        if offset + n > self.npages * PAGE_SIZE:
+            raise IndexError("read escapes the relay page table")
+        out = bytearray()
+        pos = 0
+        while pos < n:
+            page = (offset + pos) // PAGE_SIZE
+            poff = (offset + pos) % PAGE_SIZE
+            chunk = min(n - pos, PAGE_SIZE - poff)
+            out += self.mem.read(self.pages[page] + poff, chunk)
+            pos += chunk
+        return bytes(out)
+
+    def destroy(self) -> None:
+        for pa in self.pages:
+            self.mem.free_page(pa)
+        self.table.destroy()
+        self.pages = []

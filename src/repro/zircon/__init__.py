@@ -1,0 +1,14 @@
+"""A Zircon-like kernel: handle tables, async channels, and the
+simulated-synchronous call pattern — plus the Zircon-XPC port."""
+
+from repro.zircon.channel import (
+    ChannelEnd, HandleTable, HandleError, Message, channel_create,
+)
+from repro.zircon.kernel import ZirconKernel
+from repro.zircon.xpcglue import ZirconTransport, ZirconXPCTransport
+
+__all__ = [
+    "ChannelEnd", "HandleTable", "HandleError", "Message",
+    "channel_create", "ZirconKernel", "ZirconTransport",
+    "ZirconXPCTransport",
+]

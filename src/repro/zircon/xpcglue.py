@@ -1,0 +1,54 @@
+"""Zircon transports: baseline channels and the Zircon-XPC port."""
+
+from __future__ import annotations
+
+from typing import Dict, Tuple
+
+from repro.hw.cpu import Core
+from repro.ipc.transport import ServerRegistration, Transport
+from repro.ipc.xpc_transport import XPCTransport
+from repro.kernel.process import Thread
+from repro.zircon.kernel import ZirconKernel
+
+
+class ZirconTransport(Transport):
+    """Baseline Zircon: FIDL-style synchronous calls over channels."""
+
+    name = "Zircon"
+
+    def __init__(self, kernel: ZirconKernel, core: Core,
+                 client_thread: Thread) -> None:
+        super().__init__()
+        self.kernel = kernel
+        self.core = core
+        self.client_thread = client_thread
+        self._channels: Dict[int, Tuple[int, int]] = {}
+
+    def _bind(self, reg: ServerRegistration) -> None:
+        client_h, server_h = self.kernel.create_channel(
+            self.client_thread.process, reg.server_process, reg.name)
+        self._channels[reg.sid] = (client_h, server_h)
+
+    def call(self, sid: int, meta: tuple = (), payload: bytes = b"",
+             reply_capacity: int = 0,
+             cross_core: bool = False,
+             window_slice=None) -> Tuple[tuple, bytes]:
+        reg = self._reg(sid)
+        self.call_count += 1
+        self.bytes_moved += len(payload)
+        client_h, server_h = self._channels[sid]
+        self.kernel.run_thread(self.core, self.client_thread)
+        result = self.kernel.sync_call(
+            self.core, self.client_thread, reg.server_thread,
+            client_h, server_h, reg.handler, meta, payload,
+            cross_core=cross_core)
+        self.ipc_cycles += self.kernel.last_mech_cycles
+        return result
+
+
+class ZirconXPCTransport(XPCTransport):
+    """The Zircon-XPC port: XPC data plane + the FIDL wrapper's
+    residual per-call library overhead (paper §5.1)."""
+
+    name = "Zircon-XPC"
+    lib_overhead = 60

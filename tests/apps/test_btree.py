@@ -1,0 +1,147 @@
+"""B+tree: ordering, splits, scans, persistence, properties."""
+
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.apps.sqlite.btree import BTree, BTreeError
+from repro.apps.sqlite.pager import Pager
+from repro.services.fs import build_fs_stack
+from tests.conftest import TRANSPORT_SPECS, build_transport
+
+
+def make_pager(blocks=8192):
+    machine, kernel, transport, ct = build_transport(
+        TRANSPORT_SPECS[2], mem_bytes=256 * 1024 * 1024)
+    server, client, disk = build_fs_stack(transport, kernel,
+                                          disk_blocks=blocks)
+    return Pager(client, "/db"), client
+
+
+def key(i):
+    return f"user{i:08d}".encode()
+
+
+class TestBasics:
+    def test_insert_get(self):
+        pager, _ = make_pager()
+        tree = BTree(pager)
+        tree.insert(b"k1", b"v1")
+        assert tree.get(b"k1") == b"v1"
+        assert tree.get(b"k2") is None
+
+    def test_replace_updates_value(self):
+        pager, _ = make_pager()
+        tree = BTree(pager)
+        tree.insert(b"k", b"old")
+        tree.insert(b"k", b"new")
+        assert tree.get(b"k") == b"new"
+
+    def test_delete(self):
+        pager, _ = make_pager()
+        tree = BTree(pager)
+        tree.insert(b"k", b"v")
+        assert tree.delete(b"k")
+        assert tree.get(b"k") is None
+        assert not tree.delete(b"k")
+
+    def test_oversized_cell_rejected(self):
+        pager, _ = make_pager()
+        tree = BTree(pager)
+        with pytest.raises(BTreeError):
+            tree.insert(b"k", b"v" * 2000)
+
+
+class TestSplitsAndScale:
+    def test_many_inserts_split_and_stay_sorted(self):
+        pager, _ = make_pager()
+        tree = BTree(pager)
+        n = 500
+        for i in range(n):
+            tree.insert(key(i * 7919 % n), bytes(100))
+        keys = [k for k, _ in tree.items()]
+        assert keys == sorted(keys)
+        assert len(keys) == len(set(keys)) == n
+        assert tree.depth() >= 2
+
+    def test_root_moves_on_split(self):
+        pager, _ = make_pager()
+        tree = BTree(pager)
+        root0 = tree.root
+        for i in range(300):
+            tree.insert(key(i), bytes(150))
+        assert tree.root != root0
+        for i in range(300):
+            assert tree.get(key(i)) == bytes(150)
+
+    def test_reverse_insertion_order(self):
+        pager, _ = make_pager()
+        tree = BTree(pager)
+        for i in reversed(range(200)):
+            tree.insert(key(i), b"%d" % i)
+        assert [k for k, _ in tree.items()] == [key(i)
+                                                for i in range(200)]
+
+    def test_scan_range(self):
+        pager, _ = make_pager()
+        tree = BTree(pager)
+        for i in range(100):
+            tree.insert(key(i), b"v%d" % i)
+        rows = list(tree.scan(key(40), 10))
+        assert [k for k, _ in rows] == [key(i) for i in range(40, 50)]
+
+    def test_scan_past_end(self):
+        pager, _ = make_pager()
+        tree = BTree(pager)
+        for i in range(10):
+            tree.insert(key(i), b"v")
+        assert len(list(tree.scan(key(8), 100))) == 2
+
+    def test_scan_from_nonexistent_start(self):
+        pager, _ = make_pager()
+        tree = BTree(pager)
+        for i in range(0, 20, 2):
+            tree.insert(key(i), b"v")
+        rows = list(tree.scan(key(5), 3))
+        assert [k for k, _ in rows] == [key(6), key(8), key(10)]
+
+
+class TestPersistence:
+    def test_reopen_from_root(self):
+        pager, fs = make_pager()
+        tree = BTree(pager)
+        for i in range(150):
+            tree.insert(key(i), b"persisted-%d" % i)
+        root = tree.root
+        pager.flush()
+        fresh = BTree(Pager(fs, "/db"), root)
+        for i in range(150):
+            assert fresh.get(key(i)) == b"persisted-%d" % i
+
+
+@given(st.dictionaries(st.binary(min_size=1, max_size=60),
+                       st.binary(max_size=300), max_size=120))
+@settings(max_examples=15, deadline=None)
+def test_btree_matches_dict_model(mapping):
+    """Property: after arbitrary inserts the tree equals the dict."""
+    pager, _ = make_pager()
+    tree = BTree(pager)
+    for k, v in mapping.items():
+        tree.insert(k, v)
+    for k, v in mapping.items():
+        assert tree.get(k) == v
+    assert [k for k, _ in tree.items()] == sorted(mapping)
+
+
+@given(st.lists(st.binary(min_size=1, max_size=40), min_size=1,
+                max_size=60, unique=True), st.data())
+@settings(max_examples=15, deadline=None)
+def test_btree_delete_property(keys, data):
+    pager, _ = make_pager()
+    tree = BTree(pager)
+    for k in keys:
+        tree.insert(k, b"v")
+    victims = data.draw(st.lists(st.sampled_from(keys), unique=True))
+    for k in victims:
+        assert tree.delete(k)
+    survivors = sorted(set(keys) - set(victims))
+    assert [k for k, _ in tree.items()] == survivors

@@ -1,0 +1,132 @@
+"""The multi-server HTTP stack (paper §5.4)."""
+
+import os
+
+import pytest
+
+from repro.apps.httpd import (
+    HTTPClient, HTTPServer, build_request, build_response,
+    parse_request, parse_response,
+)
+from repro.services.crypto.server import CryptoClient, CryptoServer
+from repro.services.filecache import FileCacheClient, FileCacheServer
+from repro.services.net import build_net_stack
+from tests.conftest import TRANSPORT_SPECS, build_transport, make_server
+
+KEY = b"0123456789abcdef"
+
+
+def build_stack(spec=TRANSPORT_SPECS[4], encrypt=False):
+    machine, kernel, transport, ct = build_transport(
+        spec, mem_bytes=256 * 1024 * 1024)
+    net_server, net, dev = build_net_stack(transport, kernel)
+    cache_proc, cache_thread = make_server(kernel, "filecache")
+    cache_srv = FileCacheServer(transport, cache_proc, cache_thread)
+    crypto_proc, crypto_thread = make_server(kernel, "crypto")
+    crypto_srv = CryptoServer(transport, KEY, crypto_proc,
+                              crypto_thread)
+    cache = FileCacheClient(transport, cache_srv.sid)
+    crypto = CryptoClient(transport, crypto_srv.sid)
+    httpd = HTTPServer(net, cache, crypto, encrypt=encrypt)
+    client = HTTPClient(net, crypto)
+    client.connect()
+    return machine, httpd, client
+
+
+class TestMessageFormats:
+    def test_request_roundtrip(self):
+        raw = build_request("/index.html")
+        assert parse_request(raw) == "/index.html"
+
+    def test_bad_request(self):
+        assert parse_request(b"NONSENSE") is None
+        assert parse_request(b"POST / HTTP/1.1\r\n\r\n") is None
+        assert parse_request(b"GET / FTP") is None
+
+    def test_response_roundtrip(self):
+        raw = build_response(200, b"body bytes", encrypted=True)
+        status, headers, body = parse_response(raw)
+        assert status == 200
+        assert headers["X-Encrypted"] == "yes"
+        assert body == b"body bytes"
+
+
+class TestServing:
+    def test_static_file_served(self):
+        machine, httpd, client = build_stack()
+        body = b"<html>hello</html>"
+        httpd.publish("/index.html", body)
+        status, got = client.get(httpd, "/index.html")
+        assert status == 200
+        assert got == body
+        assert httpd.requests == 1
+
+    def test_404(self):
+        machine, httpd, client = build_stack()
+        status, got = client.get(httpd, "/missing.html")
+        assert status == 404
+        assert httpd.not_found == 1
+
+    def test_keep_alive_many_requests(self):
+        machine, httpd, client = build_stack()
+        httpd.publish("/a", b"AAAA")
+        httpd.publish("/b", b"BBBB")
+        for _ in range(3):
+            assert client.get(httpd, "/a")[1] == b"AAAA"
+            assert client.get(httpd, "/b")[1] == b"BBBB"
+        assert httpd.requests == 6
+
+    def test_encrypted_mode_roundtrip(self):
+        machine, httpd, client = build_stack(encrypt=True)
+        body = os.urandom(1500)
+        httpd.publish("/secret", body)
+        status, got = client.get(httpd, "/secret")
+        assert status == 200
+        assert got == body  # client decrypted it
+
+    def test_encryption_actually_on_the_wire(self):
+        machine, httpd, client = build_stack(encrypt=True)
+        body = b"plaintext marker ZZZ"
+        httpd.publish("/f", body)
+        raw_client = HTTPClient(httpd.net, crypto=None)
+        raw_client.connect()
+        status, raw_body = raw_client.get(httpd, "/f")
+        assert status == 200
+        assert raw_body != body  # ciphertext without the key
+
+    def test_encryption_needs_crypto_client(self):
+        machine, kernel, transport, ct = build_transport(
+            TRANSPORT_SPECS[4], mem_bytes=256 * 1024 * 1024)
+        net_server, net, dev = build_net_stack(transport, kernel)
+        cache_proc, cache_thread = make_server(kernel, "filecache")
+        cache_srv = FileCacheServer(transport, cache_proc, cache_thread)
+        cache = FileCacheClient(transport, cache_srv.sid)
+        with pytest.raises(ValueError):
+            HTTPServer(net, cache, None, encrypt=True)
+
+
+class TestCrossSystem:
+    @pytest.mark.parametrize(
+        "spec", [TRANSPORT_SPECS[0], TRANSPORT_SPECS[3],
+                 TRANSPORT_SPECS[4]],
+        ids=["seL4-twocopy", "Zircon", "Zircon-XPC"])
+    def test_serves_on_multiple_systems(self, spec):
+        machine, httpd, client = build_stack(spec)
+        httpd.publish("/x", b"portable")
+        assert client.get(httpd, "/x")[1] == b"portable"
+
+    def test_xpc_is_much_faster(self):
+        m_base, httpd_base, client_base = build_stack(TRANSPORT_SPECS[3])
+        m_xpc, httpd_xpc, client_xpc = build_stack(TRANSPORT_SPECS[4])
+        body = os.urandom(1024)
+        for httpd, client in ((httpd_base, client_base),
+                              (httpd_xpc, client_xpc)):
+            httpd.publish("/i", body)
+            client.get(httpd, "/i")  # warm
+        b0 = m_base.core0.cycles
+        client_base.get(httpd_base, "/i")
+        base = m_base.core0.cycles - b0
+        x0 = m_xpc.core0.cycles
+        client_xpc.get(httpd_xpc, "/i")
+        xpc = m_xpc.core0.cycles - x0
+        assert base / xpc > 5  # paper: ~12x without encryption

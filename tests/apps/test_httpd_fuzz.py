@@ -1,0 +1,47 @@
+"""Fuzzing the HTTP message parsers (they face the network)."""
+
+from hypothesis import given, strategies as st
+
+from repro.apps.httpd import (
+    build_request, build_response, parse_request, parse_response,
+)
+
+
+@given(st.binary(max_size=200))
+def test_parse_request_never_crashes(raw):
+    result = parse_request(raw)
+    assert result is None or isinstance(result, str)
+
+
+@given(st.text(alphabet=st.characters(min_codepoint=33,
+                                      max_codepoint=126),
+               min_size=1, max_size=60))
+def test_request_roundtrip_any_path(path):
+    assert parse_request(build_request(path)) == path
+
+
+@given(st.sampled_from([200, 404, 400]), st.binary(max_size=500),
+       st.booleans())
+def test_response_roundtrip(status, body, encrypted):
+    raw = build_response(status, body, encrypted)
+    got_status, headers, got_body = parse_response(raw)
+    assert got_status == status
+    assert got_body == body
+    assert headers["Content-Length"] == str(len(body))
+    assert headers["X-Encrypted"] == ("yes" if encrypted else "no")
+
+
+@given(st.binary(max_size=300))
+def test_response_with_binary_body_containing_separators(body):
+    """Bodies that contain CRLFCRLF must not confuse the parser."""
+    raw = build_response(200, b"\r\n\r\n" + body)
+    status, headers, got = parse_response(raw)
+    assert got == b"\r\n\r\n" + body
+
+
+def test_garbage_method_rejected():
+    assert parse_request(b"BREW /pot HTCPCP/1.0\r\n\r\n") is None
+
+
+def test_missing_version_rejected():
+    assert parse_request(b"GET /only-two-fields\r\n\r\n") is None

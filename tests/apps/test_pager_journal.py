@@ -1,0 +1,138 @@
+"""Pager and rollback journal."""
+
+import pytest
+
+from repro.apps.sqlite.journal import Journal, JournalError
+from repro.apps.sqlite.pager import PAGE_SIZE, Pager, PagerError
+from repro.services.fs import build_fs_stack
+from tests.conftest import TRANSPORT_SPECS, build_transport
+
+
+@pytest.fixture
+def fs():
+    machine, kernel, transport, ct = build_transport(
+        TRANSPORT_SPECS[2], mem_bytes=256 * 1024 * 1024)
+    server, client, disk = build_fs_stack(transport, kernel,
+                                          disk_blocks=4096)
+    return client
+
+
+def page_of(byte):
+    return bytes([byte]) * PAGE_SIZE
+
+
+class TestPager:
+    def test_allocate_and_rw(self, fs):
+        pager = Pager(fs, "/db")
+        pgno = pager.allocate_page()
+        pager.write_page(pgno, page_of(0x5A))
+        assert pager.read_page(pgno) == page_of(0x5A)
+
+    def test_flush_persists(self, fs):
+        pager = Pager(fs, "/db")
+        pgno = pager.allocate_page()
+        pager.write_page(pgno, page_of(0x77))
+        pager.flush()
+        fresh = Pager(fs, "/db")
+        assert fresh.read_page(pgno) == page_of(0x77)
+
+    def test_out_of_range(self, fs):
+        pager = Pager(fs, "/db")
+        with pytest.raises(PagerError):
+            pager.read_page(0)
+
+    def test_wrong_size_write(self, fs):
+        pager = Pager(fs, "/db")
+        pager.allocate_page()
+        with pytest.raises(PagerError):
+            pager.write_page(0, b"short")
+
+    def test_eviction_writes_back_dirty_pages(self, fs):
+        pager = Pager(fs, "/db", cache_pages=2)
+        pages = [pager.allocate_page() for _ in range(4)]
+        for i, pgno in enumerate(pages):
+            pager.write_page(pgno, page_of(i + 1))
+        pager.flush()
+        for i, pgno in enumerate(pages):
+            assert pager.read_page(pgno) == page_of(i + 1)
+
+    def test_existing_unaligned_file_rejected(self, fs):
+        fs.create("/odd")
+        fs.write("/odd", b"x" * 100)
+        with pytest.raises(PagerError):
+            Pager(fs, "/odd")
+
+
+class TestJournal:
+    def _pager(self, fs):
+        pager = Pager(fs, "/db")
+        journal = Journal(fs, pager)
+        pgno = pager.allocate_page()
+        pager.write_page(pgno, page_of(0xAA))
+        pager.flush()
+        return pager, journal, pgno
+
+    def test_commit_applies(self, fs):
+        pager, journal, pgno = self._pager(fs)
+        journal.begin()
+        pager.write_page(pgno, page_of(0xBB))
+        journal.commit()
+        assert Pager(fs, "/db").read_page(pgno) == page_of(0xBB)
+        assert not fs.exists("/db-journal") or \
+            fs.stat("/db-journal")[2] == 0
+
+    def test_rollback_restores(self, fs):
+        pager, journal, pgno = self._pager(fs)
+        journal.begin()
+        pager.write_page(pgno, page_of(0xCC))
+        journal.rollback()
+        assert pager.read_page(pgno) == page_of(0xAA)
+        assert journal.rollbacks == 1
+
+    def test_recover_hot_journal(self, fs):
+        """Simulate a crash after the journal was written but before
+        the commit finished: recovery must restore the pre-image."""
+        pager, journal, pgno = self._pager(fs)
+        journal.begin()
+        pager.write_page(pgno, page_of(0xDD))
+        journal._write_journal()               # journal hits the disk
+        pager.flush()                           # ...db partially updated
+        # "crash" — no truncate, no finish.  Reopen:
+        pager2 = Pager(fs, "/db")
+        journal2 = Journal(fs, pager2)
+        restored = journal2.recover()
+        assert restored == 1
+        assert pager2.read_page(pgno) == page_of(0xAA)
+
+    def test_recover_on_clean_db_is_noop(self, fs):
+        pager, journal, pgno = self._pager(fs)
+        assert journal.recover() == 0
+
+    def test_nested_begin_rejected(self, fs):
+        pager, journal, pgno = self._pager(fs)
+        journal.begin()
+        with pytest.raises(JournalError):
+            journal.begin()
+        journal.commit()
+
+    def test_commit_without_begin(self, fs):
+        pager, journal, pgno = self._pager(fs)
+        with pytest.raises(JournalError):
+            journal.commit()
+
+    def test_new_pages_have_no_preimage(self, fs):
+        pager, journal, pgno = self._pager(fs)
+        journal.begin()
+        fresh = pager.allocate_page()
+        pager.write_page(fresh, page_of(0x12))
+        journal.commit()
+        assert pager.read_page(fresh) == page_of(0x12)
+
+    def test_original_recorded_once(self, fs):
+        pager, journal, pgno = self._pager(fs)
+        journal.begin()
+        pager.write_page(pgno, page_of(1))
+        pager.write_page(pgno, page_of(2))
+        assert len(journal._originals) == 1
+        journal.rollback()
+        assert pager.read_page(pgno) == page_of(0xAA)

@@ -1,0 +1,119 @@
+"""The YCSB driver: distributions, workload mixes, determinism."""
+
+import random
+
+import pytest
+
+from repro.apps.sqlite.db import Database
+from repro.apps.ycsb import (
+    WORKLOADS, YCSBDriver, ZipfianGenerator,
+)
+from repro.services.fs import build_fs_stack
+from tests.conftest import TRANSPORT_SPECS, build_transport
+
+
+def make_driver(records=60):
+    machine, kernel, transport, ct = build_transport(
+        TRANSPORT_SPECS[2], mem_bytes=256 * 1024 * 1024)
+    server, client, disk = build_fs_stack(transport, kernel,
+                                          disk_blocks=8192)
+    db = Database(client)
+    driver = YCSBDriver(db, records=records, fields=2, field_size=40)
+    driver.load()
+    return machine, db, driver
+
+
+class TestZipfian:
+    def test_range(self):
+        gen = ZipfianGenerator(100, rng=random.Random(1))
+        for _ in range(500):
+            assert 0 <= gen.next() < 100
+
+    def test_skew_favours_low_ranks(self):
+        gen = ZipfianGenerator(1000, rng=random.Random(2))
+        samples = [gen.next() for _ in range(3000)]
+        head = sum(1 for s in samples if s < 100)
+        assert head > len(samples) * 0.5  # zipf(0.99): heavy head
+
+    def test_deterministic_with_seed(self):
+        a = ZipfianGenerator(50, rng=random.Random(7))
+        b = ZipfianGenerator(50, rng=random.Random(7))
+        assert [a.next() for _ in range(50)] == \
+            [b.next() for _ in range(50)]
+
+    def test_bad_n(self):
+        with pytest.raises(ValueError):
+            ZipfianGenerator(0)
+
+
+class TestWorkloadSpecs:
+    def test_all_six_defined(self):
+        assert sorted(WORKLOADS) == list("ABCDEF")
+
+    def test_mixes_sum_to_one(self):
+        for spec in WORKLOADS.values():
+            total = (spec.read + spec.update + spec.insert
+                     + spec.scan + spec.rmw)
+            assert abs(total - 1.0) < 1e-9
+
+    def test_c_is_read_only(self):
+        assert WORKLOADS["C"].read == 1.0
+
+    def test_d_reads_latest(self):
+        assert WORKLOADS["D"].latest
+
+
+class TestDriver:
+    def test_load_populates_table(self):
+        machine, db, driver = make_driver()
+        assert db.get("usertable", YCSBDriver.key_for(0)) is not None
+        assert db.get("usertable", YCSBDriver.key_for(59)) is not None
+        assert len(db.get("usertable", YCSBDriver.key_for(3))) == 80
+
+    def test_workload_a_mixes_reads_and_updates(self):
+        machine, db, driver = make_driver()
+        stats = driver.run("A", ops=60)
+        assert stats.ops == 60
+        assert stats.reads > 10
+        assert stats.updates > 10
+        assert stats.missing == 0
+
+    def test_workload_c_only_reads(self):
+        machine, db, driver = make_driver()
+        stats = driver.run("C", ops=40)
+        assert stats.reads == 40
+        assert stats.updates == stats.inserts == stats.scans == 0
+
+    def test_workload_d_inserts_and_reads_them(self):
+        machine, db, driver = make_driver()
+        stats = driver.run("D", ops=80)
+        assert stats.inserts > 0
+        assert stats.missing == 0
+        assert driver.next_insert > 60
+
+    def test_workload_e_scans(self):
+        machine, db, driver = make_driver()
+        stats = driver.run("E", ops=30)
+        assert stats.scans > 20
+
+    def test_workload_f_rmw(self):
+        machine, db, driver = make_driver()
+        stats = driver.run("F", ops=40)
+        assert stats.rmws > 5
+        assert stats.missing == 0
+
+    def test_name_normalization(self):
+        machine, db, driver = make_driver()
+        assert driver.run("ycsb-a", ops=5).ops == 5
+
+    def test_update_heavy_costs_more_than_read_only(self):
+        """The Figure 1/8 story: A and F are write-bound, C is not."""
+        machine, db, driver = make_driver()
+        core = machine.core0
+        before = core.cycles
+        driver.run("C", ops=25)
+        cost_c = core.cycles - before
+        before = core.cycles
+        driver.run("A", ops=25)
+        cost_a = core.cycles - before
+        assert cost_a > 2 * cost_c

@@ -1,0 +1,142 @@
+"""Binder driver, framework, ashmem, and the XPC variants."""
+
+import pytest
+
+from repro.hw.machine import Machine
+from repro.kernel.kernel import BaseKernel, KernelError
+from repro.binder import (
+    AshmemXPCFramework, BinderDriver, BinderFramework, BinderService,
+    Parcel, XPCBinderDriver, XPCBinderFramework,
+)
+
+
+class EchoService(BinderService):
+    CODE = 7
+
+    def on_transact(self, code, data):
+        assert code == self.CODE
+        reply = Parcel()
+        reply.write_blob(data.read_blob()[::-1])
+        return reply
+
+
+def build(fw_cls=BinderFramework, drv_cls=BinderDriver):
+    machine = Machine(cores=1, mem_bytes=256 * 1024 * 1024)
+    kernel = BaseKernel(machine, "linux")
+    server = kernel.create_process("server")
+    client = kernel.create_process("client")
+    st = kernel.create_thread(server)
+    ct = kernel.create_thread(client)
+    driver = drv_cls(kernel)
+    framework = fw_cls(driver)
+    core = machine.core0
+    kernel.run_thread(core, st)
+    service = EchoService(framework, server, st, "echo")
+    framework.add_service(core, service)
+    kernel.run_thread(core, ct)
+    return machine, kernel, framework, service, ct
+
+
+FRAMEWORKS = [
+    ("Binder", BinderFramework, BinderDriver),
+    ("Binder-XPC", XPCBinderFramework, XPCBinderDriver),
+    ("Ashmem-XPC", AshmemXPCFramework, BinderDriver),
+]
+
+
+@pytest.mark.parametrize("name,fw,drv", FRAMEWORKS,
+                         ids=[f[0] for f in FRAMEWORKS])
+def test_transact_roundtrip(name, fw, drv):
+    machine, kernel, framework, service, ct = build(fw, drv)
+    proxy = framework.get_service(machine.core0, ct, "echo")
+    data = Parcel()
+    data.write_blob(b"abcdef")
+    reply = proxy.transact(machine.core0, EchoService.CODE, data)
+    assert reply.read_blob() == b"fedcba"
+
+
+def test_service_manager_rejects_duplicates():
+    machine, kernel, framework, service, ct = build()
+    dup = EchoService(framework, service.process, service.thread, "echo")
+    with pytest.raises(KernelError):
+        framework.add_service(machine.core0, dup)
+
+
+def test_unknown_service():
+    machine, kernel, framework, service, ct = build()
+    with pytest.raises(KernelError):
+        framework.get_service(machine.core0, ct, "nope")
+
+
+def test_bad_handle():
+    machine, kernel, framework, service, ct = build()
+    with pytest.raises(KernelError):
+        framework.transact(machine.core0, ct, 42, 0, Parcel())
+
+
+def test_baseline_twofold_copy_is_charged():
+    machine, kernel, framework, service, ct = build()
+    proxy = framework.get_service(machine.core0, ct, "echo")
+    blob = b"z" * 8192
+    data = Parcel()
+    data.write_blob(blob)
+    before = machine.core0.cycles
+    proxy.transact(machine.core0, EchoService.CODE, data)
+    cost = machine.core0.cycles - before
+    # At least two copies of the 8 KB parcel (in + out).
+    assert cost > 2 * kernel.params.copy_cycles(8192)
+
+
+def test_xpc_transact_avoids_driver_traps():
+    m1, k1, fw1, s1, ct1 = build()
+    m2, k2, fw2, s2, ct2 = build(XPCBinderFramework, XPCBinderDriver)
+    blob = b"q" * 2048
+    for machine, fw, ct in ((m1, fw1, ct1), (m2, fw2, ct2)):
+        proxy = fw.get_service(machine.core0, ct, "echo")
+        data = Parcel()
+        data.write_blob(blob)
+        proxy.transact(machine.core0, EchoService.CODE, data)  # warm
+        data2 = Parcel()
+        data2.write_blob(blob)
+        machine._before = machine.core0.cycles
+        proxy.transact(machine.core0, EchoService.CODE, data2)
+        machine._cost = machine.core0.cycles - machine._before
+    assert m2._cost * 10 < m1._cost   # paper: 46x at 2 KB; be lenient
+
+
+class TestAshmem:
+    def test_fd_transfer_and_shared_contents(self):
+        machine, kernel, framework, service, ct = build()
+        core = machine.core0
+        ashmem = framework.driver.ashmem
+        fd = framework.ashmem_create(core, ct.process, 8192)
+        framework.ashmem_mmap(core, ct.process, fd)
+        region = ashmem.region(ct.process, fd)
+        machine.memory.write(region.pa, b"surface data")
+        new_fd = ashmem.dup_into(core, ct.process, fd, service.process)
+        other = ashmem.region(service.process, new_fd)
+        assert other is region
+
+    def test_relay_backed_region(self):
+        machine, kernel, framework, service, ct = build(
+            XPCBinderFramework, XPCBinderDriver)
+        core = machine.core0
+        fd = framework.ashmem_create(core, ct.process, 8192)
+        region = framework.driver.ashmem.region(ct.process, fd)
+        assert region.is_relay
+        va = framework.ashmem_mmap(core, ct.process, fd)
+        assert va == region.relay_seg.va_base
+
+    def test_relay_mmap_is_cheap(self):
+        machine, kernel, framework, service, ct = build(
+            AshmemXPCFramework, BinderDriver)
+        core = machine.core0
+        fd = framework.ashmem_create(core, ct.process, 8192)
+        before = core.cycles
+        framework.ashmem_mmap(core, ct.process, fd)
+        assert core.cycles - before == kernel.params.swapseg
+
+    def test_bad_fd(self):
+        machine, kernel, framework, service, ct = build()
+        with pytest.raises(KeyError):
+            framework.driver.ashmem.region(ct.process, 99)

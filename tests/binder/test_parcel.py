@@ -1,0 +1,87 @@
+"""Parcel marshaling."""
+
+import pytest
+from hypothesis import given, strategies as st
+
+from repro.binder.parcel import Parcel, ParcelError
+
+
+def test_typed_roundtrip():
+    p = Parcel()
+    p.write_i32(-7)
+    p.write_i64(1 << 40)
+    p.write_string("héllo wörld")
+    p.write_blob(b"\x00\x01\x02")
+    p.write_fd(5)
+    q = Parcel(p.marshal())
+    assert q.read_i32() == -7
+    assert q.read_i64() == 1 << 40
+    assert q.read_string() == "héllo wörld"
+    assert q.read_blob() == b"\x00\x01\x02"
+    assert q.read_fd() == 5
+
+
+def test_tag_mismatch_raises():
+    p = Parcel()
+    p.write_i32(1)
+    q = Parcel(p.marshal())
+    with pytest.raises(ParcelError):
+        q.read_string()
+
+
+def test_read_past_end():
+    with pytest.raises(ParcelError):
+        Parcel().read_i32()
+
+
+def test_fd_scan_finds_all_fds():
+    p = Parcel()
+    p.write_fd(3)
+    p.write_string("mid")
+    p.write_fd(9)
+    p.write_blob(b"x" * 100)
+    assert p.fds() == [3, 9]
+
+
+def test_fd_scan_ignores_other_ints():
+    p = Parcel()
+    p.write_i32(3)
+    assert p.fds() == []
+
+
+def test_corrupt_parcel_detected():
+    with pytest.raises(ParcelError):
+        Parcel(b"\xff\x00\x00").fds()
+
+
+def test_rewind():
+    p = Parcel()
+    p.write_i32(5)
+    q = Parcel(p.marshal())
+    assert q.read_i32() == 5
+    q.rewind()
+    assert q.read_i32() == 5
+
+
+@given(values=st.lists(
+    st.one_of(st.integers(-2**31, 2**31 - 1),
+              st.text(max_size=40),
+              st.binary(max_size=200)),
+    max_size=12))
+def test_roundtrip_any_sequence(values):
+    p = Parcel()
+    for v in values:
+        if isinstance(v, int):
+            p.write_i32(v)
+        elif isinstance(v, str):
+            p.write_string(v)
+        else:
+            p.write_blob(v)
+    q = Parcel(p.marshal())
+    for v in values:
+        if isinstance(v, int):
+            assert q.read_i32() == v
+        elif isinstance(v, str):
+            assert q.read_string() == v
+        else:
+            assert q.read_blob() == v

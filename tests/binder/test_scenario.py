@@ -1,0 +1,114 @@
+"""The Figure 9 scenario: functional checks + latency ordering."""
+
+import os
+
+import pytest
+
+from repro.hw.machine import Machine
+from repro.kernel.kernel import BaseKernel
+from repro.binder import (
+    AshmemXPCFramework, BinderDriver, BinderFramework,
+    SurfaceCompositor, WindowManagerService, XPCBinderDriver,
+    XPCBinderFramework,
+)
+
+
+def setup(fw_cls, drv_cls):
+    machine = Machine(cores=1, mem_bytes=256 * 1024 * 1024)
+    kernel = BaseKernel(machine, "linux")
+    wm_proc = kernel.create_process("windowmanager")
+    sc_proc = kernel.create_process("compositor")
+    wm_thread = kernel.create_thread(wm_proc)
+    sc_thread = kernel.create_thread(sc_proc)
+    driver = drv_cls(kernel)
+    framework = fw_cls(driver)
+    core = machine.core0
+    kernel.run_thread(core, wm_thread)
+    wm = WindowManagerService(framework, wm_proc, wm_thread)
+    framework.add_service(core, wm)
+    kernel.run_thread(core, sc_thread)
+    compositor = SurfaceCompositor(framework, core, sc_thread)
+    return machine, wm, compositor
+
+
+CONFIGS = [
+    ("Binder", BinderFramework, BinderDriver),
+    ("Binder-XPC", XPCBinderFramework, XPCBinderDriver),
+    ("Ashmem-XPC", AshmemXPCFramework, BinderDriver),
+]
+
+
+@pytest.mark.parametrize("name,fw,drv", CONFIGS, ids=[c[0] for c in CONFIGS])
+def test_buffer_mode_draws_the_right_bytes(name, fw, drv):
+    machine, wm, compositor = setup(fw, drv)
+    surface = os.urandom(4096)
+    status, checksum = compositor.send_via_buffer(surface)
+    assert status == 0
+    assert wm.surfaces_drawn == 1
+    assert wm.bytes_drawn == 4096
+    assert checksum == sum(surface[::4096]) & 0xFFFF
+
+
+@pytest.mark.parametrize("name,fw,drv", CONFIGS, ids=[c[0] for c in CONFIGS])
+def test_ashmem_mode_draws_the_right_bytes(name, fw, drv):
+    machine, wm, compositor = setup(fw, drv)
+    surface = os.urandom(16384)
+    status, checksum = compositor.send_via_ashmem(surface)
+    assert status == 0
+    assert wm.bytes_drawn == 16384
+    assert checksum == sum(surface[::4096]) & 0xFFFF
+
+
+def _latency(fw, drv, mode, size):
+    machine, wm, compositor = setup(fw, drv)
+    surface = os.urandom(size)
+    send = (compositor.send_via_buffer if mode == "buffer"
+            else compositor.send_via_ashmem)
+    send(surface)  # warm up (ashmem create + maps)
+    before = machine.core0.cycles
+    send(surface)
+    return machine.core0.cycles - before
+
+
+def test_figure9a_ordering():
+    """Binder-XPC must beat Binder by >10x at 2 KB buffers."""
+    base = _latency(BinderFramework, BinderDriver, "buffer", 2048)
+    xpc = _latency(XPCBinderFramework, XPCBinderDriver, "buffer", 2048)
+    assert base / xpc > 10
+
+
+def test_figure9b_ordering_small():
+    base = _latency(BinderFramework, BinderDriver, "ashmem", 4096)
+    xpc = _latency(XPCBinderFramework, XPCBinderDriver, "ashmem", 4096)
+    ash = _latency(AshmemXPCFramework, BinderDriver, "ashmem", 4096)
+    assert base / xpc > 10          # paper: 54.2x
+    assert 1.2 < base / ash < 20    # paper: 1.6x (transactions unchanged)
+
+
+def test_figure9b_ratio_shrinks_with_size():
+    """At 4 MB the copy dominates and the gain falls to a few x."""
+    base = _latency(BinderFramework, BinderDriver, "ashmem", 4 << 20)
+    xpc = _latency(XPCBinderFramework, XPCBinderDriver, "ashmem",
+                   4 << 20)
+    small_ratio = (_latency(BinderFramework, BinderDriver, "ashmem",
+                            4096)
+                   / _latency(XPCBinderFramework, XPCBinderDriver,
+                              "ashmem", 4096))
+    big_ratio = base / xpc
+    assert 1.5 < big_ratio < 10     # paper: 2.8x at 32 MB
+    assert big_ratio < small_ratio
+
+
+def test_tocttou_copy_only_in_baseline():
+    """Relay-backed ashmem serves in place; baseline copies out."""
+    m_base, wm_base, sc_base = setup(BinderFramework, BinderDriver)
+    m_xpc, wm_xpc, sc_xpc = setup(AshmemXPCFramework, BinderDriver)
+    surface = os.urandom(65536)
+    sc_base.send_via_ashmem(surface)
+    sc_xpc.send_via_ashmem(surface)
+    # Same surfaces drawn...
+    assert wm_base.bytes_drawn == wm_xpc.bytes_drawn == 65536
+    # ...but only the baseline paid the TOCTTOU copy.
+    base_cost = m_base.core0.cycles
+    xpc_cost = m_xpc.core0.cycles
+    assert base_cost > xpc_cost

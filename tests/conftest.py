@@ -1,0 +1,89 @@
+"""Shared fixtures: machines, kernels, and the five transports."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.hw.machine import Machine
+from repro.kernel.kernel import BaseKernel
+from repro.sel4 import Sel4Kernel, Sel4Transport, Sel4XPCTransport
+from repro.zircon import ZirconKernel, ZirconTransport, ZirconXPCTransport
+
+MEM = 128 * 1024 * 1024
+
+
+@pytest.fixture
+def machine():
+    return Machine(cores=2, mem_bytes=MEM)
+
+
+@pytest.fixture
+def kernel(machine):
+    return BaseKernel(machine)
+
+
+@pytest.fixture
+def core(machine):
+    return machine.core0
+
+
+def make_client(kernel):
+    """A client process/thread pair, dispatched on core 0."""
+    process = kernel.create_process("client")
+    thread = kernel.create_thread(process)
+    kernel.run_thread(kernel.machine.core0, thread)
+    return process, thread
+
+
+def make_server(kernel, name="server"):
+    process = kernel.create_process(name)
+    thread = kernel.create_thread(process)
+    return process, thread
+
+
+TRANSPORT_SPECS = [
+    ("seL4-twocopy", Sel4Kernel, Sel4Transport, {"copies": 2}),
+    ("seL4-onecopy", Sel4Kernel, Sel4Transport, {"copies": 1}),
+    ("seL4-XPC", Sel4Kernel, Sel4XPCTransport, {}),
+    ("Zircon", ZirconKernel, ZirconTransport, {}),
+    ("Zircon-XPC", ZirconKernel, ZirconXPCTransport, {}),
+]
+
+
+def build_transport(spec, mem_bytes=MEM, cores=2):
+    """Build (machine, kernel, transport, client_thread) for a spec."""
+    name, kernel_cls, transport_cls, kwargs = spec
+    machine = Machine(cores=cores, mem_bytes=mem_bytes)
+    kernel = kernel_cls(machine)
+    client_proc = kernel.create_process("app")
+    client_thread = kernel.create_thread(client_proc)
+    kernel.run_thread(machine.core0, client_thread)
+    transport = transport_cls(kernel, machine.core0, client_thread,
+                              **kwargs)
+    return machine, kernel, transport, client_thread
+
+
+@pytest.fixture(params=TRANSPORT_SPECS, ids=[s[0] for s in TRANSPORT_SPECS])
+def any_transport(request):
+    """Parametrized fixture: every system the paper evaluates."""
+    machine, kernel, transport, client_thread = build_transport(
+        request.param)
+    return machine, kernel, transport, client_thread
+
+
+@pytest.fixture(params=[TRANSPORT_SPECS[2], TRANSPORT_SPECS[4]],
+                ids=["seL4-XPC", "Zircon-XPC"])
+def xpc_transport(request):
+    machine, kernel, transport, client_thread = build_transport(
+        request.param)
+    return machine, kernel, transport, client_thread
+
+
+def register_echo(kernel, transport, name="echo"):
+    """Register a byte-echo service on *transport*; returns the sid."""
+    server_proc, server_thread = make_server(kernel, name)
+
+    def echo(meta, payload):
+        return ("ok",) + tuple(meta), payload.read()
+
+    return transport.register(name, echo, server_proc, server_thread)

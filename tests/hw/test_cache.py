@@ -1,0 +1,65 @@
+"""Cache timing model."""
+
+from repro.hw.cache import CacheModel, _TagArray
+from repro.params import DEFAULT_PARAMS
+
+
+def test_tag_array_hit_after_miss():
+    tags = _TagArray(1024, 2, 64)
+    assert tags.access(0x100) is False
+    assert tags.access(0x100) is True
+    assert tags.access(0x13F) is True  # same 64-byte line
+
+
+def test_tag_array_lru_eviction():
+    tags = _TagArray(2 * 64, 2, 64)  # 1 set, 2 ways
+    tags.access(0 * 64)
+    tags.access(1 * 64)
+    tags.access(0 * 64)      # line 0 most recent
+    tags.access(2 * 64)      # evicts line 1
+    assert tags.access(0 * 64) is True
+    assert tags.access(1 * 64) is False
+
+
+def test_first_access_costs_dram():
+    cache = CacheModel(DEFAULT_PARAMS)
+    cold = cache.access_cycles(0x4000, 8)
+    warm = cache.access_cycles(0x4000, 8)
+    assert cold == DEFAULT_PARAMS.dram_access
+    assert warm == DEFAULT_PARAMS.l1_hit
+
+
+def test_l2_hit_after_l1_eviction():
+    params = DEFAULT_PARAMS
+    cache = CacheModel(params, l1_size=4 * 64, l1_ways=1)
+    cache.access_cycles(0x0, 8)
+    # Conflict: same L1 set (4 sets, stride 4*64)
+    cache.access_cycles(4 * 64, 8)
+    cost = cache.access_cycles(0x0, 8)
+    assert cost == params.l2_hit
+
+
+def test_multiline_access_sums_lines():
+    cache = CacheModel(DEFAULT_PARAMS)
+    cost = cache.access_cycles(0x8000, 128)  # 2 (or 3) lines cold
+    assert cost >= 2 * DEFAULT_PARAMS.dram_access
+
+
+def test_stream_cycles_matches_paper_calibration():
+    # Paper Table 1: a 4 KB message transfer costs about 4010 cycles.
+    cost = CacheModel(DEFAULT_PARAMS).stream_cycles(4096)
+    assert abs(cost - 4010) < 30
+
+
+def test_bulk_copy_rate_cheaper_beyond_l2():
+    p = DEFAULT_PARAMS
+    small = p.copy_cycles(64 * 1024) / (64 * 1024)
+    big = p.copy_cycles(32 * 1024 * 1024) / (32 * 1024 * 1024)
+    assert big < small
+
+
+def test_flush_forgets_everything():
+    cache = CacheModel(DEFAULT_PARAMS)
+    cache.access_cycles(0x4000, 8)
+    cache.flush()
+    assert cache.access_cycles(0x4000, 8) == DEFAULT_PARAMS.dram_access

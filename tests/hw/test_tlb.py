@@ -1,0 +1,78 @@
+"""TLB behaviour: tagging, LRU, flushes."""
+
+from repro.hw.paging import PagePerm
+from repro.hw.tlb import TLB
+
+
+def test_miss_then_hit():
+    tlb = TLB(entries=16, ways=4)
+    assert tlb.lookup(0x1000, 1) is None
+    tlb.insert(0x1000, 1, 0x9000, PagePerm.RW)
+    assert tlb.lookup(0x1000, 1) == (0x9000, PagePerm.RW)
+    assert tlb.stats.misses == 1
+    assert tlb.stats.hits == 1
+
+
+def test_untagged_ignores_asid():
+    tlb = TLB(entries=16, ways=4, tagged=False)
+    tlb.insert(0x1000, 1, 0x9000, PagePerm.R)
+    # In untagged mode another ASID still hits (that is why a flush is
+    # required on address-space switch).
+    assert tlb.lookup(0x1000, 2) is not None
+
+
+def test_tagged_separates_asids():
+    tlb = TLB(entries=16, ways=4, tagged=True)
+    tlb.insert(0x1000, 1, 0x9000, PagePerm.R)
+    assert tlb.lookup(0x1000, 2) is None
+    assert tlb.lookup(0x1000, 1) is not None
+
+
+def test_flush_all():
+    tlb = TLB(entries=16, ways=4)
+    tlb.insert(0x1000, 1, 0x9000, PagePerm.R)
+    tlb.flush_all()
+    assert tlb.lookup(0x1000, 1) is None
+    assert tlb.stats.flushes == 1
+
+
+def test_flush_asid_only_removes_that_space():
+    tlb = TLB(entries=16, ways=4, tagged=True)
+    tlb.insert(0x1000, 1, 0x9000, PagePerm.R)
+    tlb.insert(0x2000, 2, 0xA000, PagePerm.R)
+    tlb.flush_asid(1)
+    assert tlb.lookup(0x1000, 1) is None
+    assert tlb.lookup(0x2000, 2) is not None
+
+
+def test_lru_eviction_within_set():
+    tlb = TLB(entries=4, ways=2)  # 2 sets x 2 ways
+    # All these VPNs map to set 0 (vpn % 2 == 0).
+    tlb.insert(0x0000, 1, 0x1000, PagePerm.R)
+    tlb.insert(0x2000, 1, 0x2000, PagePerm.R)
+    tlb.lookup(0x0000, 1)                     # make vpn 0 most recent
+    tlb.insert(0x4000, 1, 0x3000, PagePerm.R)  # evicts vpn 2
+    assert tlb.lookup(0x0000, 1) is not None
+    assert tlb.lookup(0x2000, 1) is None
+
+
+def test_invalidate_single_entry():
+    tlb = TLB(entries=16, ways=4)
+    tlb.insert(0x1000, 1, 0x9000, PagePerm.R)
+    tlb.invalidate(0x1000, 1)
+    assert tlb.lookup(0x1000, 1) is None
+
+
+def test_hit_rate():
+    tlb = TLB(entries=16, ways=4)
+    tlb.insert(0x1000, 1, 0x9000, PagePerm.R)
+    for _ in range(9):
+        tlb.lookup(0x1000, 1)
+    tlb.lookup(0x9999000, 1)
+    assert abs(tlb.stats.hit_rate - 0.9) < 1e-9
+
+
+def test_bad_geometry_rejected():
+    import pytest
+    with pytest.raises(ValueError):
+        TLB(entries=10, ways=4)

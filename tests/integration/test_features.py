@@ -1,0 +1,219 @@
+"""Feature tests: timeout watchdog, seL4 priorities, Binder async +
+death notification, cross-core relay ownership."""
+
+import pytest
+
+from repro.binder import (
+    BinderDriver, BinderFramework, BinderService, Parcel,
+)
+from repro.hw.machine import Machine
+from repro.kernel.kernel import BaseKernel
+from repro.kernel.objects import Right
+from repro.runtime.xpclib import XPCService, XPCTimeoutError, xpc_call
+from repro.sel4.kernel import Sel4Kernel
+from repro.xpc.errors import XPCError
+from repro.xpc.relayseg import SegReg
+
+
+class TestTimeoutWatchdog:
+    def _service(self, burn_cycles):
+        machine = Machine(cores=1, mem_bytes=64 * 1024 * 1024)
+        kernel = BaseKernel(machine)
+        core = machine.core0
+        server = kernel.create_process("server")
+        client = kernel.create_process("client")
+        st = kernel.create_thread(server)
+        ct = kernel.create_thread(client)
+        kernel.run_thread(core, st)
+        svc = XPCService(kernel, core, st,
+                         lambda call: core.tick(burn_cycles) or "done")
+        kernel.grant_xcall_cap(core, server, ct, svc.entry_id)
+        kernel.run_thread(core, ct)
+        return core, svc
+
+    def test_fast_callee_within_budget(self):
+        core, svc = self._service(burn_cycles=100)
+        assert xpc_call(core, svc.entry_id,
+                        timeout_cycles=10_000) == "done"
+
+    def test_hung_callee_times_out(self):
+        core, svc = self._service(burn_cycles=50_000)
+        with pytest.raises(XPCTimeoutError) as exc:
+            xpc_call(core, svc.entry_id, timeout_cycles=10_000)
+        assert exc.value.used > exc.value.budget == 10_000
+
+    def test_timeout_still_unwinds_the_chain(self):
+        core, svc = self._service(burn_cycles=50_000)
+        engine = core.xpc_engine
+        client_aspace = engine.current_thread.process.aspace
+        with pytest.raises(XPCTimeoutError):
+            xpc_call(core, svc.entry_id, timeout_cycles=1)
+        # Control flow is back in the caller, stack unwound.
+        assert core.aspace is client_aspace
+        assert engine.state.link_stack.depth == 0
+
+    def test_no_timeout_by_default(self):
+        """Paper §6.1: the threshold is usually 0 or infinite."""
+        core, svc = self._service(burn_cycles=1_000_000)
+        assert xpc_call(core, svc.entry_id) == "done"
+
+
+class TestSel4Priorities:
+    def _world(self):
+        machine = Machine(cores=1, mem_bytes=64 * 1024 * 1024)
+        kernel = Sel4Kernel(machine)
+        server = kernel.create_process("server")
+        client = kernel.create_process("client")
+        st = kernel.create_thread(server)
+        ct = kernel.create_thread(client)
+        slot = kernel.create_endpoint(server)
+        kernel.bind_endpoint(server, slot, st,
+                             lambda m, p: ((0,), None))
+        cslot = kernel.mint_endpoint_cap(server, slot, client,
+                                         Right.SEND)
+        kernel.run_thread(machine.core0, ct)
+        return machine, kernel, ct, st, cslot
+
+    def test_same_priority_takes_fast_path(self):
+        machine, kernel, ct, st, slot = self._world()
+        kernel.ipc_call(machine.core0, ct, slot, (), b"")
+        assert kernel.last_breakdown.path == "fast"
+
+    def test_priority_mismatch_forces_slow_path(self):
+        """Paper §2.2: 'the caller and callee have different
+        priorities' is a slow-path condition."""
+        machine, kernel, ct, st, slot = self._world()
+        st.sched.priority = 5
+        kernel.ipc_call(machine.core0, ct, slot, (), b"")
+        assert kernel.last_breakdown.path == "slow"
+        assert kernel.last_oneway_cycles > 1500
+
+
+class PingService(BinderService):
+    def __init__(self, framework, process, thread):
+        super().__init__(framework, process, thread, "ping")
+        self.pings = []
+
+    def on_transact(self, code, data):
+        self.pings.append(data.read_i32())
+        return Parcel()
+
+
+class TestBinderAsync:
+    def _world(self):
+        machine = Machine(cores=1, mem_bytes=128 * 1024 * 1024)
+        kernel = BaseKernel(machine, "linux")
+        server = kernel.create_process("server")
+        client = kernel.create_process("client")
+        st = kernel.create_thread(server)
+        ct = kernel.create_thread(client)
+        framework = BinderFramework(BinderDriver(kernel))
+        core = machine.core0
+        kernel.run_thread(core, st)
+        service = PingService(framework, server, st)
+        framework.add_service(core, service)
+        kernel.run_thread(core, ct)
+        proxy = framework.get_service(core, ct, "ping")
+        return machine, kernel, framework, service, proxy
+
+    def test_oneway_queues_until_looper_runs(self):
+        machine, kernel, fw, service, proxy = self._world()
+        core = machine.core0
+        for i in range(3):
+            data = Parcel()
+            data.write_i32(i)
+            proxy.transact_oneway(core, 1, data)
+        assert service.pings == []          # not delivered yet
+        assert fw.driver.pending_async(proxy.handle) == 3
+        delivered = fw.driver.deliver_async(core, proxy.handle)
+        assert delivered == 3
+        assert service.pings == [0, 1, 2]
+
+    def test_oneway_cheaper_than_sync_for_the_caller(self):
+        machine, kernel, fw, service, proxy = self._world()
+        core = machine.core0
+        data = Parcel()
+        data.write_i32(1)
+        before = core.cycles
+        proxy.transact_oneway(core, 1, data)
+        oneway = core.cycles - before
+        data2 = Parcel()
+        data2.write_i32(2)
+        before = core.cycles
+        proxy.transact(core, 1, data2)
+        sync = core.cycles - before
+        assert oneway < sync / 2
+
+    def test_death_notification(self):
+        machine, kernel, fw, service, proxy = self._world()
+        core = machine.core0
+        died = []
+        proxy.link_to_death(core, died.append)
+        kernel.kill_process(service.process)
+        assert died == [proxy.handle]
+        assert fw.driver.obituaries_sent == 1
+
+    def test_no_obituary_without_link(self):
+        machine, kernel, fw, service, proxy = self._world()
+        kernel.kill_process(service.process)
+        assert fw.driver.obituaries_sent == 0
+
+    def test_unlink_cancels(self):
+        machine, kernel, fw, service, proxy = self._world()
+        core = machine.core0
+        died = []
+        proxy.link_to_death(core, died.append)
+        fw.driver.unlink_to_death(core, proxy.handle, died.append)
+        kernel.kill_process(service.process)
+        assert died == []
+
+
+class TestCrossCoreOwnership:
+    def test_segment_cannot_be_active_on_two_threads(self):
+        """§3.3: 'an active relay-seg can only be owned by one thread
+        ... two CPUs cannot operate one relay-seg at the same time'."""
+        machine = Machine(cores=2, mem_bytes=64 * 1024 * 1024)
+        kernel = BaseKernel(machine)
+        process = kernel.create_process("p")
+        t0 = kernel.create_thread(process)
+        t1 = kernel.create_thread(process)
+        seg, slot = kernel.create_relay_seg(machine.cores[0], process,
+                                            4096)
+        kernel.run_thread(machine.cores[0], t0)
+        kernel.run_thread(machine.cores[1], t1)
+        # Thread 0 activates the segment on core 0.
+        machine.engines[0].swapseg(slot)
+        assert seg.active_owner is t0
+        # The shared seg-list slot is now empty: thread 1 cannot get it.
+        assert machine.engines[1].state.seg_list.peek(slot) is None
+        # Even a buggy kernel path that re-parks the window is caught.
+        process.seg_list.store(slot, SegReg.for_segment(seg))
+        with pytest.raises(XPCError):
+            machine.engines[1].swapseg(slot)
+        assert seg.active_owner is t0
+
+    def test_two_cores_run_independent_chains(self):
+        machine = Machine(cores=2, mem_bytes=64 * 1024 * 1024)
+        kernel = BaseKernel(machine)
+        server = kernel.create_process("server")
+        st = kernel.create_thread(server)
+        entry = kernel.register_xentry(machine.cores[0], st,
+                                       lambda *a: None)
+        clients = []
+        for core in machine.cores:
+            proc = kernel.create_process(f"client{core.core_id}")
+            thread = kernel.create_thread(proc)
+            kernel.grant_xcall_cap(core, server, thread,
+                                   entry.entry_id)
+            kernel.run_thread(core, thread)
+            clients.append(thread)
+        for core in machine.cores:
+            engine = machine.engines[core.core_id]
+            engine.xcall(entry.entry_id)
+        # Both cores are in the server's space, on their own threads.
+        assert machine.cores[0].aspace is server.aspace
+        assert machine.cores[1].aspace is server.aspace
+        for core in machine.cores:
+            machine.engines[core.core_id].xret()
+        assert clients[0].xpc.link_stack.depth == 0
+        assert clients[1].xpc.link_stack.depth == 0

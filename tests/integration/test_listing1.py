@@ -1,0 +1,66 @@
+"""Conformance with the paper's Listing 1 programming model.
+
+The example code of §3.1, step by step, in this library's vocabulary:
+
+    server:  create a handler thread, set max_xpc_context, register
+             the entry  (xpc_register_entry ≙ XPCService)
+    client:  acquire the server's ID + capability from a name server
+             (acquire_server_ID ≙ NameServer.resolve),
+             alloc_relay_mem, fill the relay-seg with the argument,
+             xpc_call(server_ID, xpc_arg)
+"""
+
+from repro.hw.machine import Machine
+from repro.kernel.kernel import BaseKernel
+from repro.runtime.xpclib import RelayBuffer, XPCService, xpc_call
+from repro.xpc.relayseg import SegMask
+
+
+def test_listing1_end_to_end():
+    machine = Machine(cores=1, mem_bytes=64 * 1024 * 1024)
+    kernel = BaseKernel(machine)
+    core = machine.core0
+
+    # ---------------- server() -----------------------------------------
+    server_proc = kernel.create_process("server")
+    # "xpc_handler_thread = create_thread()"
+    xpc_handler_thread = kernel.create_thread(server_proc)
+    kernel.run_thread(core, xpc_handler_thread)
+
+    handled = {}
+
+    def xpc_handler(call):
+        # "... handler logic ..."
+        handled["arg"] = call.relay().read(call.args[0])
+        return 0
+        # "xpc_return()" is the trampoline's xret on return.
+
+    # "max_xpc_context = 4; xpc_ID = xpc_register_entry(...)"
+    max_xpc_context = 4
+    service = XPCService(kernel, core, xpc_handler_thread, xpc_handler,
+                         max_contexts=max_xpc_context)
+    xpc_id = service.entry_id
+
+    # ---------------- client() ------------------------------------------
+    client_proc = kernel.create_process("client")
+    client_thread = kernel.create_thread(client_proc)
+    # "get server's entry ID and capability from parent process"
+    kernel.grant_xcall_cap(core, server_proc, client_thread, xpc_id)
+    server_id = xpc_id
+    kernel.run_thread(core, client_thread)
+
+    # "xpc_arg = alloc_relay_mem(size)"
+    size = 4096
+    seg, slot = kernel.create_relay_seg(core, client_proc, size)
+    machine.engines[0].swapseg(slot)
+
+    # "... fill relay-seg with argument ..."
+    argument = b"the argument, in place"
+    RelayBuffer(core, client_thread.xpc.seg_reg).write(argument)
+
+    # "xpc_call(server_ID, xpc_arg)"
+    status = xpc_call(core, server_id, len(argument),
+                      mask=SegMask(0, size))
+    assert status == 0
+    assert handled["arg"] == argument
+    assert len(service.contexts) == max_xpc_context

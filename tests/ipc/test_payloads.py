@@ -1,0 +1,64 @@
+"""Payload views: CopiedPayload and RelayPayload."""
+
+import pytest
+
+from repro.hw.memory import PhysicalMemory
+from repro.hw.paging import PagePerm
+from repro.ipc.transport import CopiedPayload, RelayPayload
+from repro.xpc.relayseg import RelaySegment, SegReg
+
+
+class TestCopiedPayload:
+    def test_read_all(self):
+        p = CopiedPayload(b"abcdef")
+        assert p.read() == b"abcdef"
+        assert len(p) == 6
+
+    def test_read_window(self):
+        p = CopiedPayload(b"abcdef")
+        assert p.read(2, offset=1) == b"bc"
+
+    def test_write_in_place(self):
+        p = CopiedPayload(b"abcdef")
+        p.write(b"XY", offset=2)
+        assert p.read() == b"abXYef"
+
+    def test_write_extends(self):
+        p = CopiedPayload(b"ab")
+        p.write(b"cd", offset=4)
+        assert p.read() == b"ab\x00\x00cd"
+
+    def test_raw(self):
+        assert CopiedPayload(b"zz").raw() == b"zz"
+
+
+class TestRelayPayload:
+    def _payload(self, used=8):
+        mem = PhysicalMemory(1024 * 1024)
+        pa = mem.alloc_contiguous(4096)
+        seg = RelaySegment(pa, 0x7000_0000_0000, 4096, PagePerm.RW)
+        window = SegReg.for_segment(seg)
+        mem.write(pa, b"relaytes")
+        return mem, pa, RelayPayload(mem, window, used)
+
+    def test_reads_the_physical_bytes(self):
+        mem, pa, p = self._payload()
+        assert p.read() == b"relaytes"
+        assert len(p) == 8
+
+    def test_writes_are_visible_in_memory(self):
+        mem, pa, p = self._payload()
+        p.write(b"X", offset=0)
+        assert mem.read(pa, 1) == b"X"
+
+    def test_write_grows_used(self):
+        mem, pa, p = self._payload(used=0)
+        p.write(b"hello", 0)
+        assert len(p) == 5
+
+    def test_bounds_enforced(self):
+        mem, pa, p = self._payload()
+        with pytest.raises(IndexError):
+            p.read(10, offset=4090)
+        with pytest.raises(IndexError):
+            p.write(b"z" * 8192)

@@ -1,0 +1,203 @@
+"""The XPC control plane: registration, grants, segments, termination."""
+
+import pytest
+
+from repro.hw.machine import Machine
+from repro.kernel.kernel import BaseKernel, KernelError, RELAY_VA_BASE
+from repro.xpc.errors import InvalidLinkageError
+from repro.xpc.relayseg import SegReg
+
+
+@pytest.fixture
+def world():
+    machine = Machine(cores=1, mem_bytes=64 * 1024 * 1024)
+    kernel = BaseKernel(machine)
+    return machine, kernel
+
+
+def setup_pair(kernel, core):
+    server = kernel.create_process("server")
+    client = kernel.create_process("client")
+    st = kernel.create_thread(server)
+    ct = kernel.create_thread(client)
+    entry = kernel.register_xentry(core, st, lambda *a: None)
+    return server, client, st, ct, entry
+
+
+class TestRegistrationAndGrants:
+    def test_creator_gets_grant_cap(self, world):
+        machine, kernel = world
+        server, client, st, ct, entry = setup_pair(kernel, machine.core0)
+        assert entry.entry_id in server.grant_caps
+
+    def test_grant_sets_bitmap_bit(self, world):
+        machine, kernel = world
+        server, client, st, ct, entry = setup_pair(kernel, machine.core0)
+        kernel.grant_xcall_cap(machine.core0, server, ct, entry.entry_id)
+        assert ct.home_caps.test(entry.entry_id)
+
+    def test_grant_without_grant_cap_rejected(self, world):
+        machine, kernel = world
+        server, client, st, ct, entry = setup_pair(kernel, machine.core0)
+        with pytest.raises(KernelError):
+            kernel.grant_xcall_cap(machine.core0, client, ct,
+                                   entry.entry_id)
+
+    def test_grant_cap_propagation(self, world):
+        machine, kernel = world
+        server, client, st, ct, entry = setup_pair(kernel, machine.core0)
+        kernel.grant_xcall_cap(machine.core0, server, ct,
+                               entry.entry_id, with_grant=True)
+        other = kernel.create_thread(client)
+        # Now the client holds the grant-cap and can grant onward.
+        kernel.grant_xcall_cap(machine.core0, client, other,
+                               entry.entry_id)
+        assert other.home_caps.test(entry.entry_id)
+
+    def test_revoke(self, world):
+        machine, kernel = world
+        server, client, st, ct, entry = setup_pair(kernel, machine.core0)
+        kernel.grant_xcall_cap(machine.core0, server, ct, entry.entry_id)
+        kernel.revoke_xcall_cap(ct, entry.entry_id)
+        assert not ct.home_caps.test(entry.entry_id)
+
+    def test_remove_xentry_requires_ownership(self, world):
+        machine, kernel = world
+        server, client, st, ct, entry = setup_pair(kernel, machine.core0)
+        with pytest.raises(KernelError):
+            kernel.remove_xentry(machine.core0, client, entry.entry_id)
+
+    def test_dead_process_cannot_spawn_threads(self, world):
+        machine, kernel = world
+        process = kernel.create_process("dying")
+        kernel.kill_process(process)
+        with pytest.raises(KernelError):
+            kernel.create_thread(process)
+
+
+class TestRelaySegments:
+    def test_create_parks_in_seg_list(self, world):
+        machine, kernel = world
+        process = kernel.create_process("p")
+        seg, slot = kernel.create_relay_seg(machine.core0, process, 8192)
+        parked = process.seg_list.peek(slot)
+        assert parked.segment is seg
+        assert seg.length == 8192
+
+    def test_va_range_is_reserved_and_unique(self, world):
+        machine, kernel = world
+        process = kernel.create_process("p")
+        a, _ = kernel.create_relay_seg(machine.core0, process, 4096)
+        b, _ = kernel.create_relay_seg(machine.core0, process, 4096)
+        assert a.va_base >= RELAY_VA_BASE
+        ranges = sorted([(a.va_base, a.length), (b.va_base, b.length)])
+        assert ranges[0][0] + ranges[0][1] <= ranges[1][0]
+
+    def test_relay_va_never_overlaps_page_tables(self, world):
+        """§3.3: the kernel ensures relay-seg mappings never overlap any
+        page-table mapping — so no TLB shootdown is ever needed."""
+        machine, kernel = world
+        process = kernel.create_process("p")
+        for _ in range(20):
+            process.aspace.mmap(8 * 4096)
+        seg, _ = kernel.create_relay_seg(machine.core0, process, 65536)
+        for va, _, _ in process.aspace.page_table.mappings():
+            assert not (seg.va_base <= va < seg.va_base + seg.length)
+
+    def test_physical_contiguity(self, world):
+        machine, kernel = world
+        process = kernel.create_process("p")
+        seg, _ = kernel.create_relay_seg(machine.core0, process,
+                                         5 * 4096)
+        machine.memory.write(seg.pa_base, b"\xaa" * seg.length)
+
+    def test_free_active_segment_rejected(self, world):
+        machine, kernel = world
+        process = kernel.create_process("p")
+        thread = kernel.create_thread(process)
+        seg, slot = kernel.create_relay_seg(machine.core0, process, 4096)
+        seg.active_owner = thread
+        with pytest.raises(KernelError):
+            kernel.free_relay_seg(machine.core0, seg)
+
+    def test_free_returns_memory(self, world):
+        machine, kernel = world
+        process = kernel.create_process("p")
+        free_before = machine.memory.allocator.free_frames
+        seg, slot = kernel.create_relay_seg(machine.core0, process, 8192)
+        process.seg_list.drop(slot)
+        kernel.free_relay_seg(machine.core0, seg)
+        assert machine.memory.allocator.free_frames == free_before
+
+    def test_bad_size_rejected(self, world):
+        machine, kernel = world
+        process = kernel.create_process("p")
+        with pytest.raises(KernelError):
+            kernel.create_relay_seg(machine.core0, process, 0)
+
+
+class TestTermination:
+    def _chain(self, kernel, core):
+        """A -> B -> C with B about to die (paper §4.2's example)."""
+        a = kernel.create_process("A")
+        b = kernel.create_process("B")
+        c = kernel.create_process("C")
+        at = kernel.create_thread(a)
+        bt = kernel.create_thread(b)
+        ct2 = kernel.create_thread(c)
+        entry_b = kernel.register_xentry(core, bt, lambda *x: None)
+        entry_c = kernel.register_xentry(core, ct2, lambda *x: None)
+        kernel.grant_xcall_cap(core, b, at, entry_b.entry_id)
+        kernel.grant_xcall_cap(core, c, bt, entry_c.entry_id)
+        kernel.run_thread(core, at)
+        engine = kernel.machine.engines[0]
+        engine.xcall(entry_b.entry_id)
+        engine.xcall(entry_c.entry_id)
+        return a, b, c, at, engine
+
+    def test_eager_scan_invalidates_dead_records(self, world):
+        machine, kernel = world
+        a, b, c, at, engine = self._chain(kernel, machine.core0)
+        kernel.kill_process(b, lazy=False)
+        with pytest.raises(InvalidLinkageError):
+            engine.xret()   # return into dead B traps
+
+    def test_repair_return_skips_to_live_caller(self, world):
+        """C's return after B died must land in A with a timeout error
+        (§4.2 Application Termination)."""
+        machine, kernel = world
+        a, b, c, at, engine = self._chain(kernel, machine.core0)
+        kernel.kill_process(b, lazy=False)
+        restored = kernel.repair_return(machine.core0, at)
+        assert restored is not None
+        assert restored.caller_aspace is a.aspace
+        assert machine.core0.aspace is a.aspace
+
+    def test_repair_return_whole_chain_dead(self, world):
+        machine, kernel = world
+        a, b, c, at, engine = self._chain(kernel, machine.core0)
+        kernel.kill_process(b, lazy=False)
+        kernel.kill_process(a, lazy=False)
+        assert kernel.repair_return(machine.core0, at) is None
+
+    def test_lazy_kill_zaps_page_table(self, world):
+        machine, kernel = world
+        a, b, c, at, engine = self._chain(kernel, machine.core0)
+        assert b.aspace.page_table.mapped_pages >= 0
+        kernel.kill_process(b, lazy=True)
+        assert b.aspace.page_table.mapped_pages == 0
+
+    def test_kill_invalidates_served_xentries(self, world):
+        machine, kernel = world
+        server = kernel.create_process("server")
+        st = kernel.create_thread(server)
+        entry = kernel.register_xentry(machine.core0, st, lambda *a: 0)
+        kernel.kill_process(server)
+        assert not entry.valid
+
+    def test_kill_revokes_owned_segments(self, world):
+        machine, kernel = world
+        process = kernel.create_process("p")
+        seg, slot = kernel.create_relay_seg(machine.core0, process, 4096)
+        kernel.kill_process(process)
+        assert seg.revoked

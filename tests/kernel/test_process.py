@@ -1,0 +1,57 @@
+"""Split thread state and process bookkeeping (paper §4.2)."""
+
+from repro.hw.machine import Machine
+from repro.kernel.kernel import BaseKernel
+
+
+def build():
+    machine = Machine(cores=1, mem_bytes=32 * 1024 * 1024)
+    return machine, BaseKernel(machine)
+
+
+def test_thread_has_own_link_stack_and_bitmap():
+    machine, kernel = build()
+    process = kernel.create_process("p")
+    t1 = kernel.create_thread(process)
+    t2 = kernel.create_thread(process)
+    assert t1.xpc.link_stack is not t2.xpc.link_stack
+    assert t1.home_caps is not t2.home_caps
+
+
+def test_threads_share_process_seg_list():
+    """The seg-list is per address space (§4.1)."""
+    machine, kernel = build()
+    process = kernel.create_process("p")
+    t1 = kernel.create_thread(process)
+    t2 = kernel.create_thread(process)
+    assert t1.xpc.seg_list is t2.xpc.seg_list is process.seg_list
+
+
+def test_sched_state_is_separate_from_runtime_state():
+    machine, kernel = build()
+    process = kernel.create_process("p")
+    thread = kernel.create_thread(process)
+    # The scheduling state never changes with migration...
+    assert thread.sched.runnable
+    # ...while the runtime state is identified by the cap bitmap.
+    assert thread.home_runtime.cap_bitmap is thread.home_caps
+    assert thread.home_runtime.aspace is process.aspace
+
+
+def test_run_thread_installs_engine_state():
+    machine, kernel = build()
+    process = kernel.create_process("p")
+    thread = kernel.create_thread(process)
+    kernel.run_thread(machine.core0, thread)
+    engine = machine.engines[0]
+    assert engine.current_thread is thread
+    assert engine.state is thread.xpc
+    assert machine.core0.aspace is process.aspace
+
+
+def test_process_repr_and_naming():
+    machine, kernel = build()
+    process = kernel.create_process("srv")
+    thread = kernel.create_thread(process)
+    assert "srv" in repr(process)
+    assert thread.name.startswith("srv.")

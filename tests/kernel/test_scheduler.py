@@ -1,0 +1,65 @@
+"""Scheduler queue behaviour and costs."""
+
+from repro.hw.machine import Machine
+from repro.kernel.kernel import BaseKernel
+from repro.params import DEFAULT_PARAMS
+
+
+def build():
+    machine = Machine(cores=1, mem_bytes=32 * 1024 * 1024)
+    kernel = BaseKernel(machine)
+    p = kernel.create_process("p")
+    q = kernel.create_process("q")
+    return machine, kernel, kernel.create_thread(p), kernel.create_thread(q)
+
+
+def test_round_robin_order():
+    machine, kernel, t1, t2 = build()
+    sched = kernel.scheduler
+    core = machine.core0
+    sched.enqueue(core, t1)
+    sched.enqueue(core, t2)
+    assert sched.pick_next(core) is t1
+    assert sched.pick_next(core) is t2
+
+
+def test_blocked_thread_skipped():
+    machine, kernel, t1, t2 = build()
+    sched = kernel.scheduler
+    core = machine.core0
+    sched.enqueue(core, t1)
+    sched.enqueue(core, t2)
+    sched.block(core, t1)
+    assert sched.pick_next(core) is t2
+
+
+def test_dead_thread_skipped():
+    machine, kernel, t1, t2 = build()
+    sched = kernel.scheduler
+    core = machine.core0
+    sched.enqueue(core, t1)
+    t1.alive = False
+    assert sched.pick_next(core) is None
+
+
+def test_enqueue_charges_cycles():
+    machine, kernel, t1, _ = build()
+    core = machine.core0
+    before = core.cycles
+    kernel.scheduler.enqueue(core, t1)
+    assert core.cycles - before == DEFAULT_PARAMS.sched_enqueue
+
+
+def test_context_switch_charges_and_switches_space():
+    machine, kernel, t1, _ = build()
+    core = machine.core0
+    before = core.cycles
+    kernel.scheduler.context_switch(core, t1)
+    assert core.current_thread is t1
+    assert core.aspace is t1.process.aspace
+    assert core.cycles - before >= DEFAULT_PARAMS.context_switch
+
+
+def test_empty_queue_returns_none():
+    machine, kernel, _, _ = build()
+    assert kernel.scheduler.pick_next(machine.core0) is None

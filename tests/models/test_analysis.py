@@ -1,0 +1,76 @@
+"""Analysis helpers: CDF, percentiles, normalization, rendering."""
+
+import pytest
+from hypothesis import given, strategies as st
+
+from repro.analysis import (
+    cdf, geomean, normalize, ops_per_sec, percentile, render_series,
+    render_table, speedup, throughput_mb_s,
+)
+
+
+class TestStats:
+    def test_cdf_points(self):
+        points = cdf([3, 1, 2, 2])
+        assert points == [(1, 0.25), (2, 0.75), (3, 1.0)]
+
+    def test_cdf_empty(self):
+        assert cdf([]) == []
+
+    def test_percentile_bounds(self):
+        data = list(range(101))
+        assert percentile(data, 0) == 0
+        assert percentile(data, 50) == 50
+        assert percentile(data, 100) == 100
+
+    def test_percentile_interpolates(self):
+        assert percentile([0, 10], 50) == 5
+
+    def test_percentile_errors(self):
+        with pytest.raises(ValueError):
+            percentile([], 50)
+        with pytest.raises(ValueError):
+            percentile([1], 101)
+
+    def test_normalize(self):
+        out = normalize({"a": 10.0, "b": 25.0}, "a")
+        assert out == {"a": 1.0, "b": 2.5}
+
+    def test_normalize_zero_baseline(self):
+        with pytest.raises(ValueError):
+            normalize({"a": 0.0}, "a")
+
+    def test_geomean(self):
+        assert abs(geomean([1, 100]) - 10) < 1e-9
+
+    def test_speedup(self):
+        assert speedup(100, 500) == 5.0
+
+    def test_throughput(self):
+        # 4096 bytes in 4096 cycles at 100 MHz = 100 MB/s.
+        assert abs(throughput_mb_s(4096, 4096) - 100.0) < 1e-6
+
+    def test_ops_per_sec(self):
+        assert ops_per_sec(10, 1_000_000) == 1000.0
+
+    @given(st.lists(st.floats(min_value=0.001, max_value=1e6),
+                    min_size=1, max_size=40))
+    def test_cdf_is_monotone(self, samples):
+        points = cdf(samples)
+        fractions = [f for _, f in points]
+        assert fractions == sorted(fractions)
+        assert abs(fractions[-1] - 1.0) < 1e-9
+
+
+class TestRender:
+    def test_table_contains_cells(self):
+        out = render_table("T1", ["a", "b"], [[1, 2], ["x", "yy"]])
+        assert "T1" in out
+        assert "yy" in out
+        lines = out.splitlines()
+        assert lines[1].startswith("=")
+
+    def test_series_grid(self):
+        out = render_series(
+            "Fig", "size", {"sys": {1: 5.0, 2: 10.0}}, [1, 2, 3])
+        assert "5.00" in out and "10.00" in out and "-" in out

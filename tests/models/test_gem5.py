@@ -1,0 +1,73 @@
+"""The gem5/ARM generality experiment (paper §5.6, Tables 4-5)."""
+
+from repro.gem5 import (
+    HPIConfig, HPIPipeline, Op, SEL4_FASTPATH_CALL, SEL4_FASTPATH_REPLY,
+    XPC_XCALL, XPC_XRET, table5,
+)
+
+
+class TestPipeline:
+    def test_load_latency_is_l1(self):
+        p = HPIPipeline()
+        assert p.run([Op.LOAD]) == 3
+
+    def test_l2_load(self):
+        p = HPIPipeline()
+        assert p.run([Op.LOAD_L2]) == 13 + 5
+
+    def test_dual_issue_pairs_alus(self):
+        p = HPIPipeline()
+        assert p.run([Op.IALU] * 4) == 2
+        assert p.run([Op.IALU] * 4, dual_issue_alu=False) == 4
+
+    def test_barrier_is_ttbr_cost(self):
+        config = HPIConfig()
+        p = HPIPipeline(config)
+        assert p.run([Op.BARRIER]) == config.ttbr_switch == 58
+
+    def test_empty_trace(self):
+        assert HPIPipeline().run([]) == 0
+
+
+class TestTable4Config:
+    def test_paper_parameters(self):
+        config = HPIConfig()
+        rows = dict(config.rows())
+        assert rows["Cores"] == "8 In-order cores @2.0GHz"
+        assert rows["I/D TLB"] == "256 entries"
+        assert rows["Memory Type"] == "LPDDR3_1600_1x32"
+
+    def test_xpc_structures(self):
+        config = HPIConfig()
+        assert config.xpc_table_entries == 512
+        assert config.xpc_bitmap_bits == 512
+        assert config.xpc_stack_entries == 512
+
+
+class TestTable5:
+    def test_baseline_matches_paper(self):
+        """Paper Table 5: baseline 66 (+58) call, 79 (+58) ret."""
+        result = table5()
+        base = result["Baseline (cycles)"]
+        assert base["call"] == 66
+        assert base["ret"] == 79
+        assert base["tlb"] == 58
+
+    def test_xpc_matches_paper(self):
+        """Paper Table 5: XPC 7 (+58) call, 10 (+58) ret."""
+        result = table5()
+        xpc = result["XPC (cycles)"]
+        assert xpc["call"] == 7
+        assert xpc["ret"] == 10
+
+    def test_speedup_of_ipc_logic(self):
+        result = table5()
+        assert (result["Baseline (cycles)"]["call"]
+                / result["XPC (cycles)"]["call"]) > 9
+
+    def test_traces_are_plausible_kernel_code(self):
+        # The seL4 fast path is dozens of instructions; XPC is a handful.
+        assert len(SEL4_FASTPATH_CALL) > 40
+        assert len(SEL4_FASTPATH_REPLY) > 40
+        assert len(XPC_XCALL) <= 8
+        assert len(XPC_XRET) <= 8

@@ -1,0 +1,52 @@
+"""The FPGA resource-cost estimate (paper §5.7, Table 6)."""
+
+from repro.hwcost import (
+    FREEDOM_BASELINE, estimate, xpc_engine_components,
+)
+
+
+def test_lut_overhead_matches_paper():
+    """Paper Table 6: +1.99 % LUTs."""
+    report = estimate()
+    assert abs(report.overhead("LUT") - 1.99) < 0.15
+
+
+def test_ff_overhead_matches_paper():
+    """Paper Table 6: +3.31 % FFs."""
+    report = estimate()
+    assert abs(report.overhead("FF") - 3.31) < 0.15
+
+
+def test_one_dsp_added():
+    report = estimate()
+    assert report.added["DSP48 Blocks"] == 1
+
+
+def test_no_bram_or_lutram_added():
+    """The x-entry table, link stacks, and bitmaps live in DRAM."""
+    report = estimate()
+    for resource in ("LUTRAM", "SRL", "RAMB36", "RAMB18"):
+        assert report.added[resource] == 0
+        assert report.overhead(resource) == 0.0
+
+
+def test_totals_are_baseline_plus_added():
+    report = estimate()
+    assert report.total("LUT") == (FREEDOM_BASELINE["LUT"]
+                                   + report.added["LUT"])
+
+
+def test_csr_ffs_cover_table2_register_bits():
+    """Table 2's seven registers: 64*5 + 192 + 128 = 640 bits minimum."""
+    parts = xpc_engine_components()
+    csr_ffs = sum(p.ffs for p in parts if p.name.endswith("-reg")
+                  or p.name in ("relay-seg", "seg-mask", "seg-listp",
+                                "x-entry-table-size"))
+    assert csr_ffs >= 640
+
+
+def test_rows_render_percentages():
+    rows = estimate().rows()
+    as_dict = {r[0]: r for r in rows}
+    assert as_dict["LUT"][3].endswith("%")
+    assert as_dict["LUT"][1] == 44643

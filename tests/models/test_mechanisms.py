@@ -1,0 +1,66 @@
+"""The Table 7 mechanism models."""
+
+import pytest
+
+from repro.compare import MECHANISMS, by_name, table7_rows
+
+
+def test_all_fourteen_rows_present():
+    names = [m.name for m in MECHANISMS]
+    for expected in ("Mach-3.0", "LRPC", "Mach (94)", "Tornado", "L4",
+                     "CrossOver", "SkyBridge", "Opal", "CHERI",
+                     "CODOMs", "DTU", "MMP", "XPC"):
+        assert expected in names
+
+
+def test_xpc_row_properties():
+    """XPC's Table 7 row: multi-AS, no trap, no sched, TOCTTOU-safe,
+    handover, byte granularity, zero copies."""
+    xpc = by_name("XPC")
+    assert xpc.addr_space == "Multi"
+    assert xpc.wo_trap and xpc.wo_sched
+    assert xpc.wo_tocttou and xpc.handover
+    assert xpc.granularity == "Byte"
+    assert xpc.copy_count(3) == 0
+
+
+def test_only_xpc_has_all_five_properties():
+    """The paper's point: nothing else is trap-free, sched-free,
+    TOCTTOU-safe, handover-capable, and multi-address-space at once."""
+    winners = [m for m in MECHANISMS
+               if m.wo_trap and m.wo_sched and m.wo_tocttou
+               and m.handover and m.addr_space == "Multi"]
+    assert [m.name for m in winners] == ["XPC"]
+
+
+def test_copy_formulas():
+    assert by_name("Mach-3.0").copy_count(3) == 6      # 2*N
+    assert by_name("Mach (94)").copy_count(3) == 3     # N
+    assert by_name("SkyBridge").copy_count(3) == 2     # N-1
+    assert by_name("CHERI").copy_count(3) == 0
+    assert by_name("Tornado").copy_count(3) == 0
+    assert by_name("Tornado").remap_count(3) == 3      # remap per hop
+
+
+def test_chain_cost_ordering():
+    """Quantitative 3-hop ablation: XPC cheapest among TOCTTOU-safe,
+    multi-AS mechanisms; trap-based ones pay per hop."""
+    hops, nbytes = 3, 4096
+    xpc = by_name("XPC").chain_cycles(hops, nbytes)
+    mach = by_name("Mach-3.0").chain_cycles(hops, nbytes)
+    lrpc = by_name("LRPC").chain_cycles(hops, nbytes)
+    l4 = by_name("L4").chain_cycles(hops, nbytes)
+    assert xpc < l4 < lrpc < mach
+
+
+def test_unknown_mechanism():
+    with pytest.raises(KeyError):
+        by_name("Windows COM")
+
+
+def test_table_rows_render():
+    rows = list(table7_rows())
+    assert len(rows) == len(MECHANISMS)
+    xpc_row = [r for r in rows if r[0] == "XPC"][0]
+    assert xpc_row[-1] == "0"
+    assert xpc_row[4] == xpc_row[5] == "yes"

@@ -1,0 +1,68 @@
+"""The calibrated parameter set."""
+
+import pytest
+
+from repro.params import CycleParams, DEFAULT_PARAMS
+
+
+def test_table1_phase_sum_is_664():
+    p = DEFAULT_PARAMS
+    assert (p.trap_enter + p.ipc_logic + p.process_switch
+            + p.trap_restore) == 664
+
+
+def test_4kb_copy_matches_table1():
+    assert abs(DEFAULT_PARAMS.copy_cycles(4096) - 4010) < 30
+
+
+def test_table3_instruction_costs():
+    p = DEFAULT_PARAMS
+    assert p.xcall_base == 18
+    assert p.xret_base == 23
+    assert p.swapseg == 11
+
+
+def test_figure5_decomposition():
+    """xcall = 6 + link push (16) + entry load (12) = 34 worst case."""
+    p = DEFAULT_PARAMS
+    assert 6 + p.link_push + p.xentry_load == 34
+    assert p.trampoline_full_ctx == 76
+    assert p.trampoline_partial_ctx == 15
+    assert p.tlb_flush == 40
+
+
+def test_copy_cycles_zero_and_negative():
+    assert DEFAULT_PARAMS.copy_cycles(0) == 0
+    assert DEFAULT_PARAMS.copy_cycles(-5) == 0
+
+
+def test_copy_cycles_monotone():
+    p = DEFAULT_PARAMS
+    last = 0
+    for n in (1, 64, 4096, 65536, 1 << 20, 32 << 20):
+        cost = p.copy_cycles(n)
+        assert cost > last
+        last = cost
+
+
+def test_bulk_regime_is_cheaper_per_byte():
+    p = DEFAULT_PARAMS
+    small_rate = p.copy_cycles(4096) / 4096
+    huge_rate = p.copy_cycles(64 << 20) / (64 << 20)
+    assert huge_rate < small_rate * 0.6
+
+
+def test_clone_overrides_without_mutating_default():
+    tuned = DEFAULT_PARAMS.clone(tlb_flush=0)
+    assert tuned.tlb_flush == 0
+    assert DEFAULT_PARAMS.tlb_flush == 40
+    assert tuned.trap_enter == DEFAULT_PARAMS.trap_enter
+
+
+def test_clone_rejects_unknown_field():
+    with pytest.raises(TypeError):
+        DEFAULT_PARAMS.clone(warp_speed=9)
+
+
+def test_cycles_per_us_is_the_fpga_clock():
+    assert DEFAULT_PARAMS.cycles_per_us == 100  # 100 MHz

@@ -1,0 +1,33 @@
+"""The consolidated report tool (`python -m repro.tools.report`)."""
+
+import json
+
+import pytest
+
+from repro.tools.report import main, render_section
+
+
+def test_render_section_flattens_nesting():
+    out = render_section("x", "Caption", {"a": {"b": 1}, "c": "two"})
+    assert "Caption" in out
+    assert "a.b" in out and "two" in out
+
+
+def test_main_renders_results(tmp_path, capsys):
+    payload = {
+        "table1": {"measured": {"0B": {"Sum": 664}}},
+        "mystery_experiment": {"value": 42},
+    }
+    path = tmp_path / "results.json"
+    path.write_text(json.dumps(payload))
+    assert main([str(path)]) == 0
+    out = capsys.readouterr().out
+    assert "Table 1" in out
+    assert "664" in out
+    assert "mystery_experiment" in out
+    assert "2 experiments reported" in out
+
+
+def test_main_missing_file(tmp_path, capsys):
+    assert main([str(tmp_path / "nope.json")]) == 1
+    assert "no results" in capsys.readouterr().err

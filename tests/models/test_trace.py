@@ -1,0 +1,103 @@
+"""The event tracer."""
+
+import pytest
+
+from repro.analysis.trace import TraceEvent, Tracer
+from repro.hw.machine import Machine
+from repro.kernel.kernel import BaseKernel
+from repro.runtime.xpclib import XPCService, xpc_call
+from tests.conftest import TRANSPORT_SPECS, build_transport, \
+    register_echo
+
+
+def traced_world():
+    machine = Machine(cores=1, mem_bytes=64 * 1024 * 1024)
+    tracer = Tracer().attach(machine)
+    kernel = BaseKernel(machine)
+    core = machine.core0
+    server = kernel.create_process("server")
+    client = kernel.create_process("client")
+    st = kernel.create_thread(server)
+    ct = kernel.create_thread(client)
+    kernel.run_thread(core, st)
+    svc = XPCService(kernel, core, st, lambda call: "ok")
+    kernel.grant_xcall_cap(core, server, ct, svc.entry_id)
+    kernel.run_thread(core, ct)
+    tracer.clear()       # drop setup noise
+    return machine, tracer, core, svc
+
+
+def test_xcall_xret_recorded_in_order():
+    machine, tracer, core, svc = traced_world()
+    xpc_call(core, svc.entry_id)
+    kinds = [e.kind for e in tracer.events]
+    assert kinds.index("xcall") < kinds.index("xret")
+    counts = tracer.counts()
+    assert counts["xcall"] == counts["xret"] == 1
+    # No kernel trap happened anywhere on the path.
+    assert "trap" not in counts
+
+
+def test_baseline_ipc_traps_visible():
+    machine, kernel, transport, ct = build_transport(TRANSPORT_SPECS[0])
+    tracer = Tracer().attach(machine)
+    sid = register_echo(kernel, transport)
+    tracer.clear()
+    transport.call(sid, (), b"x")
+    counts = tracer.counts()
+    assert counts.get("trap", 0) >= 2      # request + reply
+    assert "xcall" not in counts
+
+
+def test_spans_pair_nested_calls():
+    machine, tracer, core, svc = traced_world()
+    xpc_call(core, svc.entry_id)
+    xpc_call(core, svc.entry_id)
+    durations = tracer.spans("xcall", "xret")
+    assert len(durations) == 2
+    assert all(d > 0 for d in durations)
+
+
+def test_filter_by_kind_and_core():
+    machine, tracer, core, svc = traced_world()
+    xpc_call(core, svc.entry_id)
+    assert tracer.filter(kind="xcall")[0].core_id == 0
+    assert tracer.filter(kind="xcall", core_id=1) == []
+
+
+def test_capacity_bound():
+    tracer = Tracer(capacity=2)
+
+    class FakeCore:
+        cycles = 5
+        core_id = 0
+
+    for _ in range(5):
+        tracer.emit(FakeCore(), "trap")
+    assert len(tracer) == 2
+    assert tracer.dropped == 3
+    assert "dropped" in tracer.to_text()
+
+
+def test_to_text_renders_events():
+    machine, tracer, core, svc = traced_world()
+    xpc_call(core, svc.entry_id)
+    text = tracer.to_text()
+    assert "xcall" in text and "core0" in text
+
+
+def test_detach_stops_recording():
+    machine, tracer, core, svc = traced_world()
+    tracer.detach(machine)
+    xpc_call(core, svc.entry_id)
+    assert len(tracer) == 0
+
+
+def test_bad_capacity():
+    with pytest.raises(ValueError):
+        Tracer(capacity=0)
+
+
+def test_event_str():
+    event = TraceEvent(123, 1, "xcall", "entry=5")
+    assert "core1" in str(event) and "entry=5" in str(event)

@@ -1,0 +1,195 @@
+"""The user-level XPC library: trampoline, contexts, DoS policies."""
+
+import pytest
+
+from repro.hw.machine import Machine
+from repro.kernel.kernel import BaseKernel
+from repro.params import DEFAULT_PARAMS
+from repro.runtime.xpclib import (
+    ExhaustionPolicy, XPCBusyError, XPCService, xpc_call,
+)
+from repro.xpc.errors import XPCError
+
+
+def build():
+    machine = Machine(cores=1, mem_bytes=64 * 1024 * 1024)
+    kernel = BaseKernel(machine)
+    core = machine.core0
+    server = kernel.create_process("server")
+    client = kernel.create_process("client")
+    st = kernel.create_thread(server)
+    ct = kernel.create_thread(client)
+    return machine, kernel, core, (server, st), (client, ct)
+
+
+def connect(kernel, core, server, svc, ct):
+    kernel.grant_xcall_cap(core, server, ct, svc.entry_id)
+    kernel.run_thread(core, ct)
+
+
+class TestBasicCalls:
+    def test_result_comes_back(self):
+        machine, kernel, core, (server, st), (client, ct) = build()
+        kernel.run_thread(core, st)
+        svc = XPCService(kernel, core, st,
+                         lambda call: sum(call.args) * 2)
+        connect(kernel, core, server, svc, ct)
+        assert xpc_call(core, svc.entry_id, 3, 4) == 14
+
+    def test_handler_runs_in_server_space_result_in_client(self):
+        machine, kernel, core, (server, st), (client, ct) = build()
+        kernel.run_thread(core, st)
+        seen = {}
+
+        def handler(call):
+            seen["aspace"] = call.core.aspace
+            return "done"
+
+        svc = XPCService(kernel, core, st, handler)
+        connect(kernel, core, server, svc, ct)
+        assert xpc_call(core, svc.entry_id) == "done"
+        assert seen["aspace"] is server.aspace
+        assert core.aspace is client.aspace
+
+    def test_call_without_cap_raises(self):
+        machine, kernel, core, (server, st), (client, ct) = build()
+        kernel.run_thread(core, st)
+        svc = XPCService(kernel, core, st, lambda call: None)
+        kernel.run_thread(core, ct)
+        with pytest.raises(XPCError):
+            xpc_call(core, svc.entry_id)
+
+    def test_recursive_service(self):
+        """A handler may xpc_call another service (migrating thread)."""
+        machine, kernel, core, (server, st), (client, ct) = build()
+        inner_proc = kernel.create_process("inner")
+        it = kernel.create_thread(inner_proc)
+        kernel.run_thread(core, it)
+        inner = XPCService(kernel, core, it, lambda call: call.args[0] + 1)
+        kernel.run_thread(core, st)
+        outer = XPCService(
+            kernel, core, st,
+            lambda call: xpc_call(call.core, inner.entry_id,
+                                  call.args[0]) * 10)
+        kernel.grant_xcall_cap(core, inner_proc, st, inner.entry_id)
+        connect(kernel, core, server, outer, ct)
+        assert xpc_call(core, outer.entry_id, 4) == 50
+
+    def test_caller_identity_visible_to_handler(self):
+        machine, kernel, core, (server, st), (client, ct) = build()
+        kernel.run_thread(core, st)
+        svc = XPCService(kernel, core, st,
+                         lambda call: call.caller_id is ct.home_caps)
+        connect(kernel, core, server, svc, ct)
+        assert xpc_call(core, svc.entry_id) is True
+
+
+class TestContexts:
+    def test_contexts_are_preallocated(self):
+        machine, kernel, core, (server, st), (client, ct) = build()
+        kernel.run_thread(core, st)
+        svc = XPCService(kernel, core, st, lambda call: None,
+                         max_contexts=3)
+        assert len(svc.contexts) == 3
+        assert not any(c.in_use for c in svc.contexts)
+
+    def test_context_released_after_call(self):
+        machine, kernel, core, (server, st), (client, ct) = build()
+        kernel.run_thread(core, st)
+        svc = XPCService(kernel, core, st, lambda call: None,
+                         max_contexts=1)
+        connect(kernel, core, server, svc, ct)
+        xpc_call(core, svc.entry_id)
+        xpc_call(core, svc.entry_id)  # would fail if not released
+        assert svc.calls == 2
+
+    def test_context_released_after_handler_crash(self):
+        machine, kernel, core, (server, st), (client, ct) = build()
+        kernel.run_thread(core, st)
+
+        def bad(call):
+            raise RuntimeError("handler bug")
+
+        svc = XPCService(kernel, core, st, bad, max_contexts=1)
+        connect(kernel, core, server, svc, ct)
+        with pytest.raises(RuntimeError):
+            xpc_call(core, svc.entry_id)
+        assert not svc.contexts[0].in_use
+
+    def test_exhaustion_fail_policy(self):
+        """Re-entrant calls with all contexts busy hit the DoS guard."""
+        machine, kernel, core, (server, st), (client, ct) = build()
+        kernel.run_thread(core, st)
+
+        def reenter(call):
+            # Call ourselves while holding the only context.
+            return xpc_call(call.core, svc.entry_id)
+
+        svc = XPCService(kernel, core, st, reenter, max_contexts=1,
+                         policy=ExhaustionPolicy.FAIL)
+        kernel.grant_xcall_cap(core, server, st, svc.entry_id)
+        connect(kernel, core, server, svc, ct)
+        with pytest.raises(XPCBusyError):
+            xpc_call(core, svc.entry_id)
+        assert svc.rejected == 1
+
+    def test_credit_policy_limits_a_hungry_caller(self):
+        machine, kernel, core, (server, st), (client, ct) = build()
+        kernel.run_thread(core, st)
+
+        calls = []
+
+        def reenter(call):
+            calls.append(1)
+            if len(calls) < 10:
+                return xpc_call(call.core, svc.entry_id)
+            return len(calls)
+
+        svc = XPCService(kernel, core, st, reenter, max_contexts=16,
+                         policy=ExhaustionPolicy.CREDITS,
+                         credits_per_caller=3)
+        kernel.grant_xcall_cap(core, server, st, svc.entry_id)
+        connect(kernel, core, server, svc, ct)
+        with pytest.raises(XPCBusyError):
+            xpc_call(core, svc.entry_id)
+        # The recursive burst was stopped by the credit system.
+        assert 0 < len(calls) <= 4
+
+
+class TestTrampolineCosts:
+    def _cost(self, partial):
+        machine, kernel, core, (server, st), (client, ct) = build()
+        kernel.run_thread(core, st)
+        svc = XPCService(kernel, core, st, lambda call: None,
+                         partial_context=partial)
+        connect(kernel, core, server, svc, ct)
+        before = core.cycles
+        xpc_call(core, svc.entry_id)
+        return core.cycles - before
+
+    def test_partial_context_saves_61_cycles(self):
+        """Fig. 5: trampoline 76 (full) vs 15 (partial)."""
+        full = self._cost(partial=False)
+        partial = self._cost(partial=True)
+        assert full - partial == (DEFAULT_PARAMS.trampoline_full_ctx
+                                  - DEFAULT_PARAMS.trampoline_partial_ctx)
+
+    def test_oneway_cost_fullctx_nonblocking(self):
+        """The default evaluation configuration (§5.2): Full-Cxt with
+        non-blocking link stack: xcall 18 + TLB 40 + trampoline 76."""
+        machine, kernel, core, (server, st), (client, ct) = build()
+        kernel.run_thread(core, st)
+        marker = {}
+
+        def handler(call):
+            marker["cycles"] = core.cycles
+
+        svc = XPCService(kernel, core, st, handler)
+        connect(kernel, core, server, svc, ct)
+        before = core.cycles
+        xpc_call(core, svc.entry_id)
+        oneway = marker["cycles"] - before
+        expected = (18 + DEFAULT_PARAMS.tlb_flush
+                    + DEFAULT_PARAMS.trampoline_full_ctx
+                    + DEFAULT_PARAMS.cstack_switch)
+        assert oneway == expected

@@ -1,0 +1,165 @@
+"""seL4 IPC: regimes, phase breakdown, slow path, cross-core."""
+
+import pytest
+
+from repro.hw.machine import Machine
+from repro.kernel.kernel import KernelError
+from repro.kernel.objects import Right
+from repro.params import DEFAULT_PARAMS
+from repro.sel4.caps import CapError
+from repro.sel4.kernel import (
+    MSG_IPCBUF_MAX, MSG_REGISTERS_MAX, Sel4Kernel,
+)
+
+
+def build(copies=2):
+    machine = Machine(cores=2, mem_bytes=128 * 1024 * 1024)
+    kernel = Sel4Kernel(machine)
+    server = kernel.create_process("server")
+    client = kernel.create_process("client")
+    st = kernel.create_thread(server)
+    ct = kernel.create_thread(client)
+    slot_s = kernel.create_endpoint(server)
+
+    def echo(meta, payload):
+        return ("ok",), payload.read()
+
+    kernel.bind_endpoint(server, slot_s, st, echo)
+    slot_c = kernel.mint_endpoint_cap(server, slot_s, client, Right.SEND)
+    kernel.run_thread(machine.core0, ct)
+    return machine, kernel, ct, slot_c, copies
+
+
+def call(machine, kernel, ct, slot, payload, copies=2, **kw):
+    return kernel.ipc_call(machine.core0, ct, slot, ("m",), payload,
+                           reply_capacity=len(payload), copies=copies,
+                           **kw)
+
+
+class TestRegimes:
+    def test_small_message_rides_registers_fast_path(self):
+        machine, kernel, ct, slot, _ = build()
+        meta, reply = call(machine, kernel, ct, slot, b"x" * 16)
+        assert reply == b"x" * 16
+        assert kernel.last_breakdown.path == "fast"
+        assert kernel.last_breakdown.transfer == 0
+
+    def test_medium_message_takes_slow_path(self):
+        machine, kernel, ct, slot, _ = build()
+        meta, reply = call(machine, kernel, ct, slot, b"y" * 64)
+        assert reply == b"y" * 64
+        assert kernel.last_breakdown.path == "slow"
+
+    def test_large_message_shared_memory_fast_path(self):
+        machine, kernel, ct, slot, _ = build()
+        blob = bytes(range(256)) * 16
+        meta, reply = call(machine, kernel, ct, slot, blob)
+        assert reply == blob
+        assert kernel.last_breakdown.path == "fast"
+        assert kernel.last_breakdown.transfer > 0
+
+    def test_regime_boundaries(self):
+        assert MSG_REGISTERS_MAX == 32
+        assert MSG_IPCBUF_MAX == 120
+
+
+class TestTable1Calibration:
+    def test_zero_byte_oneway_is_664(self):
+        machine, kernel, ct, slot, _ = build()
+        call(machine, kernel, ct, slot, b"")
+        bd = kernel.last_breakdown
+        assert (bd.trap, bd.ipc_logic) == (107, 212)
+        assert (bd.process_switch, bd.restore) == (146, 199)
+        assert bd.total == 664
+        assert kernel.last_oneway_cycles == 664
+
+    def test_4kb_oneway_is_4804(self):
+        machine, kernel, ct, slot, _ = build(copies=1)
+        kernel.ipc_call(machine.core0, ct, slot, ("m",), b"z" * 4096,
+                        copies=1)
+        bd = kernel.last_breakdown
+        assert (bd.trap, bd.ipc_logic) == (110, 216)
+        assert (bd.process_switch, bd.restore) == (211, 257)
+        assert abs(bd.transfer - 4010) < 30
+        assert abs(bd.total - 4804) < 30
+
+    def test_64b_slowpath_near_2182(self):
+        machine, kernel, ct, slot, _ = build()
+        kernel.ipc_call(machine.core0, ct, slot, ("m",), b"w" * 64)
+        assert abs(kernel.last_oneway_cycles - 2182) < 450
+
+
+class TestCopyVariants:
+    def test_twocopy_charges_double(self):
+        blob = b"q" * 4096
+        m1, k1, ct1, s1, _ = build()
+        k1.ipc_call(m1.core0, ct1, s1, ("m",), blob, copies=1)
+        one = k1.last_breakdown.transfer
+        m2, k2, ct2, s2, _ = build()
+        k2.ipc_call(m2.core0, ct2, s2, ("m",), blob, copies=2)
+        two = k2.last_breakdown.transfer
+        assert two == 2 * one
+
+    def test_bad_copies_value(self):
+        machine, kernel, ct, slot, _ = build()
+        with pytest.raises(KernelError):
+            call(machine, kernel, ct, slot, b"", copies=3)
+
+
+class TestCrossCore:
+    def test_cross_core_much_slower(self):
+        machine, kernel, ct, slot, _ = build()
+        call(machine, kernel, ct, slot, b"")
+        same = kernel.last_oneway_cycles
+        call(machine, kernel, ct, slot, b"", cross_core=True)
+        cross = kernel.last_oneway_cycles
+        assert cross > same * 5
+        assert kernel.last_breakdown.path == "cross-core"
+
+
+class TestSecurity:
+    def test_send_right_required(self):
+        machine = Machine(cores=1, mem_bytes=64 * 1024 * 1024)
+        kernel = Sel4Kernel(machine)
+        server = kernel.create_process("server")
+        client = kernel.create_process("client")
+        st = kernel.create_thread(server)
+        ct = kernel.create_thread(client)
+        slot_s = kernel.create_endpoint(server)
+        kernel.bind_endpoint(server, slot_s, st,
+                             lambda m, p: ((0,), None))
+        # Mint a RECV-only cap: sending through it must fault.
+        bad_slot = kernel.mint_endpoint_cap(server, slot_s, client,
+                                            Right.RECV)
+        kernel.run_thread(machine.core0, ct)
+        with pytest.raises(CapError):
+            kernel.ipc_call(machine.core0, ct, bad_slot, (), b"")
+
+    def test_unbound_endpoint_rejected(self):
+        machine = Machine(cores=1, mem_bytes=64 * 1024 * 1024)
+        kernel = Sel4Kernel(machine)
+        client = kernel.create_process("client")
+        ct = kernel.create_thread(client)
+        slot = kernel.create_endpoint(client)
+        kernel.run_thread(machine.core0, ct)
+        with pytest.raises(KernelError):
+            kernel.ipc_call(machine.core0, ct, slot, (), b"")
+
+
+class TestSharedBuffer:
+    def test_buffer_reused_and_grows(self):
+        machine, kernel, ct, slot, _ = build()
+        call(machine, kernel, ct, slot, b"a" * 4096)
+        call(machine, kernel, ct, slot, b"b" * 4096)
+        assert len(kernel._shared_bufs) == 1
+        call(machine, kernel, ct, slot, b"c" * 65536)
+        # Still one buffer per process pair, now larger.
+        assert len(kernel._shared_bufs) == 1
+
+    def test_shared_pages_really_shared(self):
+        machine, kernel, ct, slot, _ = build()
+        server = kernel.processes[0]
+        client = kernel.processes[1]
+        va_a, va_b, pa = kernel.shared_buffer(client, server, 4096)
+        client.aspace.write(va_a, b"written by A")
+        assert server.aspace.read(va_b, 12) == b"written by A"

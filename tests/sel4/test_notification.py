@@ -1,0 +1,81 @@
+"""seL4 notification objects."""
+
+import pytest
+
+from repro.hw.machine import Machine
+from repro.kernel.objects import Right
+from repro.sel4.caps import CapError
+from repro.sel4.kernel import Sel4Kernel
+from repro.sel4.notification import WouldBlock
+
+
+def build():
+    machine = Machine(cores=1, mem_bytes=64 * 1024 * 1024)
+    kernel = Sel4Kernel(machine)
+    owner = kernel.create_process("owner")
+    ot = kernel.create_thread(owner)
+    slot = kernel.create_notification(owner, "irq")
+    kernel.run_thread(machine.core0, ot)
+    return machine, kernel, owner, ot, slot
+
+
+def test_signal_then_wait():
+    machine, kernel, owner, ot, slot = build()
+    kernel.signal(machine.core0, ot, slot)
+    word = kernel.wait(machine.core0, ot, slot)
+    assert word != 0
+
+
+def test_wait_empty_blocks():
+    machine, kernel, owner, ot, slot = build()
+    with pytest.raises(WouldBlock):
+        kernel.wait(machine.core0, ot, slot)
+
+
+def test_poll_empty_returns_zero():
+    machine, kernel, owner, ot, slot = build()
+    assert kernel.poll(machine.core0, ot, slot) == 0
+
+
+def test_badges_accumulate_by_or():
+    machine, kernel, owner, ot, slot = build()
+    sender = kernel.create_process("sender")
+    st = kernel.create_thread(sender)
+    s1 = kernel.mint_notification_cap(owner, slot, sender,
+                                      Right.SEND, badge=0b01)
+    s2 = kernel.mint_notification_cap(owner, slot, sender,
+                                      Right.SEND, badge=0b10)
+    kernel.run_thread(machine.core0, st)
+    kernel.signal(machine.core0, st, s1)
+    kernel.signal(machine.core0, st, s2)
+    kernel.run_thread(machine.core0, ot)
+    assert kernel.wait(machine.core0, ot, slot) == 0b11
+    # Consumed: next poll is empty.
+    assert kernel.poll(machine.core0, ot, slot) == 0
+
+
+def test_signal_wakes_blocked_waiter():
+    machine, kernel, owner, ot, slot = build()
+    with pytest.raises(WouldBlock):
+        kernel.wait(machine.core0, ot, slot)
+    queued = kernel.scheduler.queued
+    kernel.signal(machine.core0, ot, slot)
+    assert kernel.scheduler.queued == queued + 1
+
+
+def test_recv_right_required_for_wait():
+    machine, kernel, owner, ot, slot = build()
+    other = kernel.create_process("other")
+    other_t = kernel.create_thread(other)
+    send_only = kernel.mint_notification_cap(owner, slot, other,
+                                             Right.SEND)
+    kernel.run_thread(machine.core0, other_t)
+    with pytest.raises(CapError):
+        kernel.wait(machine.core0, other_t, send_only)
+
+
+def test_signal_costs_a_trap():
+    machine, kernel, owner, ot, slot = build()
+    traps = machine.core0.trap_count
+    kernel.signal(machine.core0, ot, slot)
+    assert machine.core0.trap_count == traps + 1

@@ -1,0 +1,88 @@
+"""AES-128 correctness (FIPS-197 vectors) and properties."""
+
+import pytest
+from hypothesis import given, strategies as st
+
+from repro.services.crypto.aes import AES128
+
+# FIPS-197 Appendix B: the worked example.
+FIPS_KEY = bytes.fromhex("2b7e151628aed2a6abf7158809cf4f3c")
+FIPS_PT = bytes.fromhex("3243f6a8885a308d313198a2e0370734")
+FIPS_CT = bytes.fromhex("3925841d02dc09fbdc118597196a0b32")
+
+# FIPS-197 Appendix C.1: AES-128 known-answer test.
+KAT_KEY = bytes.fromhex("000102030405060708090a0b0c0d0e0f")
+KAT_PT = bytes.fromhex("00112233445566778899aabbccddeeff")
+KAT_CT = bytes.fromhex("69c4e0d86a7b0430d8cdb78070b4c55a")
+
+
+def test_fips_appendix_b_vector():
+    assert AES128(FIPS_KEY).encrypt_block(FIPS_PT) == FIPS_CT
+
+
+def test_fips_appendix_c1_vector():
+    assert AES128(KAT_KEY).encrypt_block(KAT_PT) == KAT_CT
+
+
+def test_decrypt_inverts_encrypt_on_vectors():
+    aes = AES128(KAT_KEY)
+    assert aes.decrypt_block(KAT_CT) == KAT_PT
+
+
+def test_key_schedule_first_round_key_is_key():
+    aes = AES128(FIPS_KEY)
+    assert bytes(aes.round_keys[0]) == FIPS_KEY
+
+
+def test_wrong_key_size():
+    with pytest.raises(ValueError):
+        AES128(b"short")
+
+
+def test_wrong_block_size():
+    aes = AES128(KAT_KEY)
+    with pytest.raises(ValueError):
+        aes.encrypt_block(b"tiny")
+
+
+@given(st.binary(min_size=16, max_size=16), st.binary(min_size=16,
+                                                      max_size=16))
+def test_block_roundtrip_property(key, block):
+    aes = AES128(key)
+    assert aes.decrypt_block(aes.encrypt_block(block)) == block
+
+
+@given(st.binary(max_size=300))
+def test_ctr_roundtrip_property(data):
+    aes = AES128(KAT_KEY)
+    nonce = b"\x01" * 8
+    assert aes.ctr_crypt(aes.ctr_crypt(data, nonce), nonce) == data
+
+
+def test_ctr_keystream_differs_per_block():
+    aes = AES128(KAT_KEY)
+    zero = b"\x00" * 48
+    stream = aes.ctr_crypt(zero, b"\x02" * 8)
+    assert stream[:16] != stream[16:32] != stream[32:48]
+
+
+def test_ctr_nonce_matters():
+    aes = AES128(KAT_KEY)
+    a = aes.ctr_crypt(b"msg msg msg msg!", b"\x00" * 8)
+    b = aes.ctr_crypt(b"msg msg msg msg!", b"\x01" * 8)
+    assert a != b
+
+
+def test_ctr_bad_nonce():
+    with pytest.raises(ValueError):
+        AES128(KAT_KEY).ctr_crypt(b"x", b"short")
+
+
+def test_avalanche():
+    aes = AES128(KAT_KEY)
+    base = aes.encrypt_block(KAT_PT)
+    flipped = bytearray(KAT_PT)
+    flipped[0] ^= 1
+    other = aes.encrypt_block(bytes(flipped))
+    differing = sum(bin(a ^ b).count("1") for a, b in zip(base, other))
+    assert differing > 40  # ~half of 128 bits flip

@@ -1,0 +1,135 @@
+"""Crypto server, file-cache server, name server — over IPC."""
+
+import pytest
+
+from repro.services.crypto.server import CryptoClient, CryptoServer
+from repro.services.filecache import FileCacheClient, FileCacheServer
+from repro.services.nameserver import NameServer
+from tests.conftest import (
+    TRANSPORT_SPECS, build_transport, make_server,
+)
+
+KEY = b"0123456789abcdef"
+
+
+@pytest.fixture(params=TRANSPORT_SPECS, ids=[s[0] for s in TRANSPORT_SPECS])
+def world(request):
+    machine, kernel, transport, ct = build_transport(request.param)
+    return machine, kernel, transport, ct
+
+
+class TestCryptoServer:
+    def test_encrypt_decrypt_roundtrip(self, world):
+        machine, kernel, transport, ct = world
+        proc, thread = make_server(kernel, "crypto")
+        server = CryptoServer(transport, KEY, proc, thread)
+        client = CryptoClient(transport, server.sid)
+        ct_bytes = client.encrypt(b"secret traffic", b"nonce123")
+        assert ct_bytes != b"secret traffic"
+        assert client.decrypt(ct_bytes, b"nonce123") == b"secret traffic"
+
+    def test_compute_cost_charged(self, world):
+        machine, kernel, transport, ct = world
+        proc, thread = make_server(kernel, "crypto")
+        server = CryptoServer(transport, KEY, proc, thread)
+        client = CryptoClient(transport, server.sid)
+        blob = b"z" * 2048
+        client.encrypt(blob, b"nonce123")  # warm transport
+        before = machine.core0.cycles
+        client.encrypt(blob, b"nonce123")
+        assert machine.core0.cycles - before >= int(2048 * 5)
+
+    def test_bytes_processed_counter(self, world):
+        machine, kernel, transport, ct = world
+        proc, thread = make_server(kernel, "crypto")
+        server = CryptoServer(transport, KEY, proc, thread)
+        client = CryptoClient(transport, server.sid)
+        client.encrypt(b"12345678", b"nonce123")
+        assert server.bytes_processed == 8
+
+
+class TestFileCacheServer:
+    def test_put_get(self, world):
+        machine, kernel, transport, ct = world
+        proc, thread = make_server(kernel, "filecache")
+        server = FileCacheServer(transport, proc, thread)
+        client = FileCacheClient(transport, server.sid)
+        client.put("/index.html", b"<html>hi</html>")
+        assert client.get("/index.html") == b"<html>hi</html>"
+
+    def test_miss_returns_none(self, world):
+        machine, kernel, transport, ct = world
+        proc, thread = make_server(kernel, "filecache")
+        server = FileCacheServer(transport, proc, thread)
+        client = FileCacheClient(transport, server.sid)
+        assert client.get("/nope") is None
+        hits, misses, used = client.stats()
+        assert misses == 1
+
+    def test_lru_eviction_by_capacity(self, world):
+        machine, kernel, transport, ct = world
+        proc, thread = make_server(kernel, "filecache")
+        server = FileCacheServer(transport, proc, thread,
+                                 capacity_bytes=10_000)
+        client = FileCacheClient(transport, server.sid)
+        client.put("/a", b"a" * 4000)
+        client.put("/b", b"b" * 4000)
+        client.get("/a")                  # /a is now most recent
+        client.put("/c", b"c" * 4000)     # evicts /b
+        assert client.get("/a") is not None
+        assert client.get("/b") is None
+
+    def test_delete(self, world):
+        machine, kernel, transport, ct = world
+        proc, thread = make_server(kernel, "filecache")
+        server = FileCacheServer(transport, proc, thread)
+        client = FileCacheClient(transport, server.sid)
+        client.put("/x", b"x")
+        client.delete("/x")
+        assert client.get("/x") is None
+
+    def test_oversized_object_not_cached(self, world):
+        machine, kernel, transport, ct = world
+        proc, thread = make_server(kernel, "filecache")
+        server = FileCacheServer(transport, proc, thread,
+                                 capacity_bytes=100)
+        client = FileCacheClient(transport, server.sid)
+        client.put("/big", b"B" * 1000)
+        assert client.get("/big") is None
+
+
+class TestNameServer:
+    def test_publish_resolve(self, world):
+        machine, kernel, transport, ct = world
+        ns = NameServer(transport)
+        sid = 1234
+        ns.publish("fs", sid)
+        assert ns.resolve("fs") == sid
+        assert ns.names() == ["fs"]
+
+    def test_duplicate_publish(self, world):
+        machine, kernel, transport, ct = world
+        ns = NameServer(transport)
+        ns.publish("fs", 1)
+        with pytest.raises(KeyError):
+            ns.publish("fs", 2)
+
+    def test_unknown_name(self, world):
+        machine, kernel, transport, ct = world
+        ns = NameServer(transport)
+        with pytest.raises(KeyError):
+            ns.resolve("ghost")
+
+    def test_resolve_grants_capability_on_xpc(self):
+        machine, kernel, transport, ct = build_transport(
+            TRANSPORT_SPECS[2])
+        proc, thread = make_server(kernel, "svc")
+        sid = transport.register("svc", lambda m, p: ((0,), None),
+                                 proc, thread)
+        other_proc = kernel.create_process("other")
+        other_thread = kernel.create_thread(other_proc)
+        ns = NameServer(transport)
+        ns.publish("svc", sid)
+        ns.resolve("svc", requester_thread=other_thread)
+        entry_id = transport._xpc_services[sid].entry_id
+        assert other_thread.home_caps.test(entry_id)

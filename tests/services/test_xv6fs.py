@@ -1,0 +1,189 @@
+"""xv6fs: files, directories, allocation, persistence."""
+
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.services.fs.blockdev import BSIZE, RamDisk
+from repro.services.fs.xv6fs import (
+    FSError, NDIRECT, T_DIR, T_FILE, Xv6FS,
+)
+from tests.services.test_log_crash import DirectDisk
+
+
+@pytest.fixture
+def fs():
+    return Xv6FS.mkfs(DirectDisk(RamDisk(2048)))
+
+
+class TestFiles:
+    def test_create_write_read(self, fs):
+        fs.create("/hello")
+        fs.write("/hello", b"hello, xv6fs")
+        assert fs.read("/hello") == b"hello, xv6fs"
+
+    def test_create_duplicate_rejected(self, fs):
+        fs.create("/a")
+        with pytest.raises(FSError):
+            fs.create("/a")
+
+    def test_missing_file(self, fs):
+        with pytest.raises(FSError):
+            fs.read("/ghost")
+
+    def test_overwrite_in_place(self, fs):
+        fs.create("/f")
+        fs.write("/f", b"AAAA")
+        fs.write("/f", b"BB")
+        assert fs.read("/f") == b"BBAA"
+
+    def test_write_at_offset_extends(self, fs):
+        fs.create("/f")
+        fs.write("/f", b"0123456789")
+        fs.write("/f", b"XY", off=4)
+        assert fs.read("/f") == b"0123XY6789"
+
+    def test_read_window(self, fs):
+        fs.create("/f")
+        fs.write("/f", bytes(range(200)))
+        assert fs.read("/f", off=10, n=5) == bytes(range(10, 15))
+
+    def test_large_file_spans_indirect_blocks(self, fs):
+        blob = bytes(range(256)) * ((NDIRECT + 3) * BSIZE // 256)
+        fs.create("/big")
+        fs.write("/big", blob)
+        assert fs.stat("/big")[2] == len(blob)
+        assert fs.read("/big") == blob
+
+    def test_truncate(self, fs):
+        fs.create("/f")
+        fs.write("/f", b"x" * 3 * BSIZE)
+        fs.truncate("/f")
+        assert fs.stat("/f")[2] == 0
+        assert fs.read("/f") == b""
+
+    def test_truncate_frees_blocks(self, fs):
+        fs.create("/f")
+        fs.write("/f", b"x" * (4 * BSIZE))
+        fs.truncate("/f")
+        # Freed blocks are reusable: fill a new file of the same size.
+        fs.create("/g")
+        fs.write("/g", b"y" * (4 * BSIZE))
+        assert fs.read("/g")[:1] == b"y"
+
+    def test_stat(self, fs):
+        fs.create("/f")
+        fs.write("/f", b"abc")
+        inum, itype, size = fs.stat("/f")
+        assert itype == T_FILE
+        assert size == 3
+
+
+class TestDirectories:
+    def test_mkdir_and_nested_files(self, fs):
+        fs.create("/dir", T_DIR)
+        fs.create("/dir/file")
+        fs.write("/dir/file", b"nested")
+        assert fs.read("/dir/file") == b"nested"
+        assert fs.listdir("/dir") == ["file"]
+
+    def test_listdir_root(self, fs):
+        fs.create("/a")
+        fs.create("/b")
+        assert sorted(fs.listdir("/")) == ["a", "b"]
+
+    def test_unlink_removes_entry(self, fs):
+        fs.create("/f")
+        fs.write("/f", b"gone soon")
+        fs.unlink("/f")
+        assert fs.listdir("/") == []
+        with pytest.raises(FSError):
+            fs.read("/f")
+
+    def test_unlink_missing(self, fs):
+        with pytest.raises(FSError):
+            fs.unlink("/nope")
+
+    def test_unlink_nonempty_dir_rejected(self, fs):
+        fs.create("/d", T_DIR)
+        fs.create("/d/f")
+        with pytest.raises(FSError):
+            fs.unlink("/d")
+
+    def test_unlink_empty_dir(self, fs):
+        fs.create("/d", T_DIR)
+        fs.unlink("/d")
+        assert fs.listdir("/") == []
+
+    def test_path_through_file_rejected(self, fs):
+        fs.create("/f")
+        with pytest.raises(FSError):
+            fs.create("/f/child")
+
+    def test_name_too_long(self, fs):
+        with pytest.raises(FSError):
+            fs.create("/" + "x" * 40)
+
+    def test_inode_reuse_after_unlink(self, fs):
+        fs.create("/a")
+        inum_a = fs.stat("/a")[0]
+        fs.unlink("/a")
+        fs.create("/b")
+        assert fs.stat("/b")[0] == inum_a
+
+
+class TestPersistence:
+    def test_remount_sees_data(self):
+        disk = RamDisk(2048)
+        fs = Xv6FS.mkfs(DirectDisk(disk))
+        fs.create("/persist")
+        fs.write("/persist", b"durable")
+        remounted = Xv6FS(DirectDisk(disk))
+        assert remounted.read("/persist") == b"durable"
+
+    def test_mount_unformatted_disk_fails(self):
+        with pytest.raises(FSError):
+            Xv6FS(DirectDisk(RamDisk(256)))
+
+    def test_out_of_space(self):
+        fs = Xv6FS.mkfs(DirectDisk(RamDisk(96)))
+        fs.create("/f")
+        with pytest.raises(FSError):
+            for i in range(100):
+                fs.write("/f", b"z" * BSIZE, off=i * BSIZE)
+
+
+@given(st.data())
+@settings(max_examples=15, deadline=None)
+def test_random_file_operations_match_dict_model(data):
+    """Model-based property test: xv6fs behaves like {path: bytes}."""
+    fs = Xv6FS.mkfs(DirectDisk(RamDisk(2048)))
+    model = {}
+    names = ["/f0", "/f1", "/f2"]
+    for _ in range(data.draw(st.integers(1, 25))):
+        op = data.draw(st.sampled_from(["create", "write", "read",
+                                        "unlink"]))
+        name = data.draw(st.sampled_from(names))
+        if op == "create":
+            if name in model:
+                with pytest.raises(FSError):
+                    fs.create(name)
+            else:
+                fs.create(name)
+                model[name] = b""
+        elif op == "write" and name in model:
+            blob = data.draw(st.binary(max_size=2 * BSIZE))
+            off = data.draw(st.integers(0, len(model[name])))
+            fs.write(name, blob, off=off)
+            cur = bytearray(model[name])
+            end = off + len(blob)
+            if end > len(cur):
+                cur.extend(b"\x00" * (end - len(cur)))
+            cur[off:end] = blob
+            model[name] = bytes(cur)
+        elif op == "read" and name in model:
+            assert fs.read(name) == model[name]
+        elif op == "unlink" and name in model:
+            fs.unlink(name)
+            del model[name]
+    for name, expect in model.items():
+        assert fs.read(name) == expect

@@ -1,0 +1,110 @@
+"""Property-based tests of the engine's core invariants (DESIGN.md §6).
+
+A random interleaving of xcall / xret / swapseg / seg-mask operations
+must never violate:
+
+* single ownership of an active relay segment,
+* link-stack LIFO discipline (xret always lands in the right space),
+* window containment (a callee's window is always inside the segment).
+"""
+
+from hypothesis import given, settings, strategies as st
+
+from repro.hw.machine import Machine
+from repro.kernel.kernel import BaseKernel
+from repro.xpc.errors import XPCError
+from repro.xpc.relayseg import SegMask
+
+
+def build_world(n_servers=3):
+    machine = Machine(cores=1, mem_bytes=64 * 1024 * 1024)
+    kernel = BaseKernel(machine)
+    core = machine.core0
+    client = kernel.create_process("client")
+    cthread = kernel.create_thread(client)
+    entries = []
+    processes = [client]
+    for i in range(n_servers):
+        proc = kernel.create_process(f"s{i}")
+        thread = kernel.create_thread(proc)
+        entry = kernel.register_xentry(core, thread, lambda *a: None)
+        kernel.grant_xcall_cap(core, proc, cthread, entry.entry_id)
+        # Every server may call every other server (chains allowed).
+        entries.append(entry)
+        processes.append(proc)
+    for entry in entries:
+        for proc in processes[1:]:
+            for thread in proc.threads:
+                thread.home_caps.grant(entry.entry_id)
+    kernel.run_thread(core, cthread)
+    seg, slot = kernel.create_relay_seg(core, client, 16384)
+    engine = machine.engines[0]
+    engine.swapseg(slot)
+    return machine, kernel, core, engine, entries, seg, cthread
+
+
+op_strategy = st.lists(
+    st.one_of(
+        st.tuples(st.just("xcall"), st.integers(0, 2)),
+        st.tuples(st.just("xret"), st.just(0)),
+        st.tuples(st.just("swapseg"), st.integers(0, 3)),
+        st.tuples(st.just("mask"),
+                  st.tuples(st.integers(0, 20000),
+                            st.integers(0, 20000))),
+    ),
+    max_size=40,
+)
+
+
+@given(ops=op_strategy)
+@settings(max_examples=60, deadline=None)
+def test_random_op_sequences_preserve_invariants(ops):
+    machine, kernel, core, engine, entries, seg, cthread = build_world()
+    aspace_stack = [core.aspace]
+    for op, arg in ops:
+        try:
+            if op == "xcall":
+                entry = entries[arg]
+                engine.xcall(entry.entry_id)
+                aspace_stack.append(core.aspace)
+                assert core.aspace is entry.aspace
+            elif op == "xret":
+                if len(aspace_stack) > 1:
+                    engine.xret()
+                    aspace_stack.pop()
+                    assert core.aspace is aspace_stack[-1]
+            elif op == "swapseg":
+                engine.swapseg(arg)
+            else:
+                engine.write_seg_mask(SegMask(*arg))
+        except XPCError:
+            # A rejected operation must not corrupt state: either it
+            # was a mask/swap fault (state unchanged) or an xret
+            # integrity trap (kernel's job to repair).
+            break
+        # INVARIANT: an active window is owned by exactly the current
+        # thread, and lies entirely within its backing segment.
+        window = engine.state.seg_reg
+        if window.valid:
+            assert window.segment.active_owner is cthread
+            assert window.va_base >= window.segment.va_base
+            assert (window.va_base + window.length
+                    <= window.segment.va_base + window.segment.length)
+            # VA->PA offset linearity (no way to alias another segment)
+            assert (window.pa_base - window.segment.pa_base
+                    == window.va_base - window.segment.va_base)
+
+
+@given(depth=st.integers(1, 30))
+@settings(max_examples=20, deadline=None)
+def test_deep_chains_unwind_completely(depth):
+    machine, kernel, core, engine, entries, seg, cthread = build_world(1)
+    entry = entries[0]
+    for _ in range(depth):
+        engine.xcall(entry.entry_id)
+    assert cthread.xpc.link_stack.depth == depth
+    for _ in range(depth):
+        engine.xret()
+    assert cthread.xpc.link_stack.depth == 0
+    assert core.aspace is cthread.process.aspace
+    assert engine.state.seg_reg.segment is seg

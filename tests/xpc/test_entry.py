@@ -1,0 +1,109 @@
+"""x-entry table semantics."""
+
+import pytest
+
+from repro.hw.memory import PhysicalMemory
+from repro.hw.paging import AddressSpace
+from repro.xpc.entry import XEntryTable
+from repro.xpc.errors import InvalidXEntryError
+
+
+@pytest.fixture
+def aspace():
+    return AddressSpace(PhysicalMemory(16 * 1024 * 1024))
+
+
+def handler(*args):
+    return "handled"
+
+
+def test_register_assigns_ids(aspace):
+    table = XEntryTable(8)
+    first = table.register(aspace, handler, None)
+    second = table.register(aspace, handler, None)
+    assert first.entry_id != second.entry_id
+    assert table.registered == 2
+
+
+def test_load_valid_entry(aspace):
+    table = XEntryTable()
+    entry = table.register(aspace, handler, None, max_contexts=4)
+    loaded = table.load(entry.entry_id)
+    assert loaded is entry
+    assert loaded.max_contexts == 4
+
+
+def test_load_unregistered_raises(aspace):
+    table = XEntryTable(4)
+    with pytest.raises(InvalidXEntryError):
+        table.load(0)
+
+
+def test_load_out_of_range_raises(aspace):
+    table = XEntryTable(4)
+    with pytest.raises(InvalidXEntryError):
+        table.load(99)
+    with pytest.raises(InvalidXEntryError):
+        table.load(-1)
+
+
+def test_remove_invalidates(aspace):
+    table = XEntryTable(4)
+    entry = table.register(aspace, handler, None)
+    table.remove(entry.entry_id)
+    assert not entry.valid
+    with pytest.raises(InvalidXEntryError):
+        table.load(entry.entry_id)
+
+
+def test_remove_frees_slot_for_reuse(aspace):
+    table = XEntryTable(3)
+    a = table.register(aspace, handler, None)
+    table.register(aspace, handler, None)
+    table.remove(a.entry_id)
+    c = table.register(aspace, handler, None)
+    assert c.entry_id == a.entry_id
+
+
+def test_table_full(aspace):
+    table = XEntryTable(3)
+    table.register(aspace, handler, None)
+    table.register(aspace, handler, None)
+    with pytest.raises(InvalidXEntryError):
+        table.register(aspace, handler, None)
+
+
+def test_remove_twice_raises(aspace):
+    table = XEntryTable(4)
+    entry = table.register(aspace, handler, None)
+    table.remove(entry.entry_id)
+    with pytest.raises(InvalidXEntryError):
+        table.remove(entry.entry_id)
+
+
+def test_invalidated_entry_rejected_even_if_slot_held(aspace):
+    table = XEntryTable(4)
+    entry = table.register(aspace, handler, None)
+    entry.valid = False   # kernel kill path marks entries invalid
+    with pytest.raises(InvalidXEntryError):
+        table.load(entry.entry_id)
+
+
+def test_bad_max_contexts(aspace):
+    table = XEntryTable(4)
+    with pytest.raises(ValueError):
+        table.register(aspace, handler, None, max_contexts=0)
+
+
+def test_bad_size():
+    with pytest.raises(ValueError):
+        XEntryTable(0)
+    with pytest.raises(ValueError):
+        XEntryTable(1)
+
+
+def test_slot_zero_is_reserved(aspace):
+    table = XEntryTable(4)
+    ids = {table.register(aspace, handler, None).entry_id
+           for _ in range(3)}
+    assert 0 not in ids

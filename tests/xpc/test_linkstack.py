@@ -1,0 +1,82 @@
+"""Link stack discipline."""
+
+import pytest
+
+from repro.hw.memory import PhysicalMemory
+from repro.hw.paging import AddressSpace
+from repro.xpc.errors import InvalidLinkageError
+from repro.xpc.linkstack import LinkStack, LinkageRecord
+from repro.xpc.relayseg import NO_MASK, SEG_INVALID
+
+
+@pytest.fixture
+def mem():
+    return PhysicalMemory(16 * 1024 * 1024)
+
+
+def record(aspace, entry_id=1):
+    return LinkageRecord(
+        caller_aspace=aspace, caller_state=object(),
+        caller_thread=object(), seg_reg=SEG_INVALID, seg_mask=NO_MASK,
+        passed_seg=SEG_INVALID, callee_entry_id=entry_id,
+    )
+
+
+def test_lifo_order(mem):
+    aspace = AddressSpace(mem)
+    stack = LinkStack()
+    a, b = record(aspace, 1), record(aspace, 2)
+    stack.push(a)
+    stack.push(b)
+    assert stack.pop() is b
+    assert stack.pop() is a
+
+
+def test_pop_empty_raises(mem):
+    with pytest.raises(InvalidLinkageError):
+        LinkStack().pop()
+
+
+def test_overflow_raises(mem):
+    aspace = AddressSpace(mem)
+    stack = LinkStack(capacity=2)
+    stack.push(record(aspace))
+    stack.push(record(aspace))
+    with pytest.raises(InvalidLinkageError):
+        stack.push(record(aspace))
+
+
+def test_pop_invalidated_record_raises(mem):
+    aspace = AddressSpace(mem)
+    stack = LinkStack()
+    rec = record(aspace)
+    stack.push(rec)
+    rec.valid = False
+    with pytest.raises(InvalidLinkageError):
+        stack.pop()
+
+
+def test_invalidate_records_of_dead_process(mem):
+    dead = AddressSpace(mem)
+    alive = AddressSpace(mem)
+    stack = LinkStack()
+    stack.push(record(alive))
+    stack.push(record(dead))
+    stack.push(record(dead))
+    count = stack.invalidate_records_of(dead)
+    assert count == 2
+    assert [r.valid for r in stack] == [True, False, False]
+
+
+def test_peek_does_not_pop(mem):
+    aspace = AddressSpace(mem)
+    stack = LinkStack()
+    rec = record(aspace)
+    stack.push(rec)
+    assert stack.peek() is rec
+    assert stack.depth == 1
+
+
+def test_bad_capacity():
+    with pytest.raises(ValueError):
+        LinkStack(capacity=0)

@@ -1,0 +1,132 @@
+"""Relay segment, seg-mask, and seg-list semantics."""
+
+import pytest
+from hypothesis import given, strategies as st
+
+from repro.hw.paging import PagePerm
+from repro.xpc.errors import InvalidSegMaskError, SwapSegError
+from repro.xpc.relayseg import (
+    NO_MASK, SEG_INVALID, RelaySegment, SegList, SegMask, SegReg,
+    apply_mask,
+)
+
+
+def make_seg(length=16384, va=0x7000_0000_0000, pa=0x100000):
+    return RelaySegment(pa, va, length, PagePerm.RW)
+
+
+class TestSegReg:
+    def test_window_for_segment(self):
+        seg = make_seg()
+        window = SegReg.for_segment(seg)
+        assert window.valid
+        assert window.contains(seg.va_base)
+        assert window.contains(seg.va_base + seg.length - 1)
+        assert not window.contains(seg.va_base + seg.length)
+
+    def test_translate_is_linear(self):
+        window = SegReg.for_segment(make_seg())
+        assert (window.translate(window.va_base + 123)
+                == window.pa_base + 123)
+
+    def test_invalid_window(self):
+        assert not SEG_INVALID.valid
+        assert not SEG_INVALID.contains(0)
+
+    def test_zero_length_segment_rejected(self):
+        with pytest.raises(ValueError):
+            RelaySegment(0x1000, 0x2000, 0)
+
+
+class TestSegMask:
+    def test_identity_mask_is_noop(self):
+        window = SegReg.for_segment(make_seg())
+        assert apply_mask(window, NO_MASK) == window
+
+    def test_mask_shrinks_window(self):
+        window = SegReg.for_segment(make_seg())
+        masked = apply_mask(window, SegMask(4096, 8192))
+        assert masked.va_base == window.va_base + 4096
+        assert masked.pa_base == window.pa_base + 4096
+        assert masked.length == 8192
+        assert masked.segment is window.segment
+
+    def test_mask_escaping_window_raises(self):
+        window = SegReg.for_segment(make_seg(length=8192))
+        with pytest.raises(InvalidSegMaskError):
+            apply_mask(window, SegMask(4096, 8192))
+
+    def test_negative_mask_rejected(self):
+        window = SegReg.for_segment(make_seg())
+        with pytest.raises(InvalidSegMaskError):
+            apply_mask(window, SegMask(-1, 16))
+
+    def test_mask_on_invalid_window_is_noop(self):
+        assert apply_mask(SEG_INVALID, SegMask(0, 16)) == SEG_INVALID
+
+    @given(offset=st.integers(0, 1 << 20), length=st.integers(0, 1 << 20))
+    def test_mask_never_escapes(self, offset, length):
+        """Property: a masked window stays inside the original window
+        (the paper's TOCTTOU/no-overlap invariant) or faults."""
+        window = SegReg.for_segment(make_seg(length=65536))
+        try:
+            masked = apply_mask(window, SegMask(offset, length))
+        except InvalidSegMaskError:
+            return
+        assert masked.va_base >= window.va_base
+        assert (masked.va_base + masked.length
+                <= window.va_base + window.length)
+        assert masked.pa_base - window.pa_base == \
+            masked.va_base - window.va_base
+
+    def test_nested_masks_compose_monotonically(self):
+        window = SegReg.for_segment(make_seg(length=65536))
+        once = apply_mask(window, SegMask(8192, 32768))
+        twice = apply_mask(once, SegMask(4096, 8192))
+        assert twice.va_base == window.va_base + 12288
+        assert twice.length == 8192
+
+
+class TestSegList:
+    def test_swap_into_empty_slot_parks_current(self):
+        seg_list = SegList(8)
+        window = SegReg.for_segment(make_seg())
+        incoming = seg_list.swap(0, window)
+        assert incoming == SEG_INVALID        # nothing was parked
+        assert seg_list.peek(0) == window
+
+    def test_swap_retrieves_parked_window(self):
+        seg_list = SegList(8)
+        a = SegReg.for_segment(make_seg(va=0x7000_0000_0000))
+        b = SegReg.for_segment(make_seg(va=0x7000_1000_0000))
+        seg_list.store(3, a)
+        got = seg_list.swap(3, b)
+        assert got == a
+        assert seg_list.peek(3) == b
+
+    def test_swap_invalid_window_leaves_slot_empty(self):
+        seg_list = SegList(8)
+        a = SegReg.for_segment(make_seg())
+        seg_list.store(0, a)
+        got = seg_list.swap(0, SEG_INVALID)
+        assert got == a
+        assert seg_list.peek(0) is None
+
+    def test_out_of_range_slot(self):
+        seg_list = SegList(4)
+        with pytest.raises(SwapSegError):
+            seg_list.swap(4, SEG_INVALID)
+        with pytest.raises(SwapSegError):
+            seg_list.peek(-1)
+
+    def test_segments_iteration(self):
+        seg_list = SegList(8)
+        a = SegReg.for_segment(make_seg())
+        seg_list.store(2, a)
+        assert [(i, w) for i, w in seg_list.segments()] == [(2, a)]
+
+    def test_drop(self):
+        seg_list = SegList(8)
+        seg_list.store(1, SegReg.for_segment(make_seg()))
+        seg_list.drop(1)
+        assert seg_list.peek(1) is None
