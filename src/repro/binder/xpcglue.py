@@ -24,7 +24,6 @@ from repro.binder.driver import BinderDriver
 from repro.binder.framework import BinderFramework, BinderService
 from repro.binder.parcel import Parcel
 from repro.runtime.xpclib import XPCService, xpc_call
-from repro.xpc.relayseg import SEG_INVALID, SegReg
 
 
 class XPCBinderDriver(BinderDriver):
@@ -118,15 +117,13 @@ class XPCBinderFramework(BinderFramework):
         kernel = self.driver.kernel
         if entry is not None:
             old_seg, old_slot = entry
-            client.xpc.seg_reg = SEG_INVALID
-            old_seg.active_owner = None
+            kernel.deactivate_relay_seg(client)
             client.process.seg_list.drop(old_slot)
             kernel.free_relay_seg(core, old_seg)
         size = max(needed, self._seg_bytes)
         seg, slot = kernel.create_relay_seg(core, client.process, size)
         client.process.seg_list.drop(slot)
-        client.xpc.seg_reg = SegReg.for_segment(seg)
-        seg.active_owner = client
+        kernel.install_relay_seg(client, seg)
         self._client_segs[client.koid] = (seg, slot)
         return seg
 

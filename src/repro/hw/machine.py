@@ -7,14 +7,16 @@ x-entry table in DRAM (§3.1).
 
 from __future__ import annotations
 
-from typing import List, Optional
+from typing import List, Optional, TYPE_CHECKING
 
 from repro.hw.cache import _TagArray
 from repro.hw.cpu import Core
 from repro.hw.memory import PhysicalMemory
 from repro.params import CycleParams, DEFAULT_PARAMS
-from repro.xpc.engine import XPCConfig, XPCEngine
-from repro.xpc.entry import XEntryTable
+
+if TYPE_CHECKING:  # pragma: no cover - import cycle guard
+    from repro.xpc.engine import XPCConfig, XPCEngine
+    from repro.xpc.entry import XEntryTable
 
 
 class Machine:
@@ -36,9 +38,15 @@ class Machine:
                  shared_l2=shared_l2)
             for i in range(cores)
         ]
-        self.xentry_table: Optional[XEntryTable] = None
-        self.engines: List[XPCEngine] = []
+        self.xentry_table: Optional["XEntryTable"] = None
+        self.engines: List["XPCEngine"] = []
         if xpc:
+            # The hardware layer defines the engine *port*
+            # (Core.xpc_engine); the engine plugs itself in.  This late
+            # import is the one sanctioned inversion of the hw -> xpc
+            # layering: a load-time dependency would invert the stack.
+            from repro.xpc.engine import XPCEngine  # verify-ok: layering
+            from repro.xpc.entry import XEntryTable  # verify-ok: layering
             self.xentry_table = XEntryTable()
             self.engines = [
                 XPCEngine(core, self.xentry_table, xpc_config)

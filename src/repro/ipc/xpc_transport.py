@@ -16,7 +16,7 @@ from repro.ipc.transport import RelayPayload, ServerRegistration, Transport
 from repro.kernel.kernel import BaseKernel
 from repro.kernel.process import Thread
 from repro.runtime.xpclib import XPCService, xpc_call
-from repro.xpc.relayseg import NO_MASK, SEG_INVALID, SegMask, SegReg
+from repro.xpc.relayseg import NO_MASK, SegMask
 
 
 class XPCTransport(Transport):
@@ -85,8 +85,7 @@ class XPCTransport(Transport):
             return
         if self._seg is not None:
             old_seg, old_slot = self._seg
-            thread.xpc.seg_reg = SEG_INVALID
-            old_seg.active_owner = None
+            self.kernel.deactivate_relay_seg(thread)
             thread.process.seg_list.drop(old_slot)
             self.kernel.free_relay_seg(self.core, old_seg)
         size = max(needed, self._seg_bytes)
@@ -94,8 +93,7 @@ class XPCTransport(Transport):
             self.core, thread.process, size)
         # First-time kernel setup: install directly as the seg-reg.
         thread.process.seg_list.drop(slot)
-        thread.xpc.seg_reg = SegReg.for_segment(seg)
-        seg.active_owner = thread
+        self.kernel.install_relay_seg(thread, seg)
         self._seg = (seg, slot)
 
     def grant_to_thread(self, sid: int, thread: Thread) -> None:

@@ -20,6 +20,7 @@ this with their own IPC data planes.
 
 from __future__ import annotations
 
+import itertools
 from typing import Callable, Dict, List, Optional, Tuple
 
 from repro.hw.cpu import Core, TrapCause
@@ -58,6 +59,9 @@ class BaseKernel:
         self.threads: List[Thread] = []
         self.relay_segments: List[RelaySegment] = []
         self._relay_va_cursor = RELAY_VA_BASE
+        # Segment IDs are scoped to this kernel: deterministic per
+        # machine, never shared across simulator instances.
+        self._seg_ids = itertools.count(1)
         self.ipc_stats: Dict[str, int] = {"calls": 0, "bytes": 0}
         #: Subsystems (e.g. the Binder driver) that want to know when a
         #: process dies — callables taking the dead Process.
@@ -183,7 +187,8 @@ class BaseKernel:
         pa = self.machine.memory.alloc_contiguous(size)
         va = self._relay_va_cursor
         self._relay_va_cursor += size + PAGE_SIZE
-        seg = RelaySegment(pa, va, size, PagePerm.RW, process)
+        seg = RelaySegment(pa, va, size, PagePerm.RW, process,
+                           seg_id=next(self._seg_ids))
         self.relay_segments.append(seg)
         slot = self._free_slot(process)
         process.seg_list.store(slot, SegReg.for_segment(seg))
@@ -206,6 +211,33 @@ class BaseKernel:
         """
         engine = self._engine(core)
         engine.swapseg(slot)
+
+    def install_relay_seg(self, thread, seg: RelaySegment) -> None:
+        """Control plane: install *seg* directly as *thread*'s seg-reg.
+
+        This is the first-time setup fast path glue layers use (Binder's
+        relay-backed Parcels, the kernel-neutral transport): the kernel
+        hands an owned segment straight to a thread without a ``swapseg``
+        round trip.  The single-owner invariant of §3.3 is enforced here
+        exactly as the engine enforces it on ``swapseg``.
+        """
+        if seg.active_owner not in (None, thread):
+            raise KernelError(
+                f"relay segment {seg.seg_id} is active on another thread")
+        thread.xpc.seg_reg = SegReg.for_segment(seg)
+        seg.active_owner = thread
+
+    def deactivate_relay_seg(self, thread) -> Optional[RelaySegment]:
+        """Control plane: invalidate *thread*'s seg-reg, releasing
+        ownership of the segment it mapped (if any).  Returns the
+        released segment so the caller can park or free it.
+        """
+        window = thread.xpc.seg_reg
+        thread.xpc.seg_reg = SEG_INVALID
+        if not window.valid:
+            return None
+        window.segment.active_owner = None
+        return window.segment
 
     def free_relay_seg(self, core: Core, seg: RelaySegment) -> None:
         """Syscall: destroy a relay segment and reclaim its memory."""
@@ -274,7 +306,7 @@ class BaseKernel:
             alive = (record.valid
                      and getattr(record.caller_thread, "alive", True))
             # Pop the record regardless; hardware pop semantics.
-            stack._records.pop()
+            stack.force_pop()
             if alive:
                 restored = record
                 break

@@ -1,0 +1,63 @@
+"""``python -m repro.verify`` — run the lint suite (and optionally the
+bounded model checker) from the command line.
+
+Exit status: 0 when clean, 1 on any lint violation or invariant
+counterexample, 2 on usage errors.  This is what the ``repro-lint``
+console script and the CI workflow invoke.
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+from pathlib import Path
+
+from repro.verify.lint import format_violations, lint_paths, run_lint
+from repro.verify.model import ModelChecker, ModelConfig
+
+
+def main(argv=None) -> int:
+    parser = argparse.ArgumentParser(
+        prog="repro-lint",
+        description="Static invariant checker for the XPC reproduction: "
+                    "custom lint rules over src/repro, plus an optional "
+                    "bounded protocol model check.",
+    )
+    parser.add_argument(
+        "paths", nargs="*", type=Path,
+        help="specific .py files to lint (default: the whole repro "
+             "package)")
+    parser.add_argument(
+        "--model", action="store_true",
+        help="also run the bounded XPC protocol model checker "
+             "(2 threads x 2 x-entries, exhaustive)")
+    parser.add_argument(
+        "--quiet", "-q", action="store_true",
+        help="print only the final verdict")
+    args = parser.parse_args(argv)
+
+    try:
+        violations = (lint_paths(args.paths) if args.paths
+                      else run_lint())
+    except (OSError, SyntaxError, ValueError) as exc:
+        print(f"repro-lint: {exc}", file=sys.stderr)
+        return 2
+    failed = bool(violations)
+    if not args.quiet or failed:
+        print(format_violations(violations))
+
+    if args.model:
+        result = ModelChecker(ModelConfig()).explore()
+        if not args.quiet or result.counterexamples:
+            print(f"model: explored {result.states} states / "
+                  f"{result.transitions} transitions "
+                  f"({len(result.counterexamples)} counterexample(s))")
+        for cex in result.counterexamples:
+            print(cex.report())
+        failed = failed or bool(result.counterexamples)
+
+    return 1 if failed else 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

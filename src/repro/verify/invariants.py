@@ -1,0 +1,146 @@
+"""The XPC protocol invariants the model checker asserts.
+
+Each invariant is a pure function over the live world (the real machine,
+kernel, threads, and segments) plus the checker's *shadow model* — an
+independent re-derivation of what the architectural state must be,
+updated only from the event sequence itself.  The four invariants mirror
+the paper's security argument:
+
+1. **link-stack LIFO** (§3.2): every thread's link stack is exactly the
+   stack of its outstanding ``xcall``s, in order, and ``xret`` restores
+   precisely the capability bitmap pushed by the matching ``xcall``.
+2. **single-owner relay-seg** (§3.3/§6.1, the TOCTTOU defence): at any
+   instant a relay segment is the active ``seg-reg`` window of at most
+   one thread, and its recorded ``active_owner`` agrees.
+3. **seg-mask monotonic shrink** (§3.3/§4.4): the window an ``xcall``
+   hands to the callee is contained in the caller's window — handover
+   can only shrink access, never widen it.
+4. **xcall-cap gating** (§3.2): an ``xcall`` succeeds if and only if the
+   shadow capability state says the calling thread's current bitmap has
+   the bit — no call without a grant, no spurious denial after one.
+
+Invariants 1, 2 are global state predicates (checked after every event);
+3, 4 are transition predicates (checked at the event that moves the
+state).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import List, Optional, Tuple
+
+
+@dataclass(frozen=True)
+class InvariantViolation:
+    """One broken invariant, found after one event."""
+
+    invariant: str
+    message: str
+
+    def __str__(self) -> str:
+        return f"[{self.invariant}] {self.message}"
+
+
+def window_tuple(seg_reg) -> Optional[Tuple[int, int, int]]:
+    """Canonical (seg_id, offset, length) of a seg-reg window."""
+    if seg_reg is None or not seg_reg.valid:
+        return None
+    seg = seg_reg.segment
+    return (seg.seg_id, seg_reg.va_base - seg.va_base, seg_reg.length)
+
+
+def window_within(inner, outer) -> bool:
+    """Is window *inner* contained in window *outer* (same segment)?"""
+    if inner is None:
+        return True
+    if outer is None:
+        return False
+    iseg, ioff, ilen = inner
+    oseg, ooff, olen = outer
+    return (iseg == oseg and ioff >= ooff
+            and ioff + ilen <= ooff + olen)
+
+
+# ----------------------------------------------------------------------
+# Global state invariants
+# ----------------------------------------------------------------------
+def check_single_owner(world) -> List[InvariantViolation]:
+    """No relay segment is the active window of two threads (§3.3)."""
+    out: List[InvariantViolation] = []
+    for seg in world.kernel.relay_segments:
+        holders = [t for t in world.threads
+                   if t.xpc.seg_reg.valid and t.xpc.seg_reg.segment is seg]
+        if len(holders) > 1:
+            names = ", ".join(t.name for t in holders)
+            out.append(InvariantViolation(
+                "single-owner",
+                f"relay segment {seg.seg_id} is the active seg-reg "
+                f"window of {len(holders)} threads at once ({names}) — "
+                f"TOCTTOU ownership violated"))
+        if holders and seg.active_owner not in holders:
+            out.append(InvariantViolation(
+                "single-owner",
+                f"relay segment {seg.seg_id} is mapped by "
+                f"{holders[0].name} but active_owner records "
+                f"{getattr(seg.active_owner, 'name', seg.active_owner)!r}"))
+    return out
+
+
+def check_lifo(world, shadow) -> List[InvariantViolation]:
+    """Engine link stacks match the shadow call chains exactly (§3.2)."""
+    out: List[InvariantViolation] = []
+    for tid, thread in enumerate(world.threads):
+        actual = [r.callee_entry_id for r in thread.xpc.link_stack.records]
+        expected = [world.entry_ids[frame.logical_entry]
+                    for frame in shadow.stacks[tid]]
+        if actual != expected:
+            out.append(InvariantViolation(
+                "link-stack-lifo",
+                f"{thread.name}: link stack records {actual} do not "
+                f"match the LIFO call chain {expected}"))
+            continue
+        # The thread must be running under the bitmap the chain implies.
+        expected_key = shadow.current_key(tid)
+        if thread.xpc.cap_bitmap is not shadow.bitmap_objects[expected_key]:
+            out.append(InvariantViolation(
+                "link-stack-lifo",
+                f"{thread.name}: xcall-cap-reg does not hold the bitmap "
+                f"the call chain implies ({expected_key}) — xret "
+                f"restored the wrong runtime state"))
+    return out
+
+
+# ----------------------------------------------------------------------
+# Transition invariants
+# ----------------------------------------------------------------------
+def check_shrink(thread_name: str, before, after) -> List[InvariantViolation]:
+    """An xcall handover may only shrink the window (§3.3/§4.4)."""
+    if window_within(after, before):
+        return []
+    return [InvariantViolation(
+        "seg-mask-shrink",
+        f"{thread_name}: xcall handed the callee window {after} which "
+        f"escapes the caller's window {before} — seg-mask must "
+        f"monotonically shrink access")]
+
+
+def check_cap_gate(thread_name: str, entry_id: int, shadow_has_cap: bool,
+                   succeeded: bool, denied: bool) -> List[InvariantViolation]:
+    """xcall outcome must agree with the shadow capability state (§3.2)."""
+    if succeeded and not shadow_has_cap:
+        return [InvariantViolation(
+            "xcall-cap",
+            f"{thread_name}: xcall #{entry_id} succeeded although no "
+            f"xcall-cap bit was ever granted for it — the hardware "
+            f"capability check is broken")]
+    if denied and shadow_has_cap:
+        return [InvariantViolation(
+            "xcall-cap",
+            f"{thread_name}: xcall #{entry_id} was denied although the "
+            f"xcall-cap bit is granted — spurious capability fault")]
+    return []
+
+
+def check_state(world, shadow) -> List[InvariantViolation]:
+    """All global invariants, in one pass (run after every event)."""
+    return check_single_owner(world) + check_lifo(world, shadow)

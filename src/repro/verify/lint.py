@@ -1,0 +1,203 @@
+"""The custom AST lint pass: framework, module loading, and the driver.
+
+Rules are small classes (:class:`Rule`) that walk a parsed module
+(:class:`ModuleInfo`) and yield :class:`LintViolation` records.  The
+framework handles file discovery, module-name resolution, pragma
+suppressions, and formatting; the repo-specific rules live in
+:mod:`repro.verify.rules`.
+
+Suppression pragma: a ``# verify-ok: <rule>[, <rule>...]`` comment on the
+offending line (the line of the statement's first token) suppresses the
+named rules at that site only.
+"""
+
+from __future__ import annotations
+
+import ast
+import re
+from dataclasses import dataclass, field
+from pathlib import Path
+from typing import Dict, Iterable, Iterator, List, Optional, Sequence, Set
+
+_PRAGMA_RE = re.compile(r"#\s*verify-ok:\s*([a-z0-9_,\s-]+)")
+
+
+@dataclass(frozen=True)
+class LintViolation:
+    """One rule violation at one source location."""
+
+    rule: str
+    path: str           # repo-relative or synthetic ("<string>") path
+    line: int
+    message: str
+
+    def __str__(self) -> str:
+        return f"{self.path}:{self.line}: [{self.rule}] {self.message}"
+
+
+@dataclass
+class ModuleInfo:
+    """A parsed module plus everything a rule needs to inspect it."""
+
+    path: str
+    modname: str                    # dotted name, e.g. "repro.hw.machine"
+    source: str
+    tree: ast.Module
+    suppressions: Dict[int, Set[str]] = field(default_factory=dict)
+
+    @property
+    def unit(self) -> str:
+        """The top-level unit under ``repro`` ("hw", "xpc", ...).
+
+        Top-level modules (``repro/__init__.py``, ``repro/params.py``)
+        map to their own stem; the bare package maps to "".
+        """
+        parts = self.modname.split(".")
+        if len(parts) < 2:
+            return ""
+        return parts[1]
+
+    def suppressed(self, line: int, rule: str) -> bool:
+        return rule in self.suppressions.get(line, set())
+
+
+class Rule:
+    """Base class for lint rules."""
+
+    name: str = "rule"
+    description: str = ""
+
+    def check(self, module: ModuleInfo) -> Iterator[LintViolation]:
+        raise NotImplementedError
+
+    # Helper for subclasses: emit unless pragma-suppressed.
+    def violation(self, module: ModuleInfo, line: int,
+                  message: str) -> Optional[LintViolation]:
+        if module.suppressed(line, self.name):
+            return None
+        return LintViolation(self.name, module.path, line, message)
+
+
+def _scan_pragmas(source: str) -> Dict[int, Set[str]]:
+    out: Dict[int, Set[str]] = {}
+    for lineno, line in enumerate(source.splitlines(), start=1):
+        match = _PRAGMA_RE.search(line)
+        if match:
+            names = {n.strip() for n in match.group(1).split(",")}
+            out[lineno] = {n for n in names if n}
+    return out
+
+
+def parse_module(source: str, path: str, modname: str) -> ModuleInfo:
+    tree = ast.parse(source, filename=path)
+    return ModuleInfo(path=path, modname=modname, source=source, tree=tree,
+                      suppressions=_scan_pragmas(source))
+
+
+def module_name_for(path: Path, src_root: Path) -> str:
+    """``src/repro/hw/machine.py`` → ``repro.hw.machine``.
+
+    Files outside the source root (scratch fixtures handed to the CLI)
+    get a synthetic top-level name so package-scoped rules stay quiet
+    and path-agnostic rules still run.
+    """
+    try:
+        rel = path.resolve().relative_to(src_root.resolve())
+    except ValueError:
+        return path.stem
+    parts = list(rel.with_suffix("").parts)
+    if parts and parts[-1] == "__init__":
+        parts = parts[:-1]
+    return ".".join(parts)
+
+
+def find_src_root(start: Optional[Path] = None) -> Path:
+    """Locate the ``src`` directory that holds the ``repro`` package."""
+    candidates = []
+    if start is not None:
+        candidates.append(Path(start))
+    here = Path(__file__).resolve()
+    candidates.append(here.parents[2])          # .../src
+    for cand in candidates:
+        if (cand / "repro" / "__init__.py").exists():
+            return cand
+    raise FileNotFoundError("cannot locate the src/ root of the repo")
+
+
+def collect_modules(src_root: Optional[Path] = None,
+                    package: str = "repro") -> List[ModuleInfo]:
+    """Parse every ``.py`` file of *package* under *src_root*."""
+    root = find_src_root(src_root)
+    out: List[ModuleInfo] = []
+    for path in sorted((root / package).rglob("*.py")):
+        source = path.read_text()
+        modname = module_name_for(path, root)
+        try:
+            rel = str(path.relative_to(root.parent))
+        except ValueError:
+            rel = str(path)
+        out.append(parse_module(source, rel, modname))
+    return out
+
+
+def lint_modules(modules: Iterable[ModuleInfo],
+                 rules: Optional[Sequence[Rule]] = None
+                 ) -> List[LintViolation]:
+    if rules is None:
+        from repro.verify.rules import default_rules
+        rules = default_rules()
+    violations: List[LintViolation] = []
+    for module in modules:
+        for rule in rules:
+            violations.extend(rule.check(module))
+    violations.sort(key=lambda v: (v.path, v.line, v.rule))
+    return violations
+
+
+def run_lint(src_root: Optional[Path] = None,
+             rules: Optional[Sequence[Rule]] = None,
+             package: str = "repro") -> List[LintViolation]:
+    """Lint the whole source tree; the entry point pytest and CI use."""
+    return lint_modules(collect_modules(src_root, package), rules)
+
+
+def lint_paths(paths: Sequence[Path],
+               rules: Optional[Sequence[Rule]] = None) -> List[LintViolation]:
+    """Lint an explicit list of files (CLI convenience)."""
+    root = find_src_root()
+    modules = []
+    for path in paths:
+        path = Path(path)
+        modules.append(parse_module(path.read_text(), str(path),
+                                    module_name_for(path, root)))
+    return lint_modules(modules, rules)
+
+
+def lint_source(source: str, modname: str = "repro.fixture",
+                rules: Optional[Sequence[Rule]] = None,
+                path: str = "<string>") -> List[LintViolation]:
+    """Lint a source string as if it were module *modname* (test hook)."""
+    return lint_modules([parse_module(source, path, modname)], rules)
+
+
+def format_violations(violations: Sequence[LintViolation]) -> str:
+    if not violations:
+        return "repro.verify: all lint rules pass"
+    lines = [str(v) for v in violations]
+    lines.append(f"repro.verify: {len(violations)} violation(s)")
+    return "\n".join(lines)
+
+
+def in_type_checking_block(tree: ast.Module, node: ast.AST) -> bool:
+    """True if *node* sits under an ``if TYPE_CHECKING:`` guard."""
+    for guard in ast.walk(tree):
+        if not isinstance(guard, ast.If):
+            continue
+        test = guard.test
+        is_tc = (isinstance(test, ast.Name) and test.id == "TYPE_CHECKING") \
+            or (isinstance(test, ast.Attribute)
+                and test.attr == "TYPE_CHECKING")
+        if is_tc and any(node is child for body_node in guard.body
+                         for child in ast.walk(body_node)):
+            return True
+    return False

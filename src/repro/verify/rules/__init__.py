@@ -1,0 +1,24 @@
+"""The repo-specific lint rules enforced over ``src/repro``.
+
+Each module holds one rule; :func:`default_rules` builds the suite the
+CLI, pytest, and CI all run.
+"""
+
+from repro.verify.rules.layering import LayeringRule
+from repro.verify.rules.cycles import CycleAccountingRule
+from repro.verify.rules.errors import ErrorDisciplineRule
+from repro.verify.rules.state import StateMutationRule
+
+
+def default_rules():
+    """One fresh instance of every rule in the suite."""
+    return [LayeringRule(), CycleAccountingRule(), ErrorDisciplineRule(),
+            StateMutationRule()]
+
+
+#: The rule classes, for introspection / selective runs.
+DEFAULT_RULES = (LayeringRule, CycleAccountingRule, ErrorDisciplineRule,
+                 StateMutationRule)
+
+__all__ = ["LayeringRule", "CycleAccountingRule", "ErrorDisciplineRule",
+           "StateMutationRule", "default_rules", "DEFAULT_RULES"]

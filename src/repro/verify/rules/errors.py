@@ -1,0 +1,104 @@
+"""Error-discipline rule: ``repro.xpc`` raises only architectural errors.
+
+The paper defines exactly five XPC hardware exceptions (Table 2), all
+modeled as :class:`repro.xpc.errors.XPCError` subclasses and delivered to
+the kernel.  Modules under ``repro/xpc/`` are the hardware data plane:
+anything they raise must be either
+
+* an :class:`XPCError` subclass (the Table 2 exceptions, discovered
+  dynamically from :mod:`repro.xpc.errors` plus any subclass defined in
+  the checked module itself),
+* :class:`repro.hw.paging.PageFault` — relay-window permission faults
+  are delivered through the page-fault machinery, like hardware does, or
+* a Python builtin programming-error (``ValueError``/``IndexError``/
+  ``TypeError``/``KeyError``/``NotImplementedError``) guarding simulator
+  API misuse at construction time (not an architectural event).
+
+Raising ``KernelError``, bare ``Exception``, ``RuntimeError`` etc. from
+the data plane is a layering smell the kernel cannot dispatch on — the
+exact failure SFP-style flow-integrity tooling exists to catch.
+"""
+
+from __future__ import annotations
+
+import ast
+from typing import Iterator, Set
+
+from repro.verify.lint import LintViolation, ModuleInfo, Rule
+
+#: Builtins that signal simulator API misuse rather than an XPC event.
+ALLOWED_BUILTINS = frozenset({
+    "ValueError", "IndexError", "TypeError", "KeyError",
+    "NotImplementedError", "StopIteration",
+})
+
+#: Hardware fault types from lower layers that the data plane may raise.
+ALLOWED_HW_FAULTS = frozenset({"PageFault"})
+
+
+def _xpc_error_names() -> Set[str]:
+    """Every XPCError subclass name defined in repro.xpc.errors."""
+    import repro.xpc.errors as errmod
+    names = set()
+    for name in dir(errmod):
+        obj = getattr(errmod, name)
+        if isinstance(obj, type) and issubclass(obj, errmod.XPCError):
+            names.add(name)
+    return names
+
+
+def _local_subclasses(module: ModuleInfo, allowed: Set[str]) -> Set[str]:
+    """Classes defined in *module* deriving from an allowed error type."""
+    out: Set[str] = set()
+    changed = True
+    while changed:         # fixed point for chains of local subclasses
+        changed = False
+        for node in module.tree.body:
+            if not isinstance(node, ast.ClassDef) or node.name in out:
+                continue
+            for base in node.bases:
+                base_name = base.attr if isinstance(base, ast.Attribute) \
+                    else base.id if isinstance(base, ast.Name) else ""
+                if base_name in allowed or base_name in out:
+                    out.add(node.name)
+                    changed = True
+                    break
+    return out
+
+
+class ErrorDisciplineRule(Rule):
+    name = "error-discipline"
+    description = ("modules under repro/xpc/ raise only XPCError "
+                   "subclasses (plus PageFault and construction-time "
+                   "builtins)")
+
+    def __init__(self) -> None:
+        self._xpc_errors = _xpc_error_names()
+
+    def check(self, module: ModuleInfo) -> Iterator[LintViolation]:
+        if not module.modname.startswith("repro.xpc"):
+            return
+        allowed = (self._xpc_errors | ALLOWED_BUILTINS | ALLOWED_HW_FAULTS)
+        allowed |= _local_subclasses(module, allowed)
+        for node in ast.walk(module.tree):
+            if not isinstance(node, ast.Raise):
+                continue
+            exc = node.exc
+            if exc is None:             # bare re-raise
+                continue
+            if isinstance(exc, ast.Call):
+                exc = exc.func
+            name = exc.attr if isinstance(exc, ast.Attribute) else \
+                exc.id if isinstance(exc, ast.Name) else None
+            if name is None or name in allowed:
+                continue
+            if name[0].islower():       # re-raise of a caught instance
+                continue
+            v = self.violation(
+                module, node.lineno,
+                f"raises {name!r} from the XPC data plane — only "
+                f"XPCError subclasses (Table 2), PageFault, or "
+                f"construction-time builtins are allowed under "
+                f"repro/xpc/")
+            if v:
+                yield v

@@ -277,6 +277,29 @@ class XPCEngine:
         return record
 
     # ------------------------------------------------------------------
+    # Introspection (debug/verification port; not architectural)
+    # ------------------------------------------------------------------
+    def introspect(self) -> dict:
+        """Snapshot of the bound thread's XPC registers for the kernel
+        debugger and :mod:`repro.verify` — read-only, charges nothing.
+        """
+        state = self.state
+        if state is None:
+            return {"bound": False}
+        seg = state.seg_reg
+        return {
+            "bound": True,
+            "thread": self.current_thread,
+            "link_depth": state.link_stack.depth,
+            "call_chain": tuple(r.callee_entry_id
+                                for r in state.link_stack.records),
+            "seg_window": ((seg.segment.seg_id, seg.va_base, seg.length)
+                           if seg.valid else None),
+            "seg_mask": (state.seg_mask.offset, state.seg_mask.length),
+            "cap_bits": state.cap_bitmap.raw,
+        }
+
+    # ------------------------------------------------------------------
     def _require_state(self) -> XPCThreadState:
         if self.state is None:
             raise XPCError("no thread bound to the XPC engine")

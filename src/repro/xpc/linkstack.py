@@ -68,6 +68,21 @@ class LinkStack:
     def peek(self) -> Optional[LinkageRecord]:
         return self._records[-1] if self._records else None
 
+    @property
+    def records(self) -> tuple:
+        """Read-only view of the stack, bottom to top (introspection for
+        the kernel and :mod:`repro.verify`; hardware never exposes this).
+        """
+        return tuple(self._records)
+
+    def force_pop(self) -> Optional[LinkageRecord]:
+        """Pop without the validity check (kernel repair path, §4.2).
+
+        Unlike :meth:`pop` this never raises: the kernel walking a chain
+        of dead records wants the record either way.
+        """
+        return self._records.pop() if self._records else None
+
     def invalidate_records_of(self, aspace: AddressSpace) -> int:
         """Kernel scan: mark every record of a dead process invalid.
 

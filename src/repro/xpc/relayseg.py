@@ -26,17 +26,21 @@ SEG_LIST_SLOTS = 128  # one 4 KB page of 32-byte descriptors (§4.1)
 
 
 class RelaySegment:
-    """A kernel-created contiguous physical region used for messages."""
+    """A kernel-created contiguous physical region used for messages.
 
-    _next_id = 1
+    ``seg_id`` is assigned by the creating kernel (each kernel numbers
+    its own segments from 1), so IDs are deterministic per machine and
+    never leak across simulator instances or test runs.  A segment built
+    directly — outside any kernel — gets the anonymous ID 0.
+    """
 
     def __init__(self, pa_base: int, va_base: int, length: int,
                  perm: PagePerm = PagePerm.RW,
-                 owner_process: object = None) -> None:
+                 owner_process: object = None,
+                 seg_id: int = 0) -> None:
         if length <= 0:
             raise ValueError("relay segment length must be positive")
-        self.seg_id = RelaySegment._next_id
-        RelaySegment._next_id += 1
+        self.seg_id = seg_id
         self.pa_base = pa_base
         self.va_base = va_base
         self.length = length

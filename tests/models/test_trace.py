@@ -65,18 +65,63 @@ def test_filter_by_kind_and_core():
     assert tracer.filter(kind="xcall", core_id=1) == []
 
 
+class FakeCore:
+    def __init__(self, cycles=5, core_id=0):
+        self.cycles = cycles
+        self.core_id = core_id
+
+
 def test_capacity_bound():
     tracer = Tracer(capacity=2)
-
-    class FakeCore:
-        cycles = 5
-        core_id = 0
-
     for _ in range(5):
         tracer.emit(FakeCore(), "trap")
     assert len(tracer) == 2
     assert tracer.dropped == 3
     assert "dropped" in tracer.to_text()
+
+
+def test_overflow_keeps_earliest_events():
+    tracer = Tracer(capacity=3)
+    for i in range(6):
+        tracer.emit(FakeCore(cycles=i), "trap", f"n={i}")
+    assert [e.cycle for e in tracer.events] == [0, 1, 2]
+    assert tracer.dropped == 3
+
+
+def test_clear_resets_dropped():
+    tracer = Tracer(capacity=1)
+    tracer.emit(FakeCore(), "trap")
+    tracer.emit(FakeCore(), "trap")
+    assert tracer.dropped == 1
+    tracer.clear()
+    assert len(tracer) == 0 and tracer.dropped == 0
+    tracer.emit(FakeCore(), "xcall")
+    assert len(tracer) == 1
+
+
+def test_events_are_cycle_ordered():
+    machine, tracer, core, svc = traced_world()
+    xpc_call(core, svc.entry_id)
+    xpc_call(core, svc.entry_id)
+    cycles = [e.cycle for e in tracer.filter(core_id=0)]
+    assert cycles == sorted(cycles)
+    assert len(cycles) >= 4            # two xcall/xret pairs at least
+
+
+def test_filter_composes_kind_and_count():
+    machine, tracer, core, svc = traced_world()
+    xpc_call(core, svc.entry_id)
+    total = len(tracer.events)
+    by_kind = sum(len(tracer.filter(kind=k)) for k in tracer.counts())
+    assert by_kind == total
+
+
+def test_to_text_truncates_long_traces():
+    tracer = Tracer()
+    for i in range(60):
+        tracer.emit(FakeCore(cycles=i), "trap")
+    text = tracer.to_text(limit=10)
+    assert "50 more events" in text
 
 
 def test_to_text_renders_events():

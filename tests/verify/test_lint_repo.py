@@ -1,0 +1,28 @@
+"""The shipped source tree must satisfy every lint rule.
+
+This is the pytest wiring for the verification layer: a clean
+``run_lint()`` here is the same check CI runs via
+``python -m repro.verify``.
+"""
+
+from repro.verify import format_violations, run_lint
+from repro.verify.lint import collect_modules, find_src_root
+
+
+def test_source_tree_is_lint_clean():
+    violations = run_lint()
+    assert violations == [], "\n" + format_violations(violations)
+
+
+def test_collect_modules_sees_the_whole_tree():
+    modules = {m.modname for m in collect_modules()}
+    # Spot-check every layer so a broken walk cannot silently pass.
+    for expected in ("repro.hw.cpu", "repro.xpc.engine",
+                     "repro.kernel.kernel", "repro.ipc.xpc_transport",
+                     "repro.binder.xpcglue", "repro.verify.lint"):
+        assert expected in modules
+
+
+def test_find_src_root_locates_src():
+    root = find_src_root()
+    assert (root / "repro" / "xpc" / "engine.py").is_file()

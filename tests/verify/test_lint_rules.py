@@ -1,0 +1,224 @@
+"""Each lint rule must fire on a deliberately-broken fixture and stay
+quiet on the equivalent well-formed code."""
+
+import textwrap
+
+from repro.verify import lint_source
+from repro.verify.rules.cycles import CycleAccountingRule
+from repro.verify.rules.errors import ErrorDisciplineRule
+from repro.verify.rules.layering import LayeringRule
+from repro.verify.rules.state import StateMutationRule
+
+
+def lint(source, modname, rule):
+    return lint_source(textwrap.dedent(source), modname, [rule])
+
+
+# ----------------------------------------------------------------------
+# layering
+# ----------------------------------------------------------------------
+class TestLayeringRule:
+    def test_hw_may_not_import_xpc(self):
+        violations = lint(
+            "from repro.xpc.engine import XPCEngine\n",
+            "repro.hw.cpu", LayeringRule())
+        assert len(violations) == 1
+        assert violations[0].rule == "layering"
+        assert "repro.xpc" in violations[0].message
+
+    def test_hw_may_not_import_kernel(self):
+        violations = lint(
+            "import repro.kernel.kernel\n",
+            "repro.hw.machine", LayeringRule())
+        assert violations and violations[0].rule == "layering"
+
+    def test_xpc_may_import_hw(self):
+        violations = lint(
+            "from repro.hw.cpu import Core\n",
+            "repro.xpc.engine", LayeringRule())
+        assert violations == []
+
+    def test_glue_may_not_reach_hw_internals(self):
+        violations = lint(
+            "from repro.hw.tlb import TLB\n",
+            "repro.binder.driver", LayeringRule())
+        assert len(violations) == 1
+        assert "internal" in violations[0].message
+
+    def test_glue_may_use_hw_public_surface(self):
+        violations = lint(
+            "from repro.hw.cpu import Core\n"
+            "from repro.hw.machine import Machine\n",
+            "repro.sel4.kernel", LayeringRule())
+        assert violations == []
+
+    def test_private_cross_package_import(self):
+        violations = lint(
+            "from repro.hw.cache import _TagArray\n",
+            "repro.kernel.kernel", LayeringRule())
+        assert len(violations) == 1
+        assert "_TagArray" in violations[0].message
+
+    def test_type_checking_imports_exempt(self):
+        violations = lint(
+            """\
+            from typing import TYPE_CHECKING
+            if TYPE_CHECKING:
+                from repro.xpc.engine import XPCEngine
+            """,
+            "repro.hw.machine", LayeringRule())
+        assert violations == []
+
+    def test_pragma_suppresses(self):
+        violations = lint(
+            "from repro.xpc.engine import XPCEngine"
+            "  # verify-ok: layering\n",
+            "repro.hw.machine", LayeringRule())
+        assert violations == []
+
+    def test_unknown_unit_is_a_violation(self):
+        violations = lint(
+            "import os\nfrom repro.mystery import thing\n",
+            "repro.kernel.kernel", LayeringRule())
+        assert len(violations) == 1          # stdlib is fine, mystery not
+        assert "mystery" in violations[0].message
+
+
+# ----------------------------------------------------------------------
+# cycle accounting
+# ----------------------------------------------------------------------
+class TestCycleAccountingRule:
+    def test_engine_method_must_charge(self):
+        violations = lint(
+            """\
+            class XPCEngine:
+                def xcall(self, entry_id):
+                    return entry_id
+            """,
+            "repro.xpc.engine", CycleAccountingRule())
+        assert len(violations) == 1
+        assert "xcall" in violations[0].message
+
+    def test_tick_satisfies_the_rule(self):
+        violations = lint(
+            """\
+            class XPCEngine:
+                def xcall(self, entry_id):
+                    self.core.tick(10)
+                    return entry_id
+            """,
+            "repro.xpc.engine", CycleAccountingRule())
+        assert violations == []
+
+    def test_free_listed_methods_exempt(self):
+        violations = lint(
+            """\
+            class XPCEngine:
+                def bind(self, thread, state):
+                    self.state = state
+            """,
+            "repro.xpc.engine", CycleAccountingRule())
+        assert violations == []
+
+    def test_passive_model_must_not_tick(self):
+        violations = lint(
+            """\
+            class TLB:
+                def lookup(self, core, va):
+                    core.tick(1)
+            """,
+            "repro.hw.tlb", CycleAccountingRule())
+        assert len(violations) == 1
+        assert "passive" in violations[0].message
+
+
+# ----------------------------------------------------------------------
+# error discipline
+# ----------------------------------------------------------------------
+class TestErrorDisciplineRule:
+    def test_bare_exception_forbidden_in_xpc(self):
+        violations = lint(
+            """\
+            def xcall(entry_id):
+                raise RuntimeError("nope")
+            """,
+            "repro.xpc.engine", ErrorDisciplineRule())
+        assert len(violations) == 1
+        assert "RuntimeError" in violations[0].message
+
+    def test_xpc_error_subclass_allowed(self):
+        violations = lint(
+            """\
+            from repro.xpc.errors import XPCError
+
+            def xcall(entry_id):
+                raise XPCError("bad entry")
+            """,
+            "repro.xpc.engine", ErrorDisciplineRule())
+        assert violations == []
+
+    def test_local_subclass_allowed(self):
+        violations = lint(
+            """\
+            from repro.xpc.errors import XPCError
+
+            class WeirdError(XPCError):
+                pass
+
+            def f():
+                raise WeirdError()
+            """,
+            "repro.xpc.relayseg", ErrorDisciplineRule())
+        assert violations == []
+
+    def test_rule_scoped_to_xpc_package(self):
+        violations = lint(
+            "def f():\n    raise RuntimeError('fine here')\n",
+            "repro.kernel.kernel", ErrorDisciplineRule())
+        assert violations == []
+
+
+# ----------------------------------------------------------------------
+# state mutation
+# ----------------------------------------------------------------------
+class TestStateMutationRule:
+    def test_glue_may_not_write_seg_reg(self):
+        violations = lint(
+            """\
+            def hijack(thread, window):
+                thread.xpc.seg_reg = window
+            """,
+            "repro.binder.xpcglue", StateMutationRule())
+        assert len(violations) == 1
+        assert "seg_reg" in violations[0].message
+
+    def test_glue_may_not_write_active_owner(self):
+        violations = lint(
+            "def f(seg, thread):\n    seg.active_owner = thread\n",
+            "repro.ipc.xpc_transport", StateMutationRule())
+        assert len(violations) == 1
+
+    def test_kernel_may_write(self):
+        violations = lint(
+            """\
+            def install(thread, window):
+                thread.xpc.seg_reg = window
+            """,
+            "repro.kernel.kernel", StateMutationRule())
+        assert violations == []
+
+    def test_engine_may_write(self):
+        violations = lint(
+            "def f(state, w):\n    state.seg_reg = w\n",
+            "repro.xpc.engine", StateMutationRule())
+        assert violations == []
+
+    def test_self_attributes_exempt(self):
+        violations = lint(
+            """\
+            class SegReg:
+                def __init__(self):
+                    self.seg_reg = None
+            """,
+            "repro.services.fs", StateMutationRule())
+        assert violations == []

@@ -130,3 +130,40 @@ class TestSegList:
         seg_list.store(1, SegReg.for_segment(make_seg()))
         seg_list.drop(1)
         assert seg_list.peek(1) is None
+
+
+class TestSegIdScoping:
+    """Regression: segment IDs are kernel-scoped, not process-global.
+
+    RelaySegment used to draw IDs from a class-level counter, so two
+    simulator instances in one interpreter leaked allocation state into
+    each other and replays were not deterministic.
+    """
+
+    def test_two_kernels_start_from_the_same_id(self):
+        from repro.hw.machine import Machine
+        from repro.kernel.kernel import BaseKernel
+
+        def first_seg_id():
+            machine = Machine(cores=1, mem_bytes=4 * 1024 * 1024)
+            kernel = BaseKernel(machine)
+            process = kernel.create_process("p")
+            seg, _ = kernel.create_relay_seg(
+                machine.core0, process, 4096)
+            return seg.seg_id
+
+        assert first_seg_id() == first_seg_id() == 1
+
+    def test_ids_are_sequential_within_a_kernel(self):
+        from repro.hw.machine import Machine
+        from repro.kernel.kernel import BaseKernel
+
+        machine = Machine(cores=1, mem_bytes=4 * 1024 * 1024)
+        kernel = BaseKernel(machine)
+        process = kernel.create_process("p")
+        ids = [kernel.create_relay_seg(machine.core0, process, 4096)[0]
+               .seg_id for _ in range(3)]
+        assert ids == [1, 2, 3]
+
+    def test_direct_construction_gets_anonymous_id(self):
+        assert make_seg().seg_id == 0
