@@ -1,0 +1,96 @@
+"""Recovery latency: unwinding an A→B→C chain whose middle process
+died (§4.2), lazy vs eager termination.
+
+The paper's argument for the lazy kill is an asymmetry: the eager path
+scans every link stack at kill time, while the lazy path zeroes one
+top-level page and defers the cost to a fault when (if) a return
+actually lands in the dead process.  This microbenchmark measures both
+halves — kill cost and unwind/repair cost — on a 3-process chain.
+"""
+
+from repro.analysis import render_table
+from repro.hw.machine import Machine
+from repro.kernel.kernel import BaseKernel
+from repro.xpc.errors import InvalidLinkageError
+
+
+def build_chain():
+    machine = Machine(cores=1, mem_bytes=64 * 1024 * 1024)
+    kernel = BaseKernel(machine)
+    core = machine.core0
+    a = kernel.create_process("A")
+    b = kernel.create_process("B")
+    c = kernel.create_process("C")
+    at = kernel.create_thread(a)
+    bt = kernel.create_thread(b)
+    ct = kernel.create_thread(c)
+    entry_b = kernel.register_xentry(core, bt, lambda *x: None)
+    entry_c = kernel.register_xentry(core, ct, lambda *x: None)
+    kernel.grant_xcall_cap(core, b, at, entry_b.entry_id)
+    kernel.grant_xcall_cap(core, c, bt, entry_c.entry_id)
+    kernel.run_thread(core, at)
+    engine = machine.engines[0]
+    engine.xcall(entry_b.entry_id)
+    engine.xcall(entry_c.entry_id)
+    return kernel, core, engine, a, b, at
+
+
+def recover(lazy: bool):
+    """Kill B mid-chain, then unwind C's return back to A.
+
+    Returns (kill_cycles, unwind_cycles).
+    """
+    kernel, core, engine, a, b, at = build_chain()
+
+    t0 = core.cycles
+    kernel.kill_process(b, lazy=lazy, core=core)
+    kill = core.cycles - t0
+
+    t1 = core.cycles
+    try:
+        engine.xret()
+        # Lazy path: the pop "succeeded" — the record was never
+        # invalidated — so the return lands in the zapped address
+        # space and the first fetch faults into the kernel.
+        restored = kernel.repair_return(core, at)
+    except InvalidLinkageError:
+        # Eager path: the invalidated record traps at pop time.
+        restored = kernel.repair_return(core, at)
+    unwind = core.cycles - t1
+
+    assert restored is not None
+    assert restored.caller_aspace is a.aspace
+    assert core.aspace is a.aspace
+    assert at.xpc.link_stack.depth == 0
+    return kill, unwind
+
+
+def test_recovery_latency_lazy_vs_eager(benchmark, results):
+    lazy_kill, lazy_unwind = recover(lazy=True)
+    eager_kill, eager_unwind = recover(lazy=False)
+    benchmark.pedantic(recover, args=(True,), rounds=1, iterations=1)
+
+    measured = {
+        "lazy": {"kill": lazy_kill, "unwind": lazy_unwind,
+                 "total": lazy_kill + lazy_unwind},
+        "eager": {"kill": eager_kill, "unwind": eager_unwind,
+                  "total": eager_kill + eager_unwind},
+    }
+    print("\n" + render_table(
+        "Recovery latency: 3-deep chain, dead middle process (cycles)",
+        ["Path", "kill", "unwind", "total"],
+        [[name, m["kill"], m["unwind"], m["total"]]
+         for name, m in measured.items()]))
+    results.record("recovery_latency",
+                   {"chain": "A->B->C, B dies", "measured": measured})
+
+    # The paper's asymmetry: the lazy kill is cheaper at kill time
+    # (no link-stack scan) and pays for it at unwind time with the
+    # deferred fault.
+    assert lazy_kill < eager_kill
+    assert lazy_unwind > eager_unwind
+    # Repair actually did work on both paths.
+    assert lazy_unwind > 0 and eager_unwind > 0
+    benchmark.extra_info.update(
+        {f"{p}_{k}": v for p, m in measured.items()
+         for k, v in m.items()})

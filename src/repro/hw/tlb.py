@@ -12,6 +12,7 @@ from collections import OrderedDict
 from dataclasses import dataclass, field
 from typing import Optional, Tuple
 
+import repro.faults as faults
 from repro.hw.memory import PAGE_SHIFT
 from repro.hw.paging import PagePerm
 
@@ -56,6 +57,11 @@ class TLB:
         vpn = va >> PAGE_SHIFT
         tset = self._sets[vpn % self.sets]
         key = self._key(vpn, asid)
+        if (faults.ACTIVE is not None
+                and faults.fire("hw.tlb.stale_entry") is not None):
+            # Injected stale entry: drop the line before use so the
+            # access misses and re-walks the page table.
+            tset.pop(key, None)
         entry = tset.get(key)
         if entry is None:
             self.stats.misses += 1

@@ -11,6 +11,7 @@ from __future__ import annotations
 
 from typing import Dict, Optional, Tuple
 
+import repro.faults as faults
 from repro.hw.cpu import Core
 from repro.ipc.transport import RelayPayload, ServerRegistration, Transport
 from repro.kernel.kernel import BaseKernel
@@ -78,9 +79,20 @@ class XPCTransport(Transport):
 
     # -- client side -------------------------------------------------------
     def _ensure_seg(self, nbytes: int) -> None:
-        """Grow the client's active relay segment to >= nbytes."""
+        """Grow the client's active relay segment to >= nbytes.
+
+        Also the recovery path for §4.4 revocation: a segment the
+        kernel revoked mid-workload is detected here and replaced with
+        a fresh one, so the next call after a revocation heals itself.
+        """
         needed = max(nbytes, 4096)
         thread = self.client_thread
+        if self._seg is not None and self._seg[0].revoked:
+            old_seg, _old_slot = self._seg
+            self.kernel.deactivate_relay_seg(thread)
+            if old_seg in self.kernel.relay_segments:
+                self.kernel.free_relay_seg(self.core, old_seg)
+            self._seg = None
         if self._seg is not None and self._seg[0].length >= needed:
             return
         if self._seg is not None:
@@ -134,6 +146,12 @@ class XPCTransport(Transport):
         self.kernel.run_thread(self.core, self.client_thread)
         window_bytes = max(len(payload), reply_capacity)
         self._ensure_seg(window_bytes)
+        if (faults.ACTIVE is not None
+                and faults.fire("xpc.relayseg.revoke") is not None):
+            # Injected §4.4 revocation of the client's active segment:
+            # this call fails (the window stops translating); the next
+            # call's _ensure_seg builds a replacement.
+            self.kernel.revoke_relay_seg(self._seg[0])
         seg = self._seg[0]
         if payload:
             # The client *produces* the message directly in the relay

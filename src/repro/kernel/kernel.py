@@ -41,6 +41,14 @@ RELAY_VA_BASE = 0x0000_7000_0000_0000
 _REGISTER_LOGIC = 180
 _GRANT_LOGIC = 90
 _SEG_CREATE_PER_PAGE = 12
+#: Spilling one linkage record to kernel memory (§4.1 overflow trap):
+#: a cacheline-ish copy plus bookkeeping.
+_LINK_SPILL_PER_RECORD = 18
+#: Termination costs (§4.2): the lazy kill zeroes one 4 KB top-level
+#: page; the eager kill reads and compares every resident linkage
+#: record on every link stack.
+_KILL_ZAP_CYCLES = 128
+_LINK_SCAN_PER_RECORD = 4
 
 
 class KernelError(Exception):
@@ -251,10 +259,75 @@ class BaseKernel:
         finally:
             core.trap_return()
 
+    def revoke_relay_seg(self, seg: RelaySegment) -> None:
+        """Control plane: revoke *seg* everywhere, immediately (§4.4).
+
+        Marks the segment revoked, clears its active ownership, scrubs
+        any seg-reg still windowing it, and drops it from every
+        process's seg-list so it cannot be swapped back in.  Unlike
+        :meth:`free_relay_seg` this is forced — it is the path for
+        policy revocation and for reclaiming a dead process's segments;
+        in-flight users observe the loss as a page fault.
+        """
+        seg.revoked = True
+        seg.active_owner = None
+        for thread in self.threads:
+            window = thread.xpc.seg_reg
+            if window.valid and window.segment is seg:
+                thread.xpc.seg_reg = SEG_INVALID
+        for process in self.processes:
+            for slot, window in list(process.seg_list.segments()):
+                if window.segment is seg:
+                    process.seg_list.drop(slot)
+
+    # ------------------------------------------------------------------
+    # Recoverable XPC traps (§4.1 link-stack overflow, preemption)
+    # ------------------------------------------------------------------
+    def handle_link_overflow(self, core: Core, thread: Thread) -> int:
+        """Trap handler for :class:`LinkStackOverflowError`.
+
+        Spills the *bottom* half of the thread's link stack to kernel
+        memory — the paper's §4.1 answer to the bounded 8 KB SRAM —
+        freeing room so the faulting ``xcall`` can retry.  Returns the
+        number of records spilled (0 means the stack is unspillable,
+        e.g. capacity so small nothing is resident, and the caller must
+        give up).
+        """
+        core.trap(TrapCause.XPC_EXCEPTION)
+        stack = thread.xpc.link_stack
+        spilled = stack.spill(max(1, stack.capacity // 2))
+        core.tick(spilled * _LINK_SPILL_PER_RECORD)
+        core.trap_return()
+        return spilled
+
+    def handle_link_underflow(self, core: Core, thread: Thread) -> int:
+        """Trap handler for :class:`LinkStackUnderflowError`: refill the
+        SRAM stack from the kernel spill area so the faulting ``xret``
+        can retry.  Returns the number of records refilled."""
+        core.trap(TrapCause.XPC_EXCEPTION)
+        stack = thread.xpc.link_stack
+        refilled = stack.unspill()
+        core.tick(refilled * _LINK_SPILL_PER_RECORD)
+        core.trap_return()
+        return refilled
+
+    def preempt(self, core: Core) -> None:
+        """A timer interrupt mid-call: trap, run a scheduler pass, and
+        resume the same (migrated) thread.
+
+        XPC's migrating-thread model means a preemption during a call
+        is just a normal timer trap in the callee's context — nothing
+        XPC-specific needs saving beyond what the trap already saves.
+        """
+        core.trap(TrapCause.TIMER)
+        core.tick(self.params.sched_pick)
+        core.trap_return()
+
     # ------------------------------------------------------------------
     # Process termination (§4.2, §4.4)
     # ------------------------------------------------------------------
-    def kill_process(self, process: Process, lazy: bool = True) -> None:
+    def kill_process(self, process: Process, lazy: bool = True,
+                     core: Optional[Core] = None) -> None:
         """Terminate *process*.
 
         ``lazy=True`` is the paper's optimization: zero the top-level page
@@ -262,6 +335,10 @@ class BaseKernel:
         eagerly scans every link stack and invalidates the process's
         linkage records.  Either way the process's relay segments are
         revoked, with caller-owned segments left to their callers.
+
+        When *core* is given the termination work is charged to it: a
+        constant page-zero for the lazy path, a per-resident-record scan
+        for the eager path — the asymmetry §4.2 argues for.
         """
         process.alive = False
         for thread in process.threads:
@@ -269,9 +346,16 @@ class BaseKernel:
             thread.sched.runnable = False
         if lazy:
             process.aspace.page_table.zap()
+            if core is not None:
+                core.tick(_KILL_ZAP_CYCLES)
         else:
+            scanned = 0
             for thread in self.threads:
+                scanned += thread.xpc.link_stack.depth
                 thread.xpc.link_stack.invalidate_records_of(process.aspace)
+            if core is not None:
+                core.tick(_KILL_ZAP_CYCLES
+                          + scanned * _LINK_SCAN_PER_RECORD)
         # Revoke the entries it served.
         for entry_id in list(process.xentries):
             entry = self.machine.xentry_table.peek(entry_id)
@@ -286,7 +370,7 @@ class BaseKernel:
             if seg.owner_process is process and (
                     owner is None or getattr(owner, "process", None)
                     is process):
-                seg.revoked = True
+                self.revoke_relay_seg(seg)
         for hook in self.death_hooks:
             hook(process)
 
@@ -303,8 +387,15 @@ class BaseKernel:
         restored = None
         while stack.depth:
             record = stack.peek()
+            caller_dead = self._aspace_is_dead(record.caller_aspace)
             alive = (record.valid
-                     and getattr(record.caller_thread, "alive", True))
+                     and getattr(record.caller_thread, "alive", True)
+                     and not caller_dead)
+            if record.valid and caller_dead:
+                # A lazily-killed caller: its record is intact, so the
+                # return lands on the zapped page table and immediately
+                # faults back into the kernel (§4.2's deferred cost).
+                core.tick(self.params.trap_enter)
             # Pop the record regardless; hardware pop semantics.
             stack.force_pop()
             if alive:
@@ -317,3 +408,10 @@ class BaseKernel:
             core.set_address_space(restored.caller_aspace)
         core.trap_return()
         return restored
+
+    def _aspace_is_dead(self, aspace: AddressSpace) -> bool:
+        """Does *aspace* belong to a terminated process?"""
+        for process in self.processes:
+            if process.aspace is aspace:
+                return not process.alive
+        return False

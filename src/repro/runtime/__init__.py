@@ -1,11 +1,16 @@
 """User-level XPC runtime library (paper §3.1 programming model, §4.2)."""
 
 from repro.runtime.xpclib import (
-    XPCService, XPCCallContext, XPCBusyError, xpc_call, RelayBuffer,
+    XPCService, XPCCallContext, XPCBusyError, XPCTimeoutError, xpc_call,
+    RelayBuffer,
 )
 from repro.runtime.negotiation import SizeNode, negotiate_size
+from repro.runtime.supervisor import (
+    RestartPolicy, ServiceSupervisor, SupervisorError, retry_call,
+)
 
 __all__ = [
-    "XPCService", "XPCCallContext", "XPCBusyError", "xpc_call",
-    "RelayBuffer", "SizeNode", "negotiate_size",
+    "XPCService", "XPCCallContext", "XPCBusyError", "XPCTimeoutError",
+    "xpc_call", "RelayBuffer", "SizeNode", "negotiate_size",
+    "RestartPolicy", "ServiceSupervisor", "SupervisorError", "retry_call",
 ]

@@ -21,12 +21,15 @@ import enum
 from dataclasses import dataclass, field
 from typing import Callable, Dict, List, Optional
 
+import repro.faults as faults
 from repro.hw.cpu import Core
 from repro.kernel.kernel import BaseKernel
 from repro.kernel.process import Thread
 from repro.xpc.engine import XPCEngine
 from repro.xpc.entry import XEntry
-from repro.xpc.errors import InvalidLinkageError, XPCError
+from repro.xpc.errors import (InvalidLinkageError, LinkStackOverflowError,
+                              LinkStackUnderflowError, XPCError,
+                              XPCPeerDiedError)
 from repro.xpc.relayseg import NO_MASK, SegMask, SegReg
 
 
@@ -187,15 +190,83 @@ class XPCService:
         caller_id = engine.caller_id_reg
         ctx = self._acquire_context(core, caller_id)
         core.tick(params.cstack_switch)
+        if faults.ACTIVE is not None:
+            act = faults.fire("kernel.preempt")
+            if act is not None:
+                self.kernel.preempt(core)
+            act = faults.fire("xpc.callee_crash")
+            if act is not None:
+                self._release_context(ctx, caller_id)
+                self._injected_crash(act)
         try:
             self.calls += 1
             call = XPCCallContext(
                 core=core, engine=engine, entry=entry, context=ctx,
                 args=args, window=window, caller_id=caller_id,
             )
-            return self.handler(call)
+            result = self.handler(call)
         finally:
             self._release_context(ctx, caller_id)
+        if faults.ACTIVE is not None:
+            act = faults.fire("xpc.callee_crash_before_xret")
+            if act is not None:
+                self._injected_crash(act)
+        return result
+
+    def _injected_crash(self, act: dict):
+        """Kill the server process mid-call (fault injection): the
+        migrated caller thread survives; the runtime's unwind path turns
+        this into the kernel-repaired return of §4.2."""
+        self.kernel.kill_process(self.server_thread.process,
+                                 lazy=bool(act.get("lazy", True)))
+        raise faults.ProcessCrashFault(self.name,
+                                       self.server_thread.process)
+
+
+def _xcall_with_spill(core: Core, engine: XPCEngine, entry_id: int,
+                      kernel: Optional[BaseKernel]):
+    """``xcall``, retrying through the §4.1 overflow trap.
+
+    A :class:`LinkStackOverflowError` is a recoverable resource
+    condition: the kernel spills the stack bottom to its own memory and
+    the xcall retries.  Without a kernel (bare-engine tests) or when
+    nothing can be spilled, the overflow propagates.
+    """
+    while True:
+        try:
+            return engine.xcall(entry_id)
+        except LinkStackOverflowError:
+            if kernel is None or engine.current_thread is None:
+                raise
+            if kernel.handle_link_overflow(core, engine.current_thread) == 0:
+                raise
+
+
+def _unwind(core: Core, engine: XPCEngine,
+            kernel: Optional[BaseKernel]) -> bool:
+    """``xret`` once, with kernel assistance.
+
+    Returns True when the return path had to be *repaired* because a
+    process in the chain died (§4.2) — the caller must then see
+    :class:`XPCPeerDiedError` instead of a result.  Underflow into the
+    kernel spill area refills and retries transparently.
+    """
+    while True:
+        try:
+            engine.xret()
+            return False
+        except LinkStackUnderflowError:
+            if kernel is None or engine.current_thread is None:
+                raise
+            if kernel.handle_link_underflow(core, engine.current_thread) == 0:
+                raise
+        except InvalidLinkageError:
+            if kernel is None or engine.current_thread is None:
+                raise
+            restored = kernel.repair_return(core, engine.current_thread)
+            if restored is None:
+                raise
+            return True
 
 
 def xpc_call(core: Core, entry_id: int, *args,
@@ -205,44 +276,48 @@ def xpc_call(core: Core, entry_id: int, *args,
     """Client side: ``xcall`` → handler → ``xret``; returns its result.
 
     ``mask`` shrinks the caller's relay window for the callee (§3.3).
-    If the callee chain dies mid-call and *kernel* is provided, the
-    kernel's repair path (§4.2) runs and an ``XPCError`` with a timeout
-    flavour is raised to the caller.  ``timeout_cycles`` arms the §6.1
-    watchdog: a callee that burns more than the budget is unwound and
-    :class:`XPCTimeoutError` is raised (the paper notes real systems
-    usually set this to 0 or infinite; it exists for fault isolation).
+    Once the ``xcall`` has pushed a linkage record the call *always*
+    unwinds through ``xret`` — even when the handler raises — so the
+    link stack stays LIFO-balanced across failures.  If a process in
+    the callee chain dies mid-call and *kernel* is provided, the
+    kernel's repair path (§4.2) restores the nearest live caller and
+    :class:`XPCPeerDiedError` is raised.  ``timeout_cycles`` arms the
+    §6.1 watchdog: a callee that burns more than the budget is unwound
+    and :class:`XPCTimeoutError` is raised (the paper notes real
+    systems usually set this to 0 or infinite; it exists for fault
+    isolation).
     """
     engine = core.xpc_engine
     if engine is None:
         raise XPCError("core has no XPC engine")
     if mask is not None:
         engine.write_seg_mask(mask)
-    entry, window = engine.xcall(entry_id)
-    timed_out = None
+    entry, window = _xcall_with_spill(core, engine, entry_id, kernel)
+    # From here exactly one linkage record is ours to unwind.
+    result = None
+    crashed: Optional[BaseException] = None
+    failure: Optional[BaseException] = None
     start = core.cycles
     try:
         result = entry.handler(core, engine, entry, window, args)
-    except XPCError:
-        raise
-    except _ProcessDied:
-        result = None
+    except faults.ProcessCrashFault as exc:
+        crashed = exc
+    except Exception as exc:          # noqa: BLE001 - re-raised below
+        failure = exc
+    timed_out = None
     if timeout_cycles is not None:
         used = core.cycles - start
         if used > timeout_cycles:
             timed_out = XPCTimeoutError(timeout_cycles, used)
-    try:
-        engine.xret()
-    except InvalidLinkageError:
-        if kernel is None or engine.current_thread is None:
-            raise
-        restored = kernel.repair_return(core, engine.current_thread)
-        if restored is None:
-            raise
-        raise XPCError("callee terminated; returned with timeout error")
+    died = _unwind(core, engine, kernel)
+    if died or crashed is not None:
+        err = XPCPeerDiedError(entry_id)
+        cause = crashed if crashed is not None else failure
+        if cause is not None:
+            raise err from cause
+        raise err
+    if failure is not None:
+        raise failure
     if timed_out is not None:
         raise timed_out
     return result
-
-
-class _ProcessDied(Exception):
-    """Internal marker used by fault-injection tests."""

@@ -1,6 +1,8 @@
 """User-level servers: file system, network, crypto, file cache, names."""
 
 from repro.services.filecache import FileCacheClient, FileCacheServer
-from repro.services.nameserver import NameServer
+from repro.services.nameserver import (CircuitBreaker, NameServer,
+                                       ServiceUnavailableError)
 
-__all__ = ["FileCacheClient", "FileCacheServer", "NameServer"]
+__all__ = ["CircuitBreaker", "FileCacheClient", "FileCacheServer",
+           "NameServer", "ServiceUnavailableError"]

@@ -14,6 +14,7 @@ from __future__ import annotations
 
 from typing import Optional, Tuple
 
+import repro.faults as faults
 from repro.ipc.transport import Payload, Transport
 
 BSIZE = 4096  # file-system block size (FSCQ's xv6fs uses 4 KB blocks)
@@ -47,6 +48,10 @@ class RamDisk:
 
     def read(self, blockno: int) -> bytes:
         self._check(blockno)
+        if (faults.ACTIVE is not None
+                and faults.fire("blockdev.io_error") is not None):
+            raise BlockDeviceError(
+                f"injected I/O error reading block {blockno}")
         self.reads += 1
         off = blockno * self.block_size
         return bytes(self._data[off:off + self.block_size])
@@ -58,6 +63,12 @@ class RamDisk:
                 f"write of {len(data)} bytes to a {self.block_size}-byte "
                 "block device"
             )
+        if faults.ACTIVE is not None:
+            if faults.fire("blockdev.io_error") is not None:
+                raise BlockDeviceError(
+                    f"injected I/O error writing block {blockno}")
+            if faults.fire("blockdev.lost_write") is not None:
+                return  # injected lost write (crash-model, §5.3)
         if self.crashed:
             return  # lost write
         if self.crash_after_writes is not None:
@@ -94,18 +105,24 @@ class BlockServer:
     def _handle(self, meta: tuple, payload: Payload):
         op, blockno = meta[0], meta[1] if len(meta) > 1 else 0
         core = self.transport.core
-        if op == OP_READ:
-            core.tick(self.params.ramdisk_per_block)
-            return (0,), self.disk.read(blockno)
-        if op == OP_WRITE:
-            core.tick(self.params.ramdisk_per_block)
-            self.disk.write(blockno, payload.read(self.disk.block_size))
-            return (0,), None
-        if op == OP_SIZE:
-            return (self.disk.nblocks, self.disk.block_size), None
-        if op == OP_FLUSH:
-            return (0,), None
-        raise BlockDeviceError(f"unknown block op {op!r}")
+        try:
+            if op == OP_READ:
+                core.tick(self.params.ramdisk_per_block)
+                return (0,), self.disk.read(blockno)
+            if op == OP_WRITE:
+                core.tick(self.params.ramdisk_per_block)
+                self.disk.write(blockno,
+                                payload.read(self.disk.block_size))
+                return (0,), None
+            if op == OP_SIZE:
+                return (self.disk.nblocks, self.disk.block_size), None
+            if op == OP_FLUSH:
+                return (0,), None
+            raise BlockDeviceError(f"unknown block op {op!r}")
+        except BlockDeviceError as exc:
+            # Device failures cross the IPC boundary as an error reply,
+            # never as a raw exception through the migrated call.
+            return (-1, str(exc)), None
 
 
 class BlockClient:

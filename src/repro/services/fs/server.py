@@ -14,8 +14,10 @@ from __future__ import annotations
 from typing import Optional, Tuple
 
 from repro.ipc.transport import Payload, RelayPayload, Transport
-from repro.services.fs.blockdev import BlockClient, BlockServer, RamDisk
+from repro.services.fs.blockdev import (BlockClient, BlockDeviceError,
+                                        BlockServer, RamDisk)
 from repro.services.fs.cache import BufferCache
+from repro.services.fs.log import LogFullError
 from repro.services.fs.xv6fs import FSError, T_DIR, T_FILE, Xv6FS
 
 #: Per-request and per-block server-side logic costs (path resolution,
@@ -91,7 +93,10 @@ class FSServer:
                 self.fs.rename(meta[1], meta[2])
                 return (0,), None
             return (-1, f"unknown fs op {op!r}"), None
-        except FSError as exc:
+        except (FSError, BlockDeviceError, LogFullError) as exc:
+            # Device failures (including injected ones) are contained
+            # at the server boundary: the client gets an error reply and
+            # the write-ahead log retries its commit on the next op.
             return (-1, str(exc)), None
 
     # -- the read fast path ---------------------------------------------------

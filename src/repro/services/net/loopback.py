@@ -11,6 +11,7 @@ from __future__ import annotations
 
 from typing import Optional
 
+import repro.faults as faults
 from repro.ipc.transport import Payload, RelayPayload, Transport
 
 OP_SEND = "xmit"
@@ -43,6 +44,22 @@ class LoopbackServer:
             if self.drop_every and self.frames % self.drop_every == 0:
                 self.dropped += 1
                 return (1,), None          # frame lost on the wire
+            if faults.ACTIVE is not None:
+                if faults.fire("net.drop") is not None:
+                    self.dropped += 1
+                    return (1,), None      # injected wire loss
+                act = faults.fire("net.corrupt")
+                if act is not None:
+                    # Flip one byte; the IP/TCP checksums catch it and
+                    # the stack drops the frame (retransmit recovers).
+                    pos = int(act.get("byte", 0)) % max(len(frame), 1)
+                    frame = (frame[:pos]
+                             + bytes([frame[pos] ^ 0xFF])
+                             + frame[pos + 1:])
+                    if isinstance(payload, RelayPayload):
+                        payload.write(frame, 0)
+                        return (0, len(frame)), len(frame)
+                    return (0, len(frame)), frame
             if isinstance(payload, RelayPayload):
                 # The frame already sits in the relay window: echo it
                 # back in place, zero copies.

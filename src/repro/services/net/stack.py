@@ -15,7 +15,7 @@ from typing import Dict, Optional, Tuple
 
 from repro.ipc.transport import Transport
 from repro.services.net import loopback
-from repro.services.net.ip import build_packet, parse_packet
+from repro.services.net.ip import IPError, build_packet, parse_packet
 from repro.services.net.tcp import (
     MSS, Segment, TCB, TCPError, TCPState,
 )
@@ -43,6 +43,7 @@ class NetStack:
         self._ephemeral = itertools.count(49152)
         self.segments_tx = 0
         self.segments_rx = 0
+        self.frames_rejected = 0
 
     # ------------------------------------------------------------------
     # Socket API (what the NetServer exposes)
@@ -143,7 +144,12 @@ class NetStack:
                     frame, reply_capacity=len(frame))
                 if meta[0] != 0:
                     continue  # frame dropped on the wire
-                self._deliver(returned)
+                try:
+                    self._deliver(returned)
+                except (IPError, TCPError):
+                    # Checksum failure: the wire corrupted the frame.
+                    # Drop it — the retransmission timer recovers.
+                    self.frames_rejected += 1
             if not moved:
                 # Quiescent: fire the delayed-ACK "timer" once; any
                 # coalesced ACKs go out in one more round.

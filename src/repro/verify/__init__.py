@@ -42,6 +42,7 @@ from repro.verify.lint import (
 )
 from repro.verify.rules import DEFAULT_RULES, default_rules
 from repro.verify.invariants import InvariantViolation
+from repro.verify.live import check_quiescent, check_recovery_invariants
 from repro.verify.model import (
     CounterExample, ModelChecker, ModelConfig, ExploreResult,
 )
@@ -51,5 +52,5 @@ __all__ = [
     "lint_paths", "lint_source", "run_lint",
     "DEFAULT_RULES", "default_rules",
     "InvariantViolation", "CounterExample", "ModelChecker", "ModelConfig",
-    "ExploreResult",
+    "ExploreResult", "check_quiescent", "check_recovery_invariants",
 ]

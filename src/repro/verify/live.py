@@ -1,0 +1,112 @@
+"""Live-world recovery invariants for chaos testing.
+
+The model checker (:mod:`repro.verify.model`) proves the protocol
+invariants over a *bounded* synthetic world.  The chaos suite needs the
+same assertions over the *running* simulation — after every injected
+fault and every recovery the full-stack workloads must still satisfy
+the paper's security argument.  These checkers walk the real kernel's
+processes, threads, and segments and return
+:class:`~repro.verify.invariants.InvariantViolation` records
+(empty list = healthy).
+
+* :func:`check_recovery_invariants` — global state predicates:
+  single-owner relay-segs (§3.3/§6.1), revoked segments unmapped
+  (§4.4), dead processes' x-entries invalidated (§4.2), link stacks
+  within their SRAM bound (§4.1).
+* :func:`check_quiescent` — between top-level operations a client
+  thread must be fully unwound: link stack empty and its home
+  capability state restored (the LIFO property observed end-to-end).
+"""
+
+from __future__ import annotations
+
+from typing import List
+
+from repro.verify.invariants import InvariantViolation
+
+
+def check_recovery_invariants(kernel) -> List[InvariantViolation]:
+    """Global predicates over the live kernel world."""
+    violations: List[InvariantViolation] = []
+    threads = kernel.threads
+
+    # -- single-owner: at most one live thread windows a segment, and
+    #    the segment's recorded active_owner agrees (§3.3/§6.1).
+    windowed = {}
+    for thread in threads:
+        window = thread.xpc.seg_reg
+        if window.valid:
+            windowed.setdefault(window.segment, []).append(thread)
+    for seg, holders in windowed.items():
+        if len(holders) > 1:
+            violations.append(InvariantViolation(
+                "single-owner",
+                f"segment {seg.seg_id} is the seg-reg window of "
+                f"{len(holders)} threads"))
+        elif seg.active_owner not in (None, holders[0]):
+            violations.append(InvariantViolation(
+                "single-owner",
+                f"segment {seg.seg_id} windowed by {holders[0]} but "
+                f"active_owner is {seg.active_owner}"))
+
+    # -- revoked-unmapped: a revoked segment translates nowhere (§4.4).
+    for seg in kernel.relay_segments:
+        if not seg.revoked:
+            continue
+        for thread in threads:
+            window = thread.xpc.seg_reg
+            if window.valid and window.segment is seg:
+                violations.append(InvariantViolation(
+                    "revoked-unmapped",
+                    f"revoked segment {seg.seg_id} still windowed by "
+                    f"{thread}"))
+        for process in kernel.processes:
+            for slot, window in process.seg_list.segments():
+                if window.segment is seg:
+                    violations.append(InvariantViolation(
+                        "revoked-unmapped",
+                        f"revoked segment {seg.seg_id} still parked in "
+                        f"{process} seg-list slot {slot}"))
+
+    # -- dead-entries-invalid: a dead process serves no x-entries (§4.2).
+    table = kernel.machine.xentry_table
+    if table is not None:
+        for process in kernel.processes:
+            if process.alive:
+                continue
+            for entry_id in process.xentries:
+                entry = table.peek(entry_id)
+                if entry is not None and entry.valid:
+                    violations.append(InvariantViolation(
+                        "dead-entries-invalid",
+                        f"x-entry {entry_id} of dead {process} is "
+                        f"still valid"))
+
+    # -- link-stack bound: SRAM occupancy never exceeds capacity (§4.1).
+    for thread in threads:
+        stack = thread.xpc.link_stack
+        if stack.live_depth > stack.capacity:
+            violations.append(InvariantViolation(
+                "link-stack-bound",
+                f"{thread} link stack holds {stack.live_depth} SRAM "
+                f"records over capacity {stack.capacity}"))
+
+    return violations
+
+
+def check_quiescent(kernel, thread) -> List[InvariantViolation]:
+    """Between top-level calls *thread* must be fully unwound (LIFO
+    restore observed end-to-end)."""
+    violations: List[InvariantViolation] = []
+    stack = thread.xpc.link_stack
+    if stack.depth != 0:
+        violations.append(InvariantViolation(
+            "link-stack-lifo",
+            f"{thread} link stack depth {stack.depth} != 0 between "
+            f"top-level calls"))
+    if thread.xpc.cap_bitmap is not thread.home_caps:
+        violations.append(InvariantViolation(
+            "link-stack-lifo",
+            f"{thread} capability state not restored to its home "
+            f"bitmap between top-level calls"))
+    return violations

@@ -33,26 +33,32 @@ from repro.verify.lint import (
 )
 
 #: unit -> units it may import (its own unit is always allowed).
+#: ``faults`` sits beside ``params`` at the bottom: it is pure policy
+#: (seeded decisions + trace recording) with no simulator dependencies,
+#: so every layer may consult it at its instrumented fault points.
 ALLOWED_IMPORTS = {
     "params": set(),
-    "hw": {"params"},
-    "xpc": {"hw", "params"},
-    "kernel": {"xpc", "hw", "params"},
-    "runtime": {"kernel", "xpc", "hw", "params"},
-    "ipc": {"runtime", "kernel", "xpc", "hw", "params"},
-    "sel4": {"ipc", "runtime", "kernel", "xpc", "hw", "params"},
-    "zircon": {"ipc", "runtime", "kernel", "xpc", "hw", "params"},
-    "binder": {"ipc", "runtime", "kernel", "xpc", "hw", "params"},
+    "faults": set(),
+    "hw": {"params", "faults"},
+    "xpc": {"hw", "params", "faults"},
+    "kernel": {"xpc", "hw", "params", "faults"},
+    "runtime": {"kernel", "xpc", "hw", "params", "faults"},
+    "ipc": {"runtime", "kernel", "xpc", "hw", "params", "faults"},
+    "sel4": {"ipc", "runtime", "kernel", "xpc", "hw", "params", "faults"},
+    "zircon": {"ipc", "runtime", "kernel", "xpc", "hw", "params", "faults"},
+    "binder": {"ipc", "runtime", "kernel", "xpc", "hw", "params", "faults"},
     "services": {"ipc", "runtime", "kernel", "xpc", "hw", "params",
-                 "analysis"},
-    "apps": {"services", "ipc", "runtime", "kernel", "xpc", "hw", "params"},
+                 "faults", "analysis"},
+    "apps": {"services", "ipc", "runtime", "kernel", "xpc", "hw", "params",
+             "faults"},
     # Side packages: measurement and analysis tooling.
     "analysis": {"params"},
     "gem5": {"params", "hw"},
     "hwcost": {"params"},
     "compare": {"params"},
     "tools": {"analysis", "params"},
-    "verify": {"runtime", "kernel", "xpc", "hw", "params", "analysis"},
+    "verify": {"runtime", "kernel", "xpc", "hw", "params", "faults",
+               "analysis"},
 }
 
 #: Modules of repro.hw that form its public, architectural surface.

@@ -114,6 +114,10 @@ class XPCEngine:
         if state is None or not state.seg_reg.valid:
             return None
         seg = state.seg_reg
+        if seg.segment.revoked:
+            # A revoked segment no longer translates (§4.4): the access
+            # falls through to the page table and faults there.
+            return None
         if not seg.contains(va):
             return None
         if not seg.perm & access:
@@ -211,7 +215,15 @@ class XPCEngine:
             callee_entry_id=entry_id,
             caller_seg_list=state.seg_list,
         )
-        state.link_stack.push(record)
+        try:
+            state.link_stack.push(record)
+        except XPCError:
+            # Link-stack overflow: a recoverable resource trap (§4.1).
+            # Charge the cycles spent so far and report to the kernel,
+            # which spills and lets the runtime retry the xcall.
+            self.stats.exceptions += 1
+            self.core.tick(cycles)
+            raise
         cycles += (self.params.link_push_nonblocking
                    if self.config.nonblocking_linkstack
                    else self.params.link_push)
@@ -252,8 +264,12 @@ class XPCEngine:
             self.stats.exceptions += 1
             raise
         # Relay-seg integrity: the callee must return exactly the window
-        # it was handed (§3.3 "Return a relay-seg").
-        if state.seg_reg != record.passed_seg:
+        # it was handed (§3.3 "Return a relay-seg").  A window the kernel
+        # revoked mid-call (§4.4) is exempt: revocation scrubs seg-reg
+        # underneath the callee, which is the kernel's doing, not theft.
+        if state.seg_reg != record.passed_seg and not (
+                record.passed_seg.valid
+                and record.passed_seg.segment.revoked):
             self.stats.exceptions += 1
             # Put the record back: the kernel will repair the chain.
             record.valid = True
@@ -262,13 +278,17 @@ class XPCEngine:
                 "seg-reg does not match the window saved in the linkage "
                 "record (possible relay-seg theft)"
             )
-        state.seg_reg = record.seg_reg
+        restored = record.seg_reg
+        if restored.valid and restored.segment.revoked:
+            # Never re-install a revoked window at return.
+            restored = SEG_INVALID
+        state.seg_reg = restored
         state.seg_mask = record.seg_mask
         state.cap_bitmap = record.caller_state
         if record.caller_seg_list is not None:
             state.seg_list = record.caller_seg_list
-        if record.seg_reg.valid:
-            record.seg_reg.segment.active_owner = record.caller_thread
+        if restored.valid:
+            restored.segment.active_owner = record.caller_thread
         self.core.set_address_space(record.caller_aspace)
         self.stats.xrets += 1
         if self.tracer is not None:

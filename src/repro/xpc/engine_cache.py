@@ -11,6 +11,7 @@ from __future__ import annotations
 
 from typing import Optional, Tuple
 
+import repro.faults as faults
 from repro.xpc.entry import XEntry, XEntryTable
 
 
@@ -42,6 +43,11 @@ class XPCEngineCache:
     def lookup(self, entry_id: int,
                thread: object = None) -> Optional[XEntry]:
         """Return the cached entry, or None on miss."""
+        if (faults.ACTIVE is not None
+                and faults.fire("xpc.engine_cache.stale_entry") is not None):
+            # Injected stale line: evict before the lookup so the xcall
+            # falls back to a validated x-entry table load.
+            self._lines[entry_id % self.entries] = None
         line = self._lines[entry_id % self.entries]
         if line is not None and line[0] == self._tag(thread) \
                 and line[1] == entry_id:

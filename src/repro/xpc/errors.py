@@ -43,6 +43,52 @@ class InvalidLinkageError(XPCError):
         super().__init__(reason)
 
 
+class LinkStackOverflowError(XPCError):
+    """``xcall``: pushing past the bounded per-thread link stack (§4.1).
+
+    Deliberately *not* an :class:`InvalidLinkageError`: overflow is a
+    resource condition the kernel recovers from by spilling the stack
+    bottom to kernel memory and retrying, whereas ``InvalidLinkageError``
+    signals a protocol/security violation (forged or stale xret).
+    """
+
+    fault_instruction = "xcall"
+
+    def __init__(self, depth: int, capacity: int):
+        self.depth = depth
+        self.capacity = capacity
+        super().__init__(
+            f"link stack overflow (depth={depth}, capacity={capacity})")
+
+
+class LinkStackUnderflowError(XPCError):
+    """``xret``: the hardware stack is empty but records were spilled
+    to kernel memory — the kernel must refill and retry the xret."""
+
+    fault_instruction = "xret"
+
+    def __init__(self, spilled: int):
+        self.spilled = spilled
+        super().__init__(
+            f"xret hit spilled link stack ({spilled} record(s) in "
+            f"kernel memory)")
+
+
+class XPCPeerDiedError(XPCError):
+    """``xret``: the callee (or an intermediate process in a nested
+    chain) terminated mid-call; the kernel repaired the return path to
+    the nearest live caller (§4.2) and the runtime surfaces this typed
+    error instead of a result."""
+
+    fault_instruction = "xret"
+
+    def __init__(self, entry_id: int = -1,
+                 reason: str = "peer process died during xpc call"):
+        self.entry_id = entry_id
+        super().__init__(f"{reason} (entry={entry_id})"
+                         if entry_id >= 0 else reason)
+
+
 class InvalidSegMaskError(XPCError):
     """``csrw seg-mask``: masked window out of the seg-reg range."""
 

@@ -4,7 +4,9 @@ import pytest
 
 from repro.hw.machine import Machine
 from repro.kernel.kernel import BaseKernel, KernelError, RELAY_VA_BASE
-from repro.xpc.errors import InvalidLinkageError
+from repro.xpc.errors import (InvalidLinkageError, LinkStackOverflowError,
+                              LinkStackUnderflowError)
+from repro.xpc.linkstack import LinkStack
 from repro.xpc.relayseg import SegReg
 
 
@@ -201,3 +203,155 @@ class TestTermination:
         seg, slot = kernel.create_relay_seg(machine.core0, process, 4096)
         kernel.kill_process(process)
         assert seg.revoked
+
+    def test_kill_cost_lazy_vs_eager(self, world):
+        """§4.2: the lazy kill's cost is a constant page-zero; the eager
+        kill pays per resident linkage record."""
+        machine, kernel = world
+
+        def deep_chain():
+            a, b, c, at, engine = self._chain(kernel, machine.core0)
+            return b, at
+
+        b, at = deep_chain()
+        before = machine.core0.cycles
+        kernel.kill_process(b, lazy=True, core=machine.core0)
+        lazy_cost = machine.core0.cycles - before
+
+        b2, at2 = deep_chain()
+        before = machine.core0.cycles
+        kernel.kill_process(b2, lazy=False, core=machine.core0)
+        eager_cost = machine.core0.cycles - before
+
+        assert lazy_cost > 0
+        assert eager_cost > lazy_cost  # scanned the resident records
+
+
+class TestMultiCoreTermination:
+    """§4.2 recovery with concurrent chains on two cores: one victim
+    process is in the middle of A→B→C chains on *both* cores."""
+
+    @pytest.fixture
+    def world2(self):
+        machine = Machine(cores=2, mem_bytes=64 * 1024 * 1024)
+        return machine, BaseKernel(machine)
+
+    def _dual_chains(self, machine, kernel):
+        core0, core1 = machine.cores
+        a1 = kernel.create_process("A1")
+        a2 = kernel.create_process("A2")
+        b = kernel.create_process("B")
+        c = kernel.create_process("C")
+        at1 = kernel.create_thread(a1)
+        at2 = kernel.create_thread(a2)
+        bt = kernel.create_thread(b)
+        ct = kernel.create_thread(c)
+        entry_b = kernel.register_xentry(core0, bt, lambda *x: None)
+        entry_c = kernel.register_xentry(core0, ct, lambda *x: None)
+        kernel.grant_xcall_cap(core0, b, at1, entry_b.entry_id)
+        kernel.grant_xcall_cap(core0, b, at2, entry_b.entry_id)
+        kernel.grant_xcall_cap(core0, c, bt, entry_c.entry_id)
+        kernel.run_thread(core0, at1)
+        kernel.run_thread(core1, at2)
+        for engine in machine.engines:
+            engine.xcall(entry_b.entry_id)
+            engine.xcall(entry_c.entry_id)
+        return (a1, a2, b, c), (at1, at2)
+
+    def test_eager_kill_invalidates_chains_on_every_core(self, world2):
+        machine, kernel = world2
+        (a1, a2, b, c), (at1, at2) = self._dual_chains(machine, kernel)
+        kernel.kill_process(b, lazy=False)
+        for thread in (at1, at2):
+            dead = [r for r in thread.xpc.link_stack.records
+                    if r.caller_aspace is b.aspace]
+            assert dead and all(not r.valid for r in dead)
+        # The C→B return traps on both cores.
+        for engine in machine.engines:
+            with pytest.raises(InvalidLinkageError):
+                engine.xret()
+
+    def test_repair_restores_each_core_independently(self, world2):
+        machine, kernel = world2
+        (a1, a2, b, c), (at1, at2) = self._dual_chains(machine, kernel)
+        core0, core1 = machine.cores
+        kernel.kill_process(b, lazy=False)
+
+        restored = kernel.repair_return(core0, at1)
+        assert restored.caller_aspace is a1.aspace
+        assert core0.aspace is a1.aspace
+        # Core 1's chain is untouched by core 0's repair.
+        assert core1.aspace is c.aspace
+        assert at2.xpc.link_stack.depth == 2
+
+        restored = kernel.repair_return(core1, at2)
+        assert restored.caller_aspace is a2.aspace
+        assert core1.aspace is a2.aspace
+
+    def test_eager_kill_of_caller_process(self, world2):
+        """Killing one *client* must not disturb the other core's
+        identical chain through the same servers."""
+        machine, kernel = world2
+        (a1, a2, b, c), (at1, at2) = self._dual_chains(machine, kernel)
+        kernel.kill_process(a2, lazy=False)
+        # Core 0 unwinds normally: C → B → A1.
+        e0 = machine.engines[0]
+        assert e0.xret().caller_aspace is b.aspace
+        assert e0.xret().caller_aspace is a1.aspace
+        # Core 1's whole chain below the dead client is unrepairable.
+        assert kernel.repair_return(machine.cores[1], at2) is None
+
+
+class TestLinkSpillHandlers:
+    """§4.1: overflow of the bounded link-stack SRAM is a recoverable
+    trap — the kernel spills, the xcall retries; drained-SRAM xrets
+    refill from the spill area."""
+
+    def _recursive_entry(self, kernel, core):
+        server = kernel.create_process("server")
+        client = kernel.create_process("client")
+        st = kernel.create_thread(server)
+        ct = kernel.create_thread(client)
+        entry = kernel.register_xentry(core, st, lambda *x: None)
+        kernel.grant_xcall_cap(core, server, ct, entry.entry_id)
+        # The server may recurse into itself.
+        kernel.grant_xcall_cap(core, server, st, entry.entry_id)
+        kernel.run_thread(core, ct)
+        return client, ct, entry
+
+    def test_overflow_spill_retry_then_underflow_refill(self, world):
+        machine, kernel = world
+        core = machine.core0
+        client, ct, entry = self._recursive_entry(kernel, core)
+        ct.xpc.link_stack = LinkStack(capacity=4)  # tiny SRAM
+        engine = machine.engines[0]
+
+        depth = 0
+        while depth < 6:
+            try:
+                engine.xcall(entry.entry_id)
+            except LinkStackOverflowError:
+                assert kernel.handle_link_overflow(core, ct) > 0
+                continue  # retry the faulting xcall
+            depth += 1
+        stack = ct.xpc.link_stack
+        assert stack.depth == 6
+        assert stack.spilled_depth > 0
+
+        unwound = 0
+        while unwound < 6:
+            try:
+                engine.xret()
+            except LinkStackUnderflowError:
+                assert kernel.handle_link_underflow(core, ct) > 0
+                continue  # retry the faulting xret
+            unwound += 1
+        assert stack.depth == 0
+        assert core.aspace is client.aspace
+
+    def test_unspillable_stack_reports_zero(self, world):
+        machine, kernel = world
+        process = kernel.create_process("p")
+        thread = kernel.create_thread(process)
+        # Nothing resident: the kernel cannot make room.
+        assert kernel.handle_link_overflow(machine.core0, thread) == 0

@@ -1,0 +1,197 @@
+"""Service supervision: restart, re-grant, backoff, caller retry."""
+
+import pytest
+
+import repro.faults as faults
+from repro.faults import FaultPlan
+from repro.hw.machine import Machine
+from repro.kernel.kernel import BaseKernel
+from repro.runtime.xpclib import (XPCBusyError, XPCService,
+                                  XPCTimeoutError, xpc_call)
+from repro.runtime.supervisor import (RestartPolicy, ServiceSupervisor,
+                                      SupervisorError, retry_call)
+from repro.xpc.errors import XPCPeerDiedError
+
+
+def build():
+    machine = Machine(cores=1, mem_bytes=64 * 1024 * 1024)
+    kernel = BaseKernel(machine)
+    core = machine.core0
+    client = kernel.create_process("client")
+    ct = kernel.create_thread(client)
+    kernel.run_thread(core, ct)
+    return machine, kernel, core, ct
+
+
+def echo_factory(handler=None):
+    handler = handler or (lambda call: sum(call.args))
+    return lambda kernel, core, thread: XPCService(
+        kernel, core, thread, handler, name="echo")
+
+
+class TestSupervision:
+    def test_supervised_service_is_callable(self):
+        machine, kernel, core, ct = build()
+        sup = ServiceSupervisor(kernel, core)
+        sup.supervise("echo", echo_factory(), grants=[lambda: ct])
+        assert xpc_call(core, sup.entry_id("echo"), 2, 3,
+                        kernel=kernel) == 5
+
+    def test_restart_reregisters_xentry_and_regrants(self):
+        machine, kernel, core, ct = build()
+        sup = ServiceSupervisor(kernel, core)
+        sup.supervise("echo", echo_factory(), grants=[lambda: ct])
+        old_entry = sup.entry_id("echo")
+        old_thread = sup.thread("echo")
+
+        kernel.kill_process(old_thread.process)
+
+        status = sup.status("echo")
+        assert status.generation == 2
+        assert status.restarts == 1
+        # The replacement is a fresh process with a freshly registered
+        # x-entry, and the client's cap was re-granted: calls just work.
+        assert sup.thread("echo").process is not old_thread.process
+        new_entry = sup.entry_id("echo")
+        assert xpc_call(core, new_entry, 7, kernel=kernel) == 7
+        assert old_entry != new_entry or True  # ids may be reused
+
+    def test_restart_backs_off_in_simulated_cycles(self):
+        machine, kernel, core, ct = build()
+        policy = RestartPolicy(backoff_base=10_000, backoff_factor=3)
+        sup = ServiceSupervisor(kernel, core, policy=policy)
+        sup.supervise("echo", echo_factory(), grants=[lambda: ct])
+
+        before = core.cycles
+        kernel.kill_process(sup.thread("echo").process)
+        first = core.cycles - before
+        assert first >= 10_000
+
+        before = core.cycles
+        kernel.kill_process(sup.thread("echo").process)
+        assert core.cycles - before >= 30_000  # exponential
+
+    def test_restart_budget_exhaustion(self):
+        machine, kernel, core, ct = build()
+        policy = RestartPolicy(max_restarts=2, backoff_base=1)
+        sup = ServiceSupervisor(kernel, core, policy=policy)
+        sup.supervise("echo", echo_factory(), grants=[lambda: ct])
+
+        for _ in range(3):
+            kernel.kill_process(sup.thread("echo").process)
+
+        status = sup.status("echo")
+        assert status.failed
+        assert status.restarts == 2
+        with pytest.raises(SupervisorError):
+            sup.entry_id("echo")
+
+    def test_on_restart_listeners_fire(self):
+        machine, kernel, core, ct = build()
+        sup = ServiceSupervisor(kernel, core)
+        sup.supervise("echo", echo_factory(), grants=[lambda: ct])
+        seen = []
+        sup.on_restart.append(lambda name, svc: seen.append(
+            (name, svc.entry_id)))
+        kernel.kill_process(sup.thread("echo").process)
+        assert seen == [("echo", sup.entry_id("echo"))]
+
+    def test_double_supervise_rejected(self):
+        machine, kernel, core, ct = build()
+        sup = ServiceSupervisor(kernel, core)
+        sup.supervise("echo", echo_factory())
+        with pytest.raises(SupervisorError):
+            sup.supervise("echo", echo_factory())
+
+
+class TestRetryCall:
+    def test_transient_failures_are_retried(self):
+        machine, kernel, core, ct = build()
+        attempts = []
+
+        def flaky():
+            attempts.append(1)
+            if len(attempts) < 3:
+                raise XPCBusyError("busy")
+            return "ok"
+
+        before = core.cycles
+        assert retry_call(flaky, core, retries=3,
+                          backoff_base=1_000) == "ok"
+        assert len(attempts) == 3
+        assert core.cycles - before >= 1_000 + 2_000  # two backoffs
+
+    def test_nonretryable_propagates_immediately(self):
+        machine, kernel, core, ct = build()
+        calls = []
+
+        def bad():
+            calls.append(1)
+            raise ValueError("logic bug")
+
+        with pytest.raises(ValueError):
+            retry_call(bad, core)
+        assert len(calls) == 1
+
+    def test_budget_exhaustion_reraises_last(self):
+        machine, kernel, core, ct = build()
+        calls = []
+
+        def always_busy():
+            calls.append(1)
+            raise XPCTimeoutError(budget=100, used=500)
+
+        with pytest.raises(XPCTimeoutError):
+            retry_call(always_busy, core, retries=2, backoff_base=1)
+        assert len(calls) == 3  # initial + 2 retries
+
+
+class TestCrashRecoveryEndToEnd:
+    def test_injected_crash_supervisor_retry_loop(self):
+        """The full robustness story: a seeded mid-handler crash kills
+        the server, the supervisor resurrects it, and the caller's
+        retry loop lands on the new incarnation."""
+        machine, kernel, core, ct = build()
+        sup = ServiceSupervisor(
+            kernel, core,
+            policy=RestartPolicy(backoff_base=100))
+        sup.supervise("echo", echo_factory(), grants=[lambda: ct])
+        gen0 = sup.status("echo").generation
+
+        plan = FaultPlan(17).arm("xpc.callee_crash", nth=1)
+        with faults.active(plan):
+            result = retry_call(
+                lambda: xpc_call(core, sup.entry_id("echo"), 21,
+                                 kernel=kernel),
+                core, retries=3, backoff_base=1_000)
+
+        assert result == 21
+        assert sup.status("echo").generation == gen0 + 1
+        assert [e.point for e in plan.trace] == ["xpc.callee_crash"]
+
+    def test_crash_without_retry_surfaces_peer_died(self):
+        machine, kernel, core, ct = build()
+        sup = ServiceSupervisor(kernel, core,
+                                policy=RestartPolicy(backoff_base=1))
+        sup.supervise("echo", echo_factory(), grants=[lambda: ct])
+
+        plan = FaultPlan(17).arm("xpc.callee_crash", nth=1)
+        with faults.active(plan):
+            with pytest.raises(XPCPeerDiedError):
+                xpc_call(core, sup.entry_id("echo"), 1, kernel=kernel)
+
+    def test_eager_crash_recovers_too(self):
+        """``lazy=False`` crash: the x-entry table is scrubbed eagerly
+        at kill time; recovery is identical from the caller's view."""
+        machine, kernel, core, ct = build()
+        sup = ServiceSupervisor(kernel, core,
+                                policy=RestartPolicy(backoff_base=1))
+        sup.supervise("echo", echo_factory(), grants=[lambda: ct])
+
+        plan = FaultPlan(23).arm("xpc.callee_crash", nth=1, lazy=False)
+        with faults.active(plan):
+            result = retry_call(
+                lambda: xpc_call(core, sup.entry_id("echo"), 5,
+                                 kernel=kernel),
+                core, retries=2, backoff_base=100)
+        assert result == 5

@@ -1,0 +1,137 @@
+"""The name server's circuit breaker: trip, cooldown, probe, reset."""
+
+import pytest
+
+from repro.services.nameserver import (
+    BreakerState, CircuitBreaker, NameServer, ServiceUnavailableError,
+)
+from tests.conftest import TRANSPORT_SPECS, build_transport
+
+
+class FakeClock:
+    def __init__(self):
+        self.now = 0
+
+    def __call__(self):
+        return self.now
+
+
+class TestCircuitBreaker:
+    def test_starts_closed_and_allows(self):
+        cb = CircuitBreaker(threshold=3)
+        assert cb.state is BreakerState.CLOSED
+        assert cb.allow()
+
+    def test_trips_after_threshold_consecutive_failures(self):
+        cb = CircuitBreaker(threshold=3)
+        cb.record_failure()
+        cb.record_failure()
+        assert cb.allow()                      # 2 < 3: still closed
+        cb.record_failure()
+        assert cb.state is BreakerState.OPEN
+        assert not cb.allow()
+        assert cb.trips == 1
+
+    def test_success_resets_the_failure_streak(self):
+        cb = CircuitBreaker(threshold=3)
+        cb.record_failure()
+        cb.record_failure()
+        cb.record_success()
+        cb.record_failure()
+        cb.record_failure()
+        assert cb.state is BreakerState.CLOSED  # streak broken at 2
+
+    def test_cooldown_half_opens_then_probe_closes(self):
+        clock = FakeClock()
+        cb = CircuitBreaker(threshold=1, cooldown=1_000, clock=clock)
+        cb.record_failure()
+        assert not cb.allow()                  # open, cooldown running
+        clock.now = 999
+        assert not cb.allow()
+        clock.now = 1_000
+        assert cb.allow()                      # the probe
+        assert cb.state is BreakerState.HALF_OPEN
+        cb.record_success()
+        assert cb.state is BreakerState.CLOSED
+        assert cb.allow()
+
+    def test_failed_probe_reopens_immediately(self):
+        clock = FakeClock()
+        cb = CircuitBreaker(threshold=3, cooldown=1_000, clock=clock)
+        for _ in range(3):
+            cb.record_failure()
+        clock.now = 1_000
+        assert cb.allow()                      # half-open probe
+        cb.record_failure()                    # probe failed: one strike
+        assert cb.state is BreakerState.OPEN
+        assert cb.trips == 2
+        clock.now = 1_999
+        assert not cb.allow()                  # fresh cooldown from probe
+
+    def test_bad_threshold_rejected(self):
+        with pytest.raises(ValueError):
+            CircuitBreaker(threshold=0)
+
+
+@pytest.fixture
+def ns_world():
+    machine, kernel, transport, ct = build_transport(TRANSPORT_SPECS[2])
+    ns = NameServer(transport, breaker_threshold=2,
+                    breaker_cooldown=50_000)
+    return machine, kernel, transport, ct, ns
+
+
+class TestNameServerBreaker:
+    def test_resolve_degrades_when_breaker_opens(self, ns_world):
+        machine, kernel, transport, ct, ns = ns_world
+        ns.publish("fs", 7)
+        ns.report_failure("fs")
+        assert ns.resolve("fs") == 7           # one failure: still fine
+        ns.report_failure("fs")
+        with pytest.raises(ServiceUnavailableError) as exc:
+            ns.resolve("fs")
+        assert exc.value.name == "fs"
+        assert exc.value.failures == 2
+
+    def test_breaker_clock_is_the_transport_core(self, ns_world):
+        """Cooldown is measured in simulated cycles, not wall time."""
+        machine, kernel, transport, ct, ns = ns_world
+        ns.publish("fs", 7)
+        ns.report_failure("fs")
+        ns.report_failure("fs")
+        with pytest.raises(ServiceUnavailableError):
+            ns.resolve("fs")
+        transport.core.tick(50_000)            # cooldown elapses
+        assert ns.resolve("fs") == 7           # half-open probe allowed
+        ns.report_success("fs")
+        assert ns.breaker("fs").state is BreakerState.CLOSED
+
+    def test_republish_resets_the_breaker(self, ns_world):
+        """The supervisor's restart path: a resurrected service gets a
+        fresh closed breaker under its new sid."""
+        machine, kernel, transport, ct, ns = ns_world
+        ns.publish("fs", 7)
+        ns.report_failure("fs")
+        ns.report_failure("fs")
+        with pytest.raises(ServiceUnavailableError):
+            ns.resolve("fs")
+        ns.republish("fs", 8)
+        assert ns.resolve("fs") == 8
+        assert ns.breaker("fs").state is BreakerState.CLOSED
+        assert ns.breaker("fs").failures == 0
+
+    def test_per_name_isolation(self, ns_world):
+        machine, kernel, transport, ct, ns = ns_world
+        ns.publish("fs", 1)
+        ns.publish("net", 2)
+        ns.report_failure("fs")
+        ns.report_failure("fs")
+        with pytest.raises(ServiceUnavailableError):
+            ns.resolve("fs")
+        assert ns.resolve("net") == 2          # untouched
+
+    def test_report_on_unknown_name_is_noop(self, ns_world):
+        machine, kernel, transport, ct, ns = ns_world
+        ns.report_failure("ghost")
+        ns.report_success("ghost")
+        assert ns.breaker("ghost") is None

@@ -4,7 +4,8 @@ import pytest
 
 from repro.hw.memory import PhysicalMemory
 from repro.hw.paging import AddressSpace
-from repro.xpc.errors import InvalidLinkageError
+from repro.xpc.errors import (InvalidLinkageError, LinkStackOverflowError,
+                              LinkStackUnderflowError)
 from repro.xpc.linkstack import LinkStack, LinkageRecord
 from repro.xpc.relayseg import NO_MASK, SEG_INVALID
 
@@ -42,8 +43,69 @@ def test_overflow_raises(mem):
     stack = LinkStack(capacity=2)
     stack.push(record(aspace))
     stack.push(record(aspace))
-    with pytest.raises(InvalidLinkageError):
+    with pytest.raises(LinkStackOverflowError) as exc:
         stack.push(record(aspace))
+    assert exc.value.depth == 2
+    assert exc.value.capacity == 2
+
+
+def test_overflow_is_not_a_security_violation(mem):
+    """Overflow (resource trap, §4.1) is typed apart from forged-xret
+    security violations."""
+    assert not issubclass(LinkStackOverflowError, InvalidLinkageError)
+
+
+def test_spill_frees_room_and_preserves_order(mem):
+    aspace = AddressSpace(mem)
+    stack = LinkStack(capacity=2)
+    a, b = record(aspace, 1), record(aspace, 2)
+    stack.push(a)
+    stack.push(b)
+    assert stack.spill(1) == 1
+    assert stack.live_depth == 1 and stack.spilled_depth == 1
+    assert stack.depth == 2
+    c = record(aspace, 3)
+    stack.push(c)                      # room again after the spill
+    assert [r.callee_entry_id for r in stack.records] == [1, 2, 3]
+    assert stack.pop() is c
+    assert stack.pop() is b
+
+
+def test_underflow_then_unspill_round_trip(mem):
+    aspace = AddressSpace(mem)
+    stack = LinkStack(capacity=2)
+    a, b = record(aspace, 1), record(aspace, 2)
+    stack.push(a)
+    stack.push(b)
+    stack.spill(2)
+    with pytest.raises(LinkStackUnderflowError):
+        stack.pop()                    # SRAM empty, records spilled
+    assert stack.unspill() == 2
+    assert stack.pop() is b
+    assert stack.pop() is a
+    with pytest.raises(InvalidLinkageError):
+        stack.pop()                    # now genuinely empty
+
+
+def test_invalidate_covers_spilled_records(mem):
+    dead = AddressSpace(mem)
+    stack = LinkStack(capacity=4)
+    stack.push(record(dead, 1))
+    stack.push(record(dead, 2))
+    stack.spill(2)
+    assert stack.invalidate_records_of(dead) == 2
+    assert all(not r.valid for r in stack.records)
+
+
+def test_peek_and_force_pop_reach_spilled(mem):
+    aspace = AddressSpace(mem)
+    stack = LinkStack(capacity=4)
+    rec = record(aspace)
+    stack.push(rec)
+    stack.spill(1)
+    assert stack.peek() is rec
+    assert stack.force_pop() is rec
+    assert stack.depth == 0
 
 
 def test_pop_invalidated_record_raises(mem):
