@@ -7,23 +7,50 @@ regenerates a text version of the evaluation section.
 
 from __future__ import annotations
 
+import unicodedata
 from typing import Dict, Iterable, List, Sequence
+
+
+def display_width(text: str) -> int:
+    """Terminal cell width of *text*: East-Asian wide/fullwidth
+    characters occupy two cells, combining marks occupy none."""
+    width = 0
+    for ch in text:
+        if unicodedata.combining(ch):
+            continue
+        width += 2 if unicodedata.east_asian_width(ch) in "WF" else 1
+    return width
+
+
+def _pad(cell: str, width: int) -> str:
+    return cell + " " * max(width - display_width(cell), 0)
 
 
 def render_table(title: str, headers: Sequence[str],
                  rows: Iterable[Sequence]) -> str:
-    """Aligned monospace table with a title rule."""
+    """Aligned monospace table with a title rule.
+
+    Robust to ragged input: short rows are padded with empty cells and
+    long rows grow extra (untitled) columns instead of crashing.
+    Alignment uses terminal display width, so CJK file names and other
+    wide glyphs keep columns straight.
+    """
     str_rows = [[str(c) for c in row] for row in rows]
-    widths = [len(h) for h in headers]
+    ncols = max([len(headers)] + [len(r) for r in str_rows])
+    headers = list(headers) + [""] * (ncols - len(headers))
+    str_rows = [row + [""] * (ncols - len(row)) for row in str_rows]
+    widths = [display_width(h) for h in headers]
     for row in str_rows:
         for i, cell in enumerate(row):
-            widths[i] = max(widths[i], len(cell))
+            widths[i] = max(widths[i], display_width(cell))
 
     def fmt(cells: Sequence[str]) -> str:
-        return "  ".join(c.ljust(w) for c, w in zip(cells, widths))
+        return "  ".join(_pad(c, w)
+                         for c, w in zip(cells, widths)).rstrip()
 
-    rule = "-" * (sum(widths) + 2 * (len(widths) - 1))
-    lines = [title, "=" * len(title), fmt(headers), rule]
+    rule = "-" * (sum(widths) + 2 * (len(widths) - 1)) if widths else ""
+    lines = [title, "=" * max(display_width(title), 1), fmt(headers),
+             rule]
     lines += [fmt(row) for row in str_rows]
     return "\n".join(lines)
 

@@ -9,6 +9,7 @@ and for the timeline assertions in the test suite.
 
 from __future__ import annotations
 
+from collections import deque
 from dataclasses import dataclass, field
 from typing import Callable, Dict, Iterable, List, Optional
 
@@ -26,21 +27,31 @@ class TraceEvent:
 
 
 class Tracer:
-    """A bounded in-memory event recorder."""
+    """A bounded in-memory event recorder.
+
+    The buffer is a ring: when full, the *oldest* event is evicted so
+    the window always holds the most recent activity (what you want
+    when something goes wrong at the end of a long run).  ``dropped``
+    counts the evictions.
+    """
 
     def __init__(self, capacity: int = 100_000) -> None:
         if capacity <= 0:
             raise ValueError("capacity must be positive")
         self.capacity = capacity
-        self.events: List[TraceEvent] = []
+        self._events: deque = deque(maxlen=capacity)
         self.dropped = 0
+
+    @property
+    def events(self) -> List[TraceEvent]:
+        """The retained window, oldest first."""
+        return list(self._events)
 
     # ------------------------------------------------------------------
     def emit(self, core, kind: str, detail: str = "") -> None:
-        if len(self.events) >= self.capacity:
+        if len(self._events) == self.capacity:
             self.dropped += 1
-            return
-        self.events.append(
+        self._events.append(
             TraceEvent(core.cycles, core.core_id, kind, detail))
 
     # ------------------------------------------------------------------
@@ -70,7 +81,7 @@ class Tracer:
 
     def counts(self) -> Dict[str, int]:
         out: Dict[str, int] = {}
-        for event in self.events:
+        for event in self._events:
             out[event.kind] = out.get(event.kind, 0) + 1
         return out
 
@@ -79,7 +90,7 @@ class Tracer:
         LIFO-paired per core (xcall/xret nesting)."""
         stacks: Dict[int, List[int]] = {}
         durations: List[int] = []
-        for event in self.events:
+        for event in self._events:
             if event.kind == open_kind:
                 stacks.setdefault(event.core_id, []).append(event.cycle)
             elif event.kind == close_kind:
@@ -89,16 +100,18 @@ class Tracer:
         return durations
 
     def to_text(self, limit: int = 50) -> str:
-        lines = [str(e) for e in self.events[:limit]]
-        if len(self.events) > limit:
-            lines.append(f"... {len(self.events) - limit} more events")
+        events = self.events
+        lines = [str(e) for e in events[:limit]]
+        if len(events) > limit:
+            lines.append(f"... {len(events) - limit} more events")
         if self.dropped:
-            lines.append(f"... {self.dropped} events dropped (capacity)")
+            lines.append(f"... {self.dropped} older events dropped "
+                         f"(capacity)")
         return "\n".join(lines)
 
     def clear(self) -> None:
-        self.events.clear()
+        self._events.clear()
         self.dropped = 0
 
     def __len__(self) -> int:
-        return len(self.events)
+        return len(self._events)

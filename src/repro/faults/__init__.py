@@ -22,7 +22,7 @@ and in a test / chaos driver:
 from __future__ import annotations
 
 from contextlib import contextmanager
-from typing import Optional
+from typing import Callable, Optional
 
 from repro.faults.plan import (FaultEvent, FaultPlan, FaultPlanError,
                                FaultSpec)
@@ -30,13 +30,19 @@ from repro.faults.points import CATALOGUE
 
 __all__ = [
     "ACTIVE", "CATALOGUE", "FaultEvent", "FaultPlan", "FaultPlanError",
-    "FaultSpec", "ProcessCrashFault", "active", "fire", "install",
-    "uninstall",
+    "FaultSpec", "OBSERVER", "ProcessCrashFault", "active", "fire",
+    "install", "uninstall",
 ]
 
 #: The installed plan, or None.  Instrumented hot paths check this
 #: before calling fire() so the disarmed cost is a single global load.
 ACTIVE: Optional[FaultPlan] = None
+
+#: Injection observer: called as ``OBSERVER(point, action)`` whenever a
+#: fire() actually injects.  ``repro.obs`` installs its session hook
+#: here so injections show up as span annotations without this package
+#: importing (or knowing about) the observability layer.
+OBSERVER: Optional[Callable[[str, dict], None]] = None
 
 
 class ProcessCrashFault(Exception):
@@ -57,7 +63,10 @@ def fire(point: str) -> Optional[dict]:
     disarmed or the plan declines)."""
     if ACTIVE is None:
         return None
-    return ACTIVE.fire(point)
+    action = ACTIVE.fire(point)
+    if action is not None and OBSERVER is not None:
+        OBSERVER(point, action)
+    return action
 
 
 def install(plan: Optional[FaultPlan]) -> None:

@@ -16,6 +16,7 @@ from __future__ import annotations
 import enum
 from typing import Dict, Optional, TYPE_CHECKING
 
+import repro.obs as obs
 from repro.hw.cache import CacheModel
 from repro.hw.memory import PAGE_SIZE, PhysicalMemory
 from repro.hw.paging import AddressSpace, PageFault, PagePerm
@@ -82,10 +83,16 @@ class Core:
         if self.tlb.tagged:
             if charge:
                 self.tick(self.params.asid_switch)
+                if obs.ACTIVE is not None:
+                    obs.ACTIVE.pmu.add(self, "cycles.asid_switch",
+                                       self.params.asid_switch)
         else:
             self.tlb.flush_all()
             if charge:
                 self.tick(self.params.tlb_flush)
+                if obs.ACTIVE is not None:
+                    obs.ACTIVE.pmu.add(self, "cycles.tlb_flush",
+                                       self.params.tlb_flush)
 
     # ------------------------------------------------------------------
     # Translation (relay-seg window > TLB > page walk)
@@ -166,6 +173,8 @@ class Core:
         self.mode = PrivilegeMode.SUPERVISOR
         if self.tracer is not None:
             self.tracer.emit(self, "trap", cause.value)
+        if obs.ACTIVE is not None:
+            obs.ACTIVE.pmu.add(self, f"traps.{cause.value}")
         self.tick(self.params.trap_enter)
 
     def trap_return(self) -> None:

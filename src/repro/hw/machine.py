@@ -9,6 +9,7 @@ from __future__ import annotations
 
 from typing import List, Optional, TYPE_CHECKING
 
+import repro.obs as obs
 from repro.hw.cache import _TagArray
 from repro.hw.cpu import Core
 from repro.hw.memory import PhysicalMemory
@@ -52,6 +53,8 @@ class Machine:
                 XPCEngine(core, self.xentry_table, xpc_config)
                 for core in self.cores
             ]
+        if obs.ACTIVE is not None:
+            obs.ACTIVE.on_machine(self)
 
     @property
     def core0(self) -> Core:

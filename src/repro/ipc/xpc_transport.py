@@ -12,6 +12,7 @@ from __future__ import annotations
 from typing import Dict, Optional, Tuple
 
 import repro.faults as faults
+import repro.obs as obs
 from repro.hw.cpu import Core
 from repro.ipc.transport import RelayPayload, ServerRegistration, Transport
 from repro.kernel.kernel import BaseKernel
@@ -123,6 +124,23 @@ class XPCTransport(Transport):
         service = self._xpc_services[sid]
         self.call_count += 1
         self.bytes_moved += len(payload)
+        span = None
+        if obs.ACTIVE is not None:
+            span = obs.ACTIVE.spans.begin(
+                self.core, f"call:{service.name}", cat="transport",
+                sid=sid, bytes=len(payload))
+            obs.ACTIVE.registry.histogram(
+                "transport.payload_bytes").observe(
+                    len(payload), cycle=self.core.cycles)
+        try:
+            return self._call(service, meta, payload, reply_capacity,
+                              window_slice)
+        finally:
+            if span is not None and obs.ACTIVE is not None:
+                obs.ACTIVE.spans.end(self.core, span)
+
+    def _call(self, service: XPCService, meta: tuple, payload: bytes,
+              reply_capacity: int, window_slice) -> Tuple[tuple, bytes]:
         engine = self.core.xpc_engine
         if self.lib_overhead:
             self.core.tick(self.lib_overhead)

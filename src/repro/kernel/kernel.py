@@ -23,6 +23,7 @@ from __future__ import annotations
 import itertools
 from typing import Callable, Dict, List, Optional, Tuple
 
+import repro.obs as obs
 from repro.hw.cpu import Core, TrapCause
 from repro.hw.machine import Machine
 from repro.hw.memory import PAGE_SIZE
@@ -74,6 +75,8 @@ class BaseKernel:
         #: Subsystems (e.g. the Binder driver) that want to know when a
         #: process dies — callables taking the dead Process.
         self.death_hooks: List[Callable] = []
+        if obs.ACTIVE is not None:
+            obs.ACTIVE.on_kernel(self)
 
     # ------------------------------------------------------------------
     # Processes & threads
@@ -298,6 +301,11 @@ class BaseKernel:
         spilled = stack.spill(max(1, stack.capacity // 2))
         core.tick(spilled * _LINK_SPILL_PER_RECORD)
         core.trap_return()
+        if obs.ACTIVE is not None:
+            obs.ACTIVE.registry.counter("kernel.link_spills").inc(
+                cycle=core.cycles)
+            obs.ACTIVE.registry.counter("kernel.link_spilled_records").inc(
+                spilled, cycle=core.cycles)
         return spilled
 
     def handle_link_underflow(self, core: Core, thread: Thread) -> int:
@@ -309,6 +317,9 @@ class BaseKernel:
         refilled = stack.unspill()
         core.tick(refilled * _LINK_SPILL_PER_RECORD)
         core.trap_return()
+        if obs.ACTIVE is not None:
+            obs.ACTIVE.registry.counter("kernel.link_refills").inc(
+                cycle=core.cycles)
         return refilled
 
     def preempt(self, core: Core) -> None:
@@ -322,6 +333,9 @@ class BaseKernel:
         core.trap(TrapCause.TIMER)
         core.tick(self.params.sched_pick)
         core.trap_return()
+        if obs.ACTIVE is not None:
+            obs.ACTIVE.registry.counter("kernel.preemptions").inc(
+                cycle=core.cycles)
 
     # ------------------------------------------------------------------
     # Process termination (§4.2, §4.4)
@@ -371,6 +385,10 @@ class BaseKernel:
                     owner is None or getattr(owner, "process", None)
                     is process):
                 self.revoke_relay_seg(seg)
+        if obs.ACTIVE is not None:
+            mode = "lazy" if lazy else "eager"
+            obs.ACTIVE.registry.counter(f"kernel.kills.{mode}").inc(
+                cycle=core.cycles if core is not None else None)
         for hook in self.death_hooks:
             hook(process)
 
@@ -398,6 +416,12 @@ class BaseKernel:
                 core.tick(self.params.trap_enter)
             # Pop the record regardless; hardware pop semantics.
             stack.force_pop()
+            if obs.ACTIVE is not None and record.obs_span is not None:
+                # Close the span the abandoned xcall opened: the frame
+                # never xrets, so the repair path is its only closer.
+                obs.ACTIVE.spans.end(core, record.obs_span,
+                                     repaired=True, restored=alive)
+                record.obs_span = None
             if alive:
                 restored = record
                 break
@@ -407,6 +431,9 @@ class BaseKernel:
             thread.xpc.cap_bitmap = restored.caller_state
             core.set_address_space(restored.caller_aspace)
         core.trap_return()
+        if obs.ACTIVE is not None:
+            obs.ACTIVE.registry.counter("kernel.repairs").inc(
+                cycle=core.cycles)
         return restored
 
     def _aspace_is_dead(self, aspace: AddressSpace) -> bool:

@@ -1,0 +1,129 @@
+"""repro.obs — the observability subsystem for the whole XPC stack.
+
+One :class:`ObsSession` bundles the three measurement surfaces:
+
+* :class:`~repro.obs.pmu.PMU` — per-core/per-engine hardware counter
+  banks with snapshot/delta/reset semantics (cycles-by-phase matching
+  the paper's Figure 5 breakdown);
+* :class:`~repro.obs.registry.MetricsRegistry` — counters, gauges, and
+  histograms keyed on the simulated cycle clock, fed by the kernel,
+  the XPC runtime, the transports, and the servers;
+* :class:`~repro.obs.span.SpanTracer` — causally-nested spans along the
+  xcall chain, exportable as Chrome ``trace_event`` JSON (Perfetto).
+
+Usage pattern at an instrumented site (null-sink default: the disarmed
+cost is a single global attribute check, mirroring ``repro.faults``):
+
+    import repro.obs as obs
+    ...
+    if obs.ACTIVE is not None:
+        obs.ACTIVE.pmu.add(core, "cycles.xcall.captest", 6)
+
+and in a test / benchmark driver:
+
+    with obs.active(obs.ObsSession()) as session:
+        run_workload()
+    artifact = session.report("my-run")       # JSON-serializable
+    open("run.trace.json", "w").write(session.spans.chrome_json())
+
+Observation is free: nothing here calls ``tick`` or mutates simulator
+state, so obs-on and obs-off runs produce byte-identical cycle counts
+(asserted in CI).
+"""
+
+from __future__ import annotations
+
+from contextlib import contextmanager
+from typing import Optional
+
+import repro.faults as faults
+from repro.analysis.trace import TraceEvent, Tracer
+from repro.obs.pmu import PMU, PMUSnapshot
+from repro.obs.registry import (Counter, Gauge, Histogram,
+                                MetricsRegistry)
+from repro.obs.span import Span, SpanTracer
+
+__all__ = [
+    "ACTIVE", "Counter", "Gauge", "Histogram", "MetricsRegistry",
+    "ObsSession", "PMU", "PMUSnapshot", "Span", "SpanTracer",
+    "TraceEvent", "Tracer", "active", "install", "uninstall",
+]
+
+#: The installed session, or None.  Instrumented hot paths check this
+#: before doing anything, so the disarmed cost is one global load.
+ACTIVE: Optional["ObsSession"] = None
+
+
+class ObsSession:
+    """One run's worth of observability state.
+
+    ``legacy`` optionally wires a :class:`repro.analysis.trace.Tracer`
+    in as the span tracer's point-event sink (the pre-span view).
+    """
+
+    def __init__(self, span_capacity: int = 100_000,
+                 legacy: Optional[Tracer] = None) -> None:
+        self.registry = MetricsRegistry()
+        self.pmu = PMU()
+        self.spans = SpanTracer(capacity=span_capacity, legacy=legacy)
+
+    # -- wiring (called by Machine/BaseKernel constructors) ------------
+    def on_machine(self, machine) -> None:
+        self.pmu.attach_machine(machine)
+
+    def on_kernel(self, kernel) -> None:
+        self.pmu.attach_kernel(kernel)
+
+    def attach(self, machine, kernel=None) -> "ObsSession":
+        """Register a machine (and kernel) built before this session
+        was installed."""
+        self.on_machine(machine)
+        if kernel is not None:
+            self.on_kernel(kernel)
+        return self
+
+    # -- fault-injection bridge (repro.faults.OBSERVER) ----------------
+    def on_fault(self, point: str, action: dict) -> None:
+        """An armed fault fired: count it and pin it to the timeline."""
+        self.registry.counter(f"faults.injected.{point}").inc()
+        self.spans.annotate(f"fault:{point}", args=action)
+
+    # -- the per-run artifact ------------------------------------------
+    def report(self, title: str = "run") -> dict:
+        """JSON-serializable artifact: metrics + PMU + span summary +
+        the full Chrome trace (what ``python -m repro.obs`` renders)."""
+        from repro.obs.report import aggregate_spans
+        snapshot = self.pmu.snapshot()
+        return {
+            "title": title,
+            "metrics": self.registry.as_dict(),
+            "pmu": snapshot.as_dict(),
+            "span_summary": aggregate_spans(self.spans.spans),
+            "spans": {"finished": len(self.spans),
+                      "dropped": self.spans.dropped},
+            "trace_events": self.spans.chrome_events(pid=title),
+        }
+
+
+def install(session: Optional[ObsSession]) -> None:
+    global ACTIVE
+    ACTIVE = session
+    faults.OBSERVER = session.on_fault if session is not None else None
+
+
+def uninstall() -> None:
+    install(None)
+
+
+@contextmanager
+def active(session: ObsSession):
+    """Install *session* for the duration of the block (restoring the
+    previous session, so nested scopes compose)."""
+    global ACTIVE
+    prev, prev_observer = ACTIVE, faults.OBSERVER
+    install(session)
+    try:
+        yield session
+    finally:
+        ACTIVE = prev
+        faults.OBSERVER = prev_observer

@@ -22,6 +22,7 @@ from dataclasses import dataclass, field
 from typing import Callable, Dict, List, Optional
 
 import repro.faults as faults
+import repro.obs as obs
 from repro.hw.cpu import Core
 from repro.kernel.kernel import BaseKernel
 from repro.kernel.process import Thread
@@ -156,6 +157,9 @@ class XPCService:
                                             self.credits_per_caller)
             if left <= 0:
                 self.rejected += 1
+                if obs.ACTIVE is not None:
+                    obs.ACTIVE.registry.counter(
+                        f"xpc.busy.{self.name}").inc(cycle=core.cycles)
                 raise XPCBusyError(f"{self.name}: caller out of credits")
             self._credits[caller_id] = left - 1
         for ctx in self.contexts:
@@ -170,6 +174,9 @@ class XPCService:
                     ctx.in_use = True
                     return ctx
         self.rejected += 1
+        if obs.ACTIVE is not None:
+            obs.ACTIVE.registry.counter(
+                f"xpc.busy.{self.name}").inc(cycle=core.cycles)
         raise XPCBusyError(f"{self.name}: no idle XPC context")
 
     def _release_context(self, ctx: XPCContext, caller_id) -> None:
@@ -185,11 +192,18 @@ class XPCService:
                     window: SegReg, args: tuple):
         """Select a context, switch the C-stack, run the handler."""
         params = core.params
-        core.tick(params.trampoline_partial_ctx if self.partial_context
-                  else params.trampoline_full_ctx)
+        trampoline_cycles = (params.trampoline_partial_ctx
+                             if self.partial_context
+                             else params.trampoline_full_ctx)
+        core.tick(trampoline_cycles)
         caller_id = engine.caller_id_reg
         ctx = self._acquire_context(core, caller_id)
         core.tick(params.cstack_switch)
+        if obs.ACTIVE is not None:
+            obs.ACTIVE.pmu.add(core, "cycles.trampoline",
+                               trampoline_cycles)
+            obs.ACTIVE.pmu.add(core, "cycles.cstack",
+                               params.cstack_switch)
         if faults.ACTIVE is not None:
             act = faults.fire("kernel.preempt")
             if act is not None:
@@ -198,6 +212,11 @@ class XPCService:
             if act is not None:
                 self._release_context(ctx, caller_id)
                 self._injected_crash(act)
+        span = None
+        if obs.ACTIVE is not None:
+            span = obs.ACTIVE.spans.begin(
+                core, f"handler:{self.name}", cat="runtime",
+                entry=entry.entry_id)
         try:
             self.calls += 1
             call = XPCCallContext(
@@ -207,6 +226,8 @@ class XPCService:
             result = self.handler(call)
         finally:
             self._release_context(ctx, caller_id)
+            if span is not None and obs.ACTIVE is not None:
+                obs.ACTIVE.spans.end(core, span)
         if faults.ACTIVE is not None:
             act = faults.fire("xpc.callee_crash_before_xret")
             if act is not None:
@@ -290,6 +311,7 @@ def xpc_call(core: Core, entry_id: int, *args,
     engine = core.xpc_engine
     if engine is None:
         raise XPCError("core has no XPC engine")
+    call_start = core.cycles
     if mask is not None:
         engine.write_seg_mask(mask)
     entry, window = _xcall_with_spill(core, engine, entry_id, kernel)
@@ -310,6 +332,14 @@ def xpc_call(core: Core, entry_id: int, *args,
         if used > timeout_cycles:
             timed_out = XPCTimeoutError(timeout_cycles, used)
     died = _unwind(core, engine, kernel)
+    if obs.ACTIVE is not None:
+        registry = obs.ACTIVE.registry
+        registry.histogram("xpc.call_cycles").observe(
+            core.cycles - call_start, cycle=core.cycles)
+        if died or crashed is not None:
+            registry.counter("xpc.peer_died").inc(cycle=core.cycles)
+        if timed_out is not None:
+            registry.counter("xpc.timeouts").inc(cycle=core.cycles)
     if died or crashed is not None:
         err = XPCPeerDiedError(entry_id)
         cause = crashed if crashed is not None else failure

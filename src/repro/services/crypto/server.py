@@ -4,6 +4,7 @@ from __future__ import annotations
 
 from typing import Optional, Tuple
 
+import repro.obs as obs
 from repro.ipc.transport import Payload, RelayPayload, Transport
 from repro.services.crypto.aes import AES128
 
@@ -28,7 +29,23 @@ class CryptoServer:
             name, self._handle, server_process, server_thread)
 
     def _handle(self, meta: tuple, payload: Payload):
-        op, n, nonce = meta[0], meta[1], meta[2]
+        op = meta[0]
+        if obs.ACTIVE is None:
+            return self._dispatch(op, meta, payload)
+        core = self.transport.core
+        span = obs.ACTIVE.spans.begin(core, f"crypto:{op}",
+                                      cat="service")
+        start = core.cycles
+        try:
+            return self._dispatch(op, meta, payload)
+        finally:
+            obs.ACTIVE.registry.histogram(
+                f"crypto.op_cycles.{op}").observe(
+                    core.cycles - start, cycle=core.cycles)
+            obs.ACTIVE.spans.end(core, span)
+
+    def _dispatch(self, op, meta: tuple, payload: Payload):
+        n, nonce = meta[1], meta[2]
         if op not in (OP_ENCRYPT, OP_DECRYPT):
             return (-1, f"unknown crypto op {op!r}"), None
         data = payload.read(n)

@@ -22,6 +22,7 @@ from __future__ import annotations
 import enum
 from typing import Callable, Dict, Optional
 
+import repro.obs as obs
 from repro.ipc.transport import Transport
 
 
@@ -128,6 +129,9 @@ class NameServer:
             raise KeyError(f"no service published as {name!r}")
         breaker = self._breakers[name]
         if not breaker.allow():
+            if obs.ACTIVE is not None:
+                obs.ACTIVE.registry.counter(
+                    f"nameserver.rejected.{name}").inc(cycle=self._clock())
             raise ServiceUnavailableError(name, breaker.failures)
         if requester_thread is not None:
             self.transport.grant_to_thread(sid, requester_thread)
@@ -138,12 +142,28 @@ class NameServer:
     def report_failure(self, name: str) -> None:
         breaker = self._breakers.get(name)
         if breaker is not None:
+            trips_before = breaker.trips
             breaker.record_failure()
+            if obs.ACTIVE is not None:
+                registry = obs.ACTIVE.registry
+                registry.counter(f"nameserver.failures.{name}").inc(
+                    cycle=self._clock())
+                if breaker.trips > trips_before:
+                    registry.counter(f"nameserver.trips.{name}").inc(
+                        cycle=self._clock())
+                self._export_state(name, breaker)
 
     def report_success(self, name: str) -> None:
         breaker = self._breakers.get(name)
         if breaker is not None:
             breaker.record_success()
+            if obs.ACTIVE is not None:
+                self._export_state(name, breaker)
+
+    def _export_state(self, name: str, breaker: CircuitBreaker) -> None:
+        obs.ACTIVE.registry.gauge(
+            f"nameserver.breaker_state.{name}").set(
+                breaker.state.value, cycle=self._clock())
 
     def breaker(self, name: str) -> Optional[CircuitBreaker]:
         return self._breakers.get(name)

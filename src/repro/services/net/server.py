@@ -10,6 +10,7 @@ from __future__ import annotations
 
 from typing import Optional, Tuple
 
+import repro.obs as obs
 from repro.ipc.transport import Payload, RelayPayload, Transport
 from repro.services.net.loopback import LoopbackServer
 from repro.services.net.stack import NetStack
@@ -40,6 +41,19 @@ class NetServer:
 
     def _handle(self, meta: tuple, payload: Payload):
         op = meta[0]
+        if obs.ACTIVE is None:
+            return self._dispatch(op, meta, payload)
+        core = self.transport.core
+        span = obs.ACTIVE.spans.begin(core, f"net:{op}", cat="service")
+        start = core.cycles
+        try:
+            return self._dispatch(op, meta, payload)
+        finally:
+            obs.ACTIVE.registry.histogram(f"net.op_cycles.{op}").observe(
+                core.cycles - start, cycle=core.cycles)
+            obs.ACTIVE.spans.end(core, span)
+
+    def _dispatch(self, op, meta: tuple, payload: Payload):
         stack = self.stack
         try:
             if op == OP_SOCKET:

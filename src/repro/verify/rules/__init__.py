@@ -7,18 +7,20 @@ CLI, pytest, and CI all run.
 from repro.verify.rules.layering import LayeringRule
 from repro.verify.rules.cycles import CycleAccountingRule
 from repro.verify.rules.errors import ErrorDisciplineRule
+from repro.verify.rules.obs import ObsDisciplineRule
 from repro.verify.rules.state import StateMutationRule
 
 
 def default_rules():
     """One fresh instance of every rule in the suite."""
     return [LayeringRule(), CycleAccountingRule(), ErrorDisciplineRule(),
-            StateMutationRule()]
+            StateMutationRule(), ObsDisciplineRule()]
 
 
 #: The rule classes, for introspection / selective runs.
 DEFAULT_RULES = (LayeringRule, CycleAccountingRule, ErrorDisciplineRule,
-                 StateMutationRule)
+                 StateMutationRule, ObsDisciplineRule)
 
 __all__ = ["LayeringRule", "CycleAccountingRule", "ErrorDisciplineRule",
-           "StateMutationRule", "default_rules", "DEFAULT_RULES"]
+           "ObsDisciplineRule", "StateMutationRule", "default_rules",
+           "DEFAULT_RULES"]

@@ -39,26 +39,33 @@ from repro.verify.lint import (
 ALLOWED_IMPORTS = {
     "params": set(),
     "faults": set(),
-    "hw": {"params", "faults"},
-    "xpc": {"hw", "params", "faults"},
-    "kernel": {"xpc", "hw", "params", "faults"},
-    "runtime": {"kernel", "xpc", "hw", "params", "faults"},
-    "ipc": {"runtime", "kernel", "xpc", "hw", "params", "faults"},
-    "sel4": {"ipc", "runtime", "kernel", "xpc", "hw", "params", "faults"},
-    "zircon": {"ipc", "runtime", "kernel", "xpc", "hw", "params", "faults"},
-    "binder": {"ipc", "runtime", "kernel", "xpc", "hw", "params", "faults"},
+    "hw": {"params", "faults", "obs"},
+    "xpc": {"hw", "params", "faults", "obs"},
+    "kernel": {"xpc", "hw", "params", "faults", "obs"},
+    "runtime": {"kernel", "xpc", "hw", "params", "faults", "obs"},
+    "ipc": {"runtime", "kernel", "xpc", "hw", "params", "faults", "obs"},
+    "sel4": {"ipc", "runtime", "kernel", "xpc", "hw", "params", "faults",
+             "obs"},
+    "zircon": {"ipc", "runtime", "kernel", "xpc", "hw", "params", "faults",
+               "obs"},
+    "binder": {"ipc", "runtime", "kernel", "xpc", "hw", "params", "faults",
+               "obs"},
     "services": {"ipc", "runtime", "kernel", "xpc", "hw", "params",
-                 "faults", "analysis"},
+                 "faults", "analysis", "obs"},
     "apps": {"services", "ipc", "runtime", "kernel", "xpc", "hw", "params",
-             "faults"},
+             "faults", "obs"},
     # Side packages: measurement and analysis tooling.
+    # ``obs`` sits beside ``faults`` at the bottom: a pure observer
+    # (counters, spans, PMU sampling) that never charges cycles, so
+    # every layer may report into it at its instrumentation sites.
+    "obs": {"params", "faults", "analysis"},
     "analysis": {"params"},
     "gem5": {"params", "hw"},
     "hwcost": {"params"},
     "compare": {"params"},
-    "tools": {"analysis", "params"},
+    "tools": {"analysis", "params", "obs"},
     "verify": {"runtime", "kernel", "xpc", "hw", "params", "faults",
-               "analysis"},
+               "analysis", "obs"},
 }
 
 #: Modules of repro.hw that form its public, architectural surface.

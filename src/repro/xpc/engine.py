@@ -22,6 +22,7 @@ from __future__ import annotations
 from dataclasses import dataclass, field
 from typing import Optional, Tuple
 
+import repro.obs as obs
 from repro.hw.cpu import Core
 from repro.hw.paging import PagePerm
 from repro.xpc.capability import XCallCapBitmap
@@ -69,6 +70,16 @@ class XPCEngineStats:
     prefetches: int = 0
     exceptions: int = 0
     seg_bytes_passed: int = 0
+    #: Relay-seg windows actually handed across (valid passed_seg).
+    seg_transfers: int = 0
+    #: seg-mask writes that shrink the window (non-identity masks).
+    seg_shrinks: int = 0
+    #: Cycles the engine charged executing xcall / xret microcode.
+    #: Always-on bookkeeping (no obs session needed) so the PMU's
+    #: derived ``xcall.cycles`` can be checked against the per-phase
+    #: event counters — the Figure 5 decomposition invariant.
+    xcall_cycles: int = 0
+    xret_cycles: int = 0
 
 
 class XPCEngine:
@@ -133,6 +144,7 @@ class XPCEngine:
         if not mask.is_identity:
             # Validation at write time (Table 2: "Invalid seg-mask").
             apply_mask(state.seg_reg, mask)
+            self.stats.seg_shrinks += 1
         state.seg_mask = mask
         self.core.tick(1)
 
@@ -187,6 +199,7 @@ class XPCEngine:
             self.prefetch(-entry_id)
             raise XPCError("prefetch pseudo-call does not transfer control")
         cycles = 6  # cap bit test + pipeline redirect (Fig. 5 floor)
+        xentry_cycles = 0
         try:
             # 1. capability check
             state.cap_bitmap.check(entry_id)
@@ -196,11 +209,13 @@ class XPCEngine:
                 entry = self.cache.lookup(entry_id, self.current_thread)
             if entry is None:
                 entry = self.table.load(entry_id)
-                cycles += self.params.xentry_load
+                xentry_cycles = self.params.xentry_load
             else:
-                cycles += self.params.xentry_cache_hit
+                xentry_cycles = self.params.xentry_cache_hit
+            cycles += xentry_cycles
         except XPCError:
             self.stats.exceptions += 1
+            self._account_xcall(cycles, xentry_cycles, 0)
             self.core.tick(cycles)
             raise
         # 3. linkage record push (non-blocking hides the store latency)
@@ -222,11 +237,14 @@ class XPCEngine:
             # Charge the cycles spent so far and report to the kernel,
             # which spills and lets the runtime retry the xcall.
             self.stats.exceptions += 1
+            self._account_xcall(cycles, xentry_cycles, 0)
             self.core.tick(cycles)
             raise
-        cycles += (self.params.link_push_nonblocking
-                   if self.config.nonblocking_linkstack
-                   else self.params.link_push)
+        linkpush_cycles = (self.params.link_push_nonblocking
+                           if self.config.nonblocking_linkstack
+                           else self.params.link_push)
+        cycles += linkpush_cycles
+        self._account_xcall(cycles, xentry_cycles, linkpush_cycles)
         self.core.tick(cycles)
         # 4. page-table pointer + PC switch (TLB cost charged by the core)
         if passed_seg.valid:
@@ -238,6 +256,7 @@ class XPCEngine:
                 )
             seg.active_owner = self.current_thread
             self.stats.seg_bytes_passed += passed_seg.length
+            self.stats.seg_transfers += 1
         self.caller_id_reg = state.cap_bitmap
         state.seg_reg = passed_seg
         state.seg_mask = NO_MASK
@@ -252,11 +271,20 @@ class XPCEngine:
             self.tracer.emit(self.core, "xcall",
                              f"entry={entry_id} "
                              f"seg={passed_seg.length if passed_seg.valid else 0}B")
+        if obs.ACTIVE is not None:
+            # The span covers the callee's execution window; the record
+            # carries it so the matching xret — or the kernel's §4.2
+            # repair path — closes exactly this span.
+            record.obs_span = obs.ACTIVE.spans.begin(
+                self.core, f"xcall#{entry_id}", cat="engine",
+                entry=entry_id,
+                seg_bytes=passed_seg.length if passed_seg.valid else 0)
         return entry, passed_seg
 
     def xret(self) -> LinkageRecord:
         """Execute ``xret``: pop, validate, restore the caller."""
         state = self._require_state()
+        self.stats.xret_cycles += self.params.xret_base
         self.core.tick(self.params.xret_base)
         try:
             record = state.link_stack.pop()
@@ -294,6 +322,9 @@ class XPCEngine:
         if self.tracer is not None:
             self.tracer.emit(self.core, "xret",
                              f"entry={record.callee_entry_id}")
+        if obs.ACTIVE is not None and record.obs_span is not None:
+            obs.ACTIVE.spans.end(self.core, record.obs_span)
+            record.obs_span = None
         return record
 
     # ------------------------------------------------------------------
@@ -318,6 +349,20 @@ class XPCEngine:
             "seg_mask": (state.seg_mask.offset, state.seg_mask.length),
             "cap_bits": state.cap_bitmap.raw,
         }
+
+    # ------------------------------------------------------------------
+    def _account_xcall(self, cycles: int, xentry_cycles: int,
+                       linkpush_cycles: int) -> None:
+        """Record one xcall attempt's Fig. 5 phase decomposition
+        (captest + xentry + linkpush == cycles).  Pure accounting — the
+        caller charges the clock (single-charger discipline)."""
+        self.stats.xcall_cycles += cycles
+        if obs.ACTIVE is not None:
+            pmu = obs.ACTIVE.pmu
+            pmu.add(self.core, "cycles.xcall.captest",
+                    cycles - xentry_cycles - linkpush_cycles)
+            pmu.add(self.core, "cycles.xcall.xentry", xentry_cycles)
+            pmu.add(self.core, "cycles.xcall.linkpush", linkpush_cycles)
 
     # ------------------------------------------------------------------
     def _require_state(self) -> XPCThreadState:

@@ -49,6 +49,7 @@ class LinkageRecord:
     caller_seg_list: object = None  # caller's seg-list-reg (§3.2)
     valid: bool = True
     return_token: object = None     # opaque continuation for the runtime
+    obs_span: object = None         # open obs span this record will close
 
 
 class LinkStack:
@@ -67,6 +68,8 @@ class LinkStack:
         self.capacity = capacity
         self._records: List[LinkageRecord] = []
         self._spilled: List[LinkageRecord] = []
+        #: Deepest logical depth ever reached (PMU level counter).
+        self.high_watermark = 0
 
     def push(self, record: LinkageRecord) -> None:
         if len(self._records) >= self.capacity or (
@@ -75,6 +78,8 @@ class LinkStack:
             raise LinkStackOverflowError(depth=self.depth,
                                          capacity=self.capacity)
         self._records.append(record)
+        if self.depth > self.high_watermark:
+            self.high_watermark = self.depth
 
     def pop(self) -> LinkageRecord:
         """Pop and validity-check the top record (hardware, at xret)."""

@@ -7,6 +7,7 @@ from repro.analysis import (
     cdf, geomean, normalize, ops_per_sec, percentile, render_series,
     render_table, speedup, throughput_mb_s,
 )
+from repro.analysis.report import display_width
 
 
 class TestStats:
@@ -74,3 +75,37 @@ class TestRender:
         out = render_series(
             "Fig", "size", {"sys": {1: 5.0, 2: 10.0}}, [1, 2, 3])
         assert "5.00" in out and "10.00" in out and "-" in out
+
+    def test_empty_rows(self):
+        out = render_table("Empty", ["a", "b"], [])
+        lines = out.splitlines()
+        assert lines[0] == "Empty"
+        assert lines[2].split() == ["a", "b"]
+        assert len(lines) == 4                    # no data rows
+
+    def test_no_columns_at_all(self):
+        out = render_table("Nothing", [], [])
+        assert out.splitlines()[0] == "Nothing"
+
+    def test_ragged_rows_pad_and_grow(self):
+        out = render_table("Ragged", ["a", "b"],
+                           [[1], [1, 2, 3], []])
+        lines = out.split("\n")
+        assert lines[4].split() == ["1"]          # short row padded
+        assert lines[5].split() == ["1", "2", "3"]  # long row grows
+        assert lines[6] == ""                     # empty row stays a row
+        assert len(lines) == 7
+
+    def test_unicode_width_alignment(self):
+        """CJK cells are two terminal cells wide; the next column must
+        start at the same display offset in every row."""
+        out = render_table("W", ["name", "v"],
+                           [["漢字", 1], ["ascii", 2]])
+        wide, narrow = out.splitlines()[4:6]
+        assert (display_width(wide[:wide.index("1")])
+                == display_width(narrow[:narrow.index("2")]))
+        assert display_width("漢字") == 4
+
+    def test_combining_marks_are_zero_width(self):
+        assert display_width("é") == 1      # e + combining acute
+        assert display_width("café") == 4

@@ -80,11 +80,13 @@ def test_capacity_bound():
     assert "dropped" in tracer.to_text()
 
 
-def test_overflow_keeps_earliest_events():
+def test_overflow_keeps_most_recent_events():
     tracer = Tracer(capacity=3)
     for i in range(6):
         tracer.emit(FakeCore(cycles=i), "trap", f"n={i}")
-    assert [e.cycle for e in tracer.events] == [0, 1, 2]
+    # Ring-buffer semantics: the window holds the *newest* events and
+    # the evictions are counted.
+    assert [e.cycle for e in tracer.events] == [3, 4, 5]
     assert tracer.dropped == 3
 
 

@@ -1,0 +1,115 @@
+"""The metrics registry: counters, gauges, histograms."""
+
+import pytest
+
+from repro.obs.registry import (Counter, Gauge, Histogram,
+                                MetricsRegistry)
+
+
+class TestCounter:
+    def test_inc_accumulates(self):
+        c = Counter("xpc.calls")
+        c.inc()
+        c.inc(3)
+        assert c.value == 4
+
+    def test_negative_increment_rejected(self):
+        c = Counter("xpc.calls")
+        with pytest.raises(ValueError):
+            c.inc(-1)
+
+    def test_cycle_stamp_is_monotonic(self):
+        c = Counter("xpc.calls")
+        c.inc(cycle=100)
+        c.inc(cycle=50)            # out-of-order stamp must not rewind
+        assert c.updated_cycle == 100
+
+    def test_as_dict(self):
+        c = Counter("xpc.calls")
+        c.inc(2, cycle=7)
+        assert c.as_dict() == {"kind": "counter", "value": 2,
+                               "updated_cycle": 7}
+
+
+class TestGauge:
+    def test_set_overwrites(self):
+        g = Gauge("sched.queued")
+        g.set(5, cycle=10)
+        g.set(2, cycle=20)
+        assert g.value == 2
+        assert g.updated_cycle == 20
+
+
+class TestHistogram:
+    def test_observe_tracks_extremes_and_mean(self):
+        h = Histogram("lat")
+        for v in (10, 20, 30):
+            h.observe(v)
+        assert (h.count, h.total) == (3, 60)
+        assert (h.min, h.max) == (10, 30)
+        assert h.mean == 20
+
+    def test_ring_window_bounds_samples_not_totals(self):
+        h = Histogram("lat", capacity=4)
+        for v in range(10):
+            h.observe(v)
+        assert h.count == 10 and h.total == sum(range(10))
+        assert len(h.samples) == 4
+        # The window holds the newest samples (ring overwrite).
+        assert set(h.samples) == {6, 7, 8, 9}
+
+    def test_percentiles(self):
+        h = Histogram("lat")
+        for v in range(1, 101):
+            h.observe(v)
+        assert h.percentile(50) == pytest.approx(50, abs=1)
+        assert h.percentile(99) == pytest.approx(99, abs=1)
+
+    def test_empty_percentile_raises(self):
+        with pytest.raises(ValueError):
+            Histogram("lat").percentile(50)
+
+    def test_bad_capacity(self):
+        with pytest.raises(ValueError):
+            Histogram("lat", capacity=0)
+
+    def test_as_dict_has_percentiles_only_with_samples(self):
+        h = Histogram("lat")
+        assert "percentiles" not in h.as_dict()
+        h.observe(5)
+        assert h.as_dict()["percentiles"].keys() == {"p50", "p90", "p99"}
+
+
+class TestMetricsRegistry:
+    def test_get_or_create_returns_same_object(self):
+        reg = MetricsRegistry()
+        assert reg.counter("a") is reg.counter("a")
+        assert reg.histogram("h") is reg.histogram("h")
+
+    def test_kind_mismatch_raises(self):
+        reg = MetricsRegistry()
+        reg.counter("a")
+        with pytest.raises(TypeError):
+            reg.gauge("a")
+        with pytest.raises(TypeError):
+            reg.histogram("a")
+
+    def test_lookup_surface(self):
+        reg = MetricsRegistry()
+        reg.counter("b")
+        reg.gauge("a")
+        assert reg.names() == ["a", "b"]
+        assert len(reg) == 2
+        assert "a" in reg and "zz" not in reg
+        assert reg.get("zz") is None
+
+    def test_as_dict_groups_by_kind(self):
+        reg = MetricsRegistry()
+        reg.counter("c").inc()
+        reg.gauge("g").set(3)
+        reg.histogram("h").observe(1)
+        out = reg.as_dict()
+        assert set(out) == {"counters", "gauges", "histograms"}
+        assert out["counters"]["c"]["value"] == 1
+        assert out["gauges"]["g"]["value"] == 3
+        assert out["histograms"]["h"]["count"] == 1

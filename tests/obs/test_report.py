@@ -1,0 +1,139 @@
+"""The perf-report pipeline: aggregation, rendering, and the CLI."""
+
+import json
+
+import pytest
+
+import repro.obs as obs
+from repro.obs.__main__ import main
+from repro.obs.report import (aggregate_spans, merge_traces,
+                              render_report)
+from repro.obs.span import SpanTracer
+
+
+class FakeCore:
+    def __init__(self, core_id=0, cycles=0):
+        self.core_id = core_id
+        self.cycles = cycles
+
+
+def make_spans():
+    """outer(0..100) wrapping inner(10..40): outer self = 70."""
+    tracer = SpanTracer()
+    core = FakeCore()
+    outer = tracer.begin(core, "call:fs", cat="transport")
+    core.cycles = 10
+    inner = tracer.begin(core, "xcall#1", cat="engine")
+    core.cycles = 40
+    tracer.end(core, inner)
+    core.cycles = 100
+    tracer.end(core, outer)
+    return tracer.spans
+
+
+class TestAggregateSpans:
+    def test_self_cycles_subtract_direct_children(self):
+        rows = {r["name"]: r for r in aggregate_spans(make_spans())}
+        assert rows["call:fs"]["total_cycles"] == 100
+        assert rows["call:fs"]["self_cycles"] == 70
+        assert rows["xcall#1"]["self_cycles"] == 30
+
+    def test_rows_sorted_by_self_cycles(self):
+        rows = aggregate_spans(make_spans())
+        selfs = [r["self_cycles"] for r in rows]
+        assert selfs == sorted(selfs, reverse=True)
+
+    def test_counts_and_averages(self):
+        spans = make_spans() + make_spans()
+        rows = {r["name"]: r for r in aggregate_spans(spans)}
+        assert rows["call:fs"]["count"] == 2
+        assert rows["call:fs"]["avg_cycles"] == 100.0
+        assert rows["call:fs"]["max_cycles"] == 100
+
+    def test_empty_input(self):
+        assert aggregate_spans([]) == []
+
+
+def make_artifact(title="run"):
+    with obs.active(obs.ObsSession()) as session:
+        core = FakeCore()
+        span = session.spans.begin(core, "work", cat="test")
+        core.cycles = 42
+        session.spans.end(core, span)
+        session.registry.counter("hits").inc(3, cycle=42)
+        session.registry.gauge("depth").set(2)
+        session.registry.histogram("lat").observe(42)
+    return session.report(title)
+
+
+class TestRenderReport:
+    def test_all_sections_render(self):
+        out = render_report(make_artifact("fig7"))
+        assert "perf report: fig7" in out
+        assert "Top hot paths" in out
+        assert "work" in out
+        assert "Registry counters" in out and "hits" in out
+        assert "depth (gauge)" in out
+        assert "Histograms" in out and "lat" in out
+
+    def test_empty_artifact_renders_header_only(self):
+        out = render_report({"title": "empty"})
+        assert "perf report: empty" in out
+        assert "Top hot paths" not in out
+
+    def test_top_truncates_hot_paths(self):
+        artifact = make_artifact()
+        artifact["span_summary"] = [
+            {"name": f"s{i}", "cat": "t", "count": 1, "total_cycles": i,
+             "self_cycles": i, "max_cycles": i, "avg_cycles": 1.0}
+            for i in range(30)]
+        out = render_report(artifact, top=5)
+        assert "top 5 of 30" in out
+
+
+class TestMergeTraces:
+    def test_merges_and_sorts_by_ts(self):
+        a, b = make_artifact("a"), make_artifact("b")
+        a["trace_events"][0]["ts"] = 500
+        doc = merge_traces([a, b])
+        assert len(doc["traceEvents"]) == 2
+        assert [e["ts"] for e in doc["traceEvents"]] == [0, 500]
+        assert {e["pid"] for e in doc["traceEvents"]} == {"a", "b"}
+
+
+class TestCLI:
+    @pytest.fixture
+    def artifact_dir(self, tmp_path):
+        for title in ("alpha", "beta"):
+            path = tmp_path / f"{title}.json"
+            path.write_text(json.dumps(make_artifact(title)))
+        return tmp_path
+
+    def test_report_to_stdout(self, artifact_dir, capsys):
+        assert main([str(artifact_dir)]) == 0
+        out = capsys.readouterr().out
+        assert "perf report: alpha" in out
+        assert "perf report: beta" in out
+
+    def test_single_file_and_report_out(self, artifact_dir, tmp_path):
+        out = tmp_path / "report.txt"
+        assert main([str(artifact_dir / "alpha.json"),
+                     "--report", str(out)]) == 0
+        text = out.read_text()
+        assert "perf report: alpha" in text
+        assert "beta" not in text
+
+    def test_trace_out_is_perfetto_loadable(self, artifact_dir, tmp_path):
+        trace = tmp_path / "merged.trace.json"
+        assert main([str(artifact_dir), "--trace", str(trace)]) == 0
+        doc = json.loads(trace.read_text())
+        assert set(doc) == {"traceEvents", "displayTimeUnit"}
+        assert {e["pid"] for e in doc["traceEvents"]} == {"alpha", "beta"}
+
+    def test_missing_artifact_errors(self, tmp_path):
+        with pytest.raises(SystemExit):
+            main([str(tmp_path / "nope.json")])
+
+    def test_empty_dir_returns_1(self, tmp_path, capsys):
+        assert main([str(tmp_path)]) == 1
+        assert "no artifacts" in capsys.readouterr().err

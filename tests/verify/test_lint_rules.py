@@ -7,6 +7,7 @@ from repro.verify import lint_source
 from repro.verify.rules.cycles import CycleAccountingRule
 from repro.verify.rules.errors import ErrorDisciplineRule
 from repro.verify.rules.layering import LayeringRule
+from repro.verify.rules.obs import ObsDisciplineRule
 from repro.verify.rules.state import StateMutationRule
 
 
@@ -221,4 +222,84 @@ class TestStateMutationRule:
                     self.seg_reg = None
             """,
             "repro.services.fs", StateMutationRule())
+        assert violations == []
+
+
+# ----------------------------------------------------------------------
+# obs discipline
+# ----------------------------------------------------------------------
+class TestObsDisciplineRule:
+    def test_direct_counter_value_write_forbidden(self):
+        violations = lint(
+            """\
+            import repro.obs as obs
+
+            def f():
+                obs.ACTIVE.registry.counter("x").value += 1
+            """,
+            "repro.kernel.kernel", ObsDisciplineRule())
+        assert len(violations) == 1
+        assert violations[0].rule == "obs-discipline"
+        assert "value" in violations[0].message
+
+    def test_write_through_alias_forbidden(self):
+        violations = lint(
+            """\
+            import repro.obs as obs
+
+            def f():
+                registry = obs.ACTIVE.registry
+                registry.counter("x").value = 5
+            """,
+            "repro.runtime.xpclib", ObsDisciplineRule())
+        assert len(violations) == 1
+
+    def test_container_rebind_forbidden(self):
+        violations = lint(
+            "def f(session):\n    session.banks = {}\n",
+            "repro.services.fs.server", ObsDisciplineRule())
+        assert len(violations) == 1
+        assert "container" in violations[0].message
+
+    def test_tuple_unpacking_target_caught(self):
+        violations = lint(
+            """\
+            import repro.obs as obs
+
+            def f():
+                a, obs.ACTIVE.pmu.thing = 1, 2
+            """,
+            "repro.ipc.xpc_transport", ObsDisciplineRule())
+        assert len(violations) == 1
+
+    def test_reading_and_api_calls_allowed(self):
+        violations = lint(
+            """\
+            import repro.obs as obs
+
+            def f(core):
+                if obs.ACTIVE is not None:
+                    registry = obs.ACTIVE.registry
+                    registry.counter("x").inc(cycle=core.cycles)
+                    obs.ACTIVE.pmu.add(core, "cycles.xcall.captest", 6)
+                    depth = obs.ACTIVE.spans.open_depth(0)
+            """,
+            "repro.kernel.kernel", ObsDisciplineRule())
+        assert violations == []
+
+    def test_repro_obs_itself_exempt(self):
+        violations = lint(
+            "def f(self):\n    self.banks = {}\n",
+            "repro.obs.pmu", ObsDisciplineRule())
+        assert violations == []
+
+    def test_pragma_suppresses(self):
+        violations = lint(
+            """\
+            import repro.obs as obs
+
+            def f():
+                obs.ACTIVE.registry.counter("x").value = 0  # verify-ok: obs-discipline
+            """,
+            "repro.tools.bench", ObsDisciplineRule())
         assert violations == []
