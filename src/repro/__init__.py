@@ -42,6 +42,10 @@ from repro.xpc import (
     XPCEngine, XPCConfig, XPCError, RelaySegment, SegMask, SegReg,
 )
 from repro.runtime import XPCService, XPCCallContext, xpc_call, RelayBuffer
+from repro.aio import (
+    AdmissionController, Batcher, WorkerPool, XPCFuture, XPCRing,
+    XPCRingFullError,
+)
 
 __version__ = "1.0.0"
 
@@ -52,5 +56,7 @@ __all__ = [
     "XPCEngine", "XPCConfig", "XPCError", "RelaySegment", "SegMask",
     "SegReg",
     "XPCService", "XPCCallContext", "xpc_call", "RelayBuffer",
+    "AdmissionController", "Batcher", "WorkerPool", "XPCFuture",
+    "XPCRing", "XPCRingFullError",
     "__version__",
 ]

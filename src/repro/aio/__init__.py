@@ -1,0 +1,30 @@
+"""repro.aio — asynchronous & batched XPC over relay-segment rings.
+
+The synchronous protocol (one ``xcall`` per request) is the paper's
+contract; this package layers AnyCall/io_uring-style aggregation on top
+of it without touching the ISA: submission/completion rings live inside
+an ordinary relay segment (:mod:`~repro.aio.ring`), a client batcher
+crosses the boundary once per batch (:mod:`~repro.aio.batch`), worker
+pools drain rings on the multi-core machine model
+(:mod:`~repro.aio.pool`), and bounded admission control pushes back
+when clients outrun the workers (:mod:`~repro.aio.backpressure`).
+
+See DESIGN.md §11 for the layout and policies, and
+``benchmarks/test_throughput_async.py`` for the open-loop workload that
+measures the aggregation win against the paper-faithful synchronous
+baseline.
+"""
+
+from repro.aio.backpressure import AdmissionController, AdmissionPolicy
+from repro.aio.batch import Batcher, XPCFuture, XPCRequestError
+from repro.aio.pool import WorkerPool
+from repro.aio.ring import (CQE, SQE, SQE_ERR, SQE_OK, XPCRing,
+                            XPCRingFullError, decode_meta, encode_meta)
+from repro.aio.server import RingService
+
+__all__ = [
+    "AdmissionController", "AdmissionPolicy", "Batcher", "CQE",
+    "RingService", "SQE", "SQE_ERR", "SQE_OK", "WorkerPool",
+    "XPCFuture", "XPCRequestError", "XPCRing", "XPCRingFullError",
+    "decode_meta", "encode_meta",
+]

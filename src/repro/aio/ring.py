@@ -1,0 +1,387 @@
+"""Submission/completion rings laid out inside a relay segment.
+
+The paper's ``xcall``/``xret`` is strictly synchronous: one blocked
+caller per call chain, one boundary crossing per request.  This module
+adds the io_uring/AnyCall-style aggregation layer on top — *without*
+changing the ISA semantics.  A single relay segment carries:
+
+``+--------+----------------+----------------+--------------------+``
+``| header | SQE ring       | CQE ring       | payload arena      |``
+``+--------+----------------+----------------+--------------------+``
+
+* The **header** holds the geometry and the four ring indices
+  (``sq_head``/``sq_tail``/``cq_head``/``cq_tail``) as real bytes in
+  simulated physical memory.  Indices are *monotonic* (never wrap); a
+  record's slot is ``index % entries``.  ``head <= tail`` is therefore a
+  memory-checkable invariant (see :func:`repro.verify.check_ring_invariants`).
+* **SQEs** are fixed 32-byte records pointing at arena-resident meta and
+  payload bytes; **CQEs** mirror them with a status and reply locations.
+  Replies land *in place* in the request's arena slot — the same
+  zero-copy convention as the synchronous transport.
+* The **arena** is a bump allocator, reset by the client between batch
+  rounds once every completion has been harvested.
+
+TOCTTOU safety comes for free from relay-seg ownership (§3.3/§6.1):
+the client fills SQEs while it owns the segment, the single ``xcall``
+hands ownership to the worker, which drains while *it* owns the
+segment; there is never a moment with two writers.
+
+Every enqueue/dequeue is cycle-accounted through the operating core
+(``aio_*`` fields of :class:`repro.params.CycleParams`); arena fills
+charge the same ``relay_fill_per_byte`` as the synchronous transport's
+message production.
+"""
+
+from __future__ import annotations
+
+import ast
+import struct
+from typing import List, NamedTuple, Optional
+
+import repro.faults as faults
+import repro.obs as obs
+from repro.hw.cpu import Core
+from repro.xpc.errors import XPCError
+from repro.xpc.relayseg import RelaySegment, SegReg
+
+#: Header field layout (all little-endian u32):
+#:   magic, entries, sqe_off, cqe_off, arena_off, arena_len,
+#:   sq_head, sq_tail, cq_head, cq_tail, arena_cur, next_seq
+_HDR = struct.Struct("<12I")
+HDR_BYTES = 64
+MAGIC = 0x58504352  # "XPCR"
+
+_SQE = struct.Struct("<6I")   # seq, meta_off, meta_len, data_off, slot_len, data_len
+_CQE = struct.Struct("<Ii4I")  # seq, status, rmeta_off, rmeta_len, rdata_off, rdata_len
+SQE_BYTES = 32
+CQE_BYTES = 32
+
+#: CQE status values.
+SQE_OK = 0
+SQE_ERR = -1
+
+
+class XPCRingFullError(XPCError):
+    """Bounded-queue backpressure: the submission ring (or its payload
+    arena) cannot admit another request right now."""
+
+    def __init__(self, name: str, reason: str) -> None:
+        self.ring_name = name
+        self.reason = reason
+        super().__init__(f"{name}: {reason}")
+
+
+class SQE(NamedTuple):
+    """A submission-queue entry as read back from ring memory."""
+
+    seq: int
+    meta_off: int
+    meta_len: int
+    data_off: int
+    slot_len: int      # bytes reserved in the arena (>= data and reply)
+    data_len: int      # bytes of request payload actually filled
+
+
+class CQE(NamedTuple):
+    """A completion-queue entry as read back from ring memory."""
+
+    seq: int
+    status: int
+    rmeta_off: int
+    rmeta_len: int
+    rdata_off: int
+    rdata_len: int
+
+
+def encode_meta(meta: tuple) -> bytes:
+    """Deterministically serialize a transport ``meta`` tuple."""
+    return repr(tuple(meta)).encode("utf-8")
+
+
+def decode_meta(data: bytes) -> tuple:
+    return tuple(ast.literal_eval(data.decode("utf-8")))
+
+
+def _align8(n: int) -> int:
+    return (n + 7) & ~7
+
+
+class XPCRing:
+    """One submission/completion ring over one relay segment.
+
+    Create it client-side with :meth:`format` (writes the header) and
+    view it worker-side with :meth:`attach` (reads the header from the
+    handed-over window).  All mutation of ring memory anywhere in the
+    tree must go through this API — enforced by the ``aio-discipline``
+    lint rule.
+    """
+
+    def __init__(self, mem, pa_base: int, va_base: int, length: int,
+                 segment: Optional[RelaySegment], name: str) -> None:
+        self._mem = mem
+        self.pa_base = pa_base
+        self.va_base = va_base
+        self.length = length
+        self.segment = segment
+        self.name = name
+        self.entries = 0
+        self._sqe_off = 0
+        self._cqe_off = 0
+        self._arena_off = 0
+        self._arena_len = 0
+
+    # -- construction --------------------------------------------------
+    @classmethod
+    def format(cls, core: Core, mem, seg: RelaySegment,
+               entries: int = 64, name: str = "aio") -> "XPCRing":
+        """Client-side: lay a fresh ring out inside *seg*."""
+        if entries <= 0:
+            raise ValueError("ring needs at least one entry")
+        sqe_off = HDR_BYTES
+        cqe_off = sqe_off + entries * SQE_BYTES
+        arena_off = _align8(cqe_off + entries * CQE_BYTES)
+        if arena_off + 64 > seg.length:
+            raise ValueError(
+                f"segment of {seg.length} bytes too small for "
+                f"{entries}-entry ring")
+        ring = cls(mem, seg.pa_base, seg.va_base, seg.length, seg, name)
+        ring.entries = entries
+        ring._sqe_off = sqe_off
+        ring._cqe_off = cqe_off
+        ring._arena_off = arena_off
+        ring._arena_len = seg.length - arena_off
+        mem.write(seg.pa_base, _HDR.pack(
+            MAGIC, entries, sqe_off, cqe_off, arena_off, ring._arena_len,
+            0, 0, 0, 0, arena_off, 0))
+        core.tick(core.params.aio_index_reload
+                  + int(HDR_BYTES * core.params.relay_fill_per_byte))
+        return ring
+
+    @classmethod
+    def attach(cls, core: Core, mem, window: SegReg,
+               name: str = "aio") -> "XPCRing":
+        """Worker-side: view the ring inside a handed-over window."""
+        if not window.valid:
+            raise XPCError("cannot attach a ring to an invalid window")
+        ring = cls(mem, window.pa_base, window.va_base, window.length,
+                   window.segment, name)
+        hdr = _HDR.unpack(mem.read(window.pa_base, _HDR.size))
+        core.tick(core.params.aio_index_reload)
+        if hdr[0] != MAGIC:
+            raise XPCError(f"{name}: window holds no ring (bad magic)")
+        ring.entries = hdr[1]
+        ring._sqe_off, ring._cqe_off = hdr[2], hdr[3]
+        ring._arena_off, ring._arena_len = hdr[4], hdr[5]
+        return ring
+
+    # -- raw index access (memory-resident) ----------------------------
+    def _load(self, field: int) -> int:
+        off = 24 + 4 * field
+        return struct.unpack("<I", self._mem.read(self.pa_base + off, 4))[0]
+
+    def _store(self, field: int, value: int) -> None:
+        off = 24 + 4 * field
+        self._mem.write(self.pa_base + off, struct.pack("<I", value))
+
+    @property
+    def sq_head(self) -> int:
+        return self._load(0)
+
+    @property
+    def sq_tail(self) -> int:
+        return self._load(1)
+
+    @property
+    def cq_head(self) -> int:
+        return self._load(2)
+
+    @property
+    def cq_tail(self) -> int:
+        return self._load(3)
+
+    @property
+    def arena_cursor(self) -> int:
+        return self._load(4)
+
+    @property
+    def next_seq(self) -> int:
+        return self._load(5)
+
+    def peek_indices(self) -> dict:
+        """Uncharged snapshot of the memory-resident indices (for
+        observers and invariant checkers — never moves the clock)."""
+        return {
+            "sq_head": self.sq_head, "sq_tail": self.sq_tail,
+            "cq_head": self.cq_head, "cq_tail": self.cq_tail,
+            "arena_cursor": self.arena_cursor, "next_seq": self.next_seq,
+        }
+
+    # -- capacity ------------------------------------------------------
+    @property
+    def outstanding(self) -> int:
+        """Requests admitted but not yet harvested (SQ fill + CQ fill)."""
+        return self.sq_tail - self.cq_head
+
+    def space(self) -> int:
+        """SQEs that can still be pushed before the ring refuses.
+
+        Bounded by ``cq_head`` (not ``sq_head``) so the completion ring
+        can never overflow: a slot is only reusable once its completion
+        has been harvested."""
+        return self.entries - self.outstanding
+
+    # -- arena ---------------------------------------------------------
+    def _arena_alloc(self, nbytes: int) -> int:
+        cur = self.arena_cursor
+        need = _align8(nbytes)
+        if cur + need > self._arena_off + self._arena_len:
+            raise XPCRingFullError(
+                self.name,
+                f"payload arena exhausted ({need} bytes wanted, "
+                f"{self._arena_off + self._arena_len - cur} free)")
+        self._store(4, cur + need)
+        return cur
+
+    # -- submission side (client owns the segment) ---------------------
+    def push_sqe(self, core: Core, meta: tuple, payload: bytes = b"",
+                 reply_capacity: int = 0) -> int:
+        """Append one request; returns its sequence number.
+
+        Raises :class:`XPCRingFullError` when the ring or the arena is
+        full — the ``aio.ring_full`` fault point injects that refusal
+        even with space remaining (a racing producer got there first).
+        """
+        if faults.ACTIVE is not None:
+            if faults.fire("aio.ring_full") is not None:
+                raise XPCRingFullError(
+                    self.name, "submission ring full (injected)")
+        if self.space() <= 0:
+            raise XPCRingFullError(
+                self.name,
+                f"submission ring full ({self.entries} outstanding)")
+        meta_bytes = encode_meta(meta)
+        slot_len = _align8(max(len(payload), reply_capacity, 1))
+        meta_off = self._arena_alloc(len(meta_bytes))
+        data_off = self._arena_alloc(slot_len)
+        self._mem.write(self.pa_base + meta_off, meta_bytes)
+        if payload:
+            self._mem.write(self.pa_base + data_off, payload)
+        fill = len(meta_bytes) + len(payload)
+        tail = self.sq_tail
+        seq = self.next_seq
+        self._mem.write(
+            self.pa_base + self._sqe_off + (tail % self.entries) * SQE_BYTES,
+            _SQE.pack(seq, meta_off, len(meta_bytes), data_off,
+                      slot_len, len(payload)))
+        self._store(1, tail + 1)
+        self._store(5, seq + 1)
+        core.tick(core.params.aio_sqe_op
+                  + int(fill * core.params.relay_fill_per_byte))
+        return seq
+
+    def pop_cqe(self, core: Core) -> Optional[CQE]:
+        """Harvest one completion (client side); None when drained."""
+        head = self.cq_head
+        if head >= self.cq_tail:
+            return None
+        raw = self._mem.read(
+            self.pa_base + self._cqe_off + (head % self.entries) * CQE_BYTES,
+            _CQE.size)
+        self._store(2, head + 1)
+        core.tick(core.params.aio_cqe_op)
+        return CQE(*_CQE.unpack(raw))
+
+    def reset(self, core: Core) -> None:
+        """Rewind the arena once every completion has been harvested."""
+        if self.sq_head != self.sq_tail or self.cq_head != self.cq_tail:
+            raise XPCError(
+                f"{self.name}: reset with requests in flight "
+                f"(sq {self.sq_head}/{self.sq_tail}, "
+                f"cq {self.cq_head}/{self.cq_tail})")
+        self._store(4, self._arena_off)
+        core.tick(core.params.aio_index_reload)
+
+    # -- drain side (worker owns the segment after the xcall) ----------
+    def pop_sqe(self, core: Core) -> Optional[SQE]:
+        """Consume one submission (worker side); None when empty.
+
+        The ``aio.stale_head`` fault point models a stale cached index:
+        recovery is a charged re-read of the header line.
+        """
+        if faults.ACTIVE is not None:
+            if faults.fire("aio.stale_head") is not None:
+                core.tick(core.params.aio_index_reload)
+                if obs.ACTIVE is not None:
+                    obs.ACTIVE.registry.counter(
+                        f"aio.stale_head_recovered.{self.name}").inc(
+                            cycle=core.cycles)
+        head = self.sq_head
+        if head >= self.sq_tail:
+            return None
+        raw = self._mem.read(
+            self.pa_base + self._sqe_off + (head % self.entries) * SQE_BYTES,
+            _SQE.size)
+        self._store(0, head + 1)
+        core.tick(core.params.aio_sqe_op)
+        return SQE(*_SQE.unpack(raw))
+
+    def push_cqe(self, core: Core, seq: int, status: int,
+                 reply_meta: tuple, rdata_off: int, rdata_len: int) -> None:
+        """Publish one completion (worker side).
+
+        Reply payload bytes are already in place in the request's arena
+        slot; only the reply meta is serialized here."""
+        rmeta_bytes = encode_meta(reply_meta)
+        rmeta_off = self._arena_alloc(len(rmeta_bytes))
+        self._mem.write(self.pa_base + rmeta_off, rmeta_bytes)
+        tail = self.cq_tail
+        self._mem.write(
+            self.pa_base + self._cqe_off + (tail % self.entries) * CQE_BYTES,
+            _CQE.pack(seq, status, rmeta_off, len(rmeta_bytes),
+                      rdata_off, rdata_len))
+        self._store(3, tail + 1)
+        core.tick(core.params.aio_cqe_op
+                  + int(len(rmeta_bytes) * core.params.relay_fill_per_byte))
+
+    # -- record payloads (uncharged reads, like sync reply reads) ------
+    def read_meta(self, sqe: SQE) -> tuple:
+        return decode_meta(self._mem.read(self.pa_base + sqe.meta_off,
+                                          sqe.meta_len))
+
+    def read_reply_meta(self, cqe: CQE) -> tuple:
+        return decode_meta(self._mem.read(self.pa_base + cqe.rmeta_off,
+                                          cqe.rmeta_len))
+
+    def read_bytes(self, offset: int, n: int) -> bytes:
+        if n <= 0:
+            return b""
+        return self._mem.read(self.pa_base + offset, n)
+
+    def payload_window(self, sqe: SQE) -> SegReg:
+        """A SegReg view of one request's arena slot — the window a
+        zero-copy :class:`~repro.ipc.transport.RelayPayload` wraps."""
+        if self.segment is None:
+            raise XPCError(f"{self.name}: ring has no backing segment")
+        return SegReg(
+            segment=self.segment,
+            va_base=self.va_base + sqe.data_off,
+            pa_base=self.pa_base + sqe.data_off,
+            length=sqe.slot_len,
+            perm=self.segment.perm,
+        )
+
+    def peek_cqes(self) -> List[CQE]:
+        """Uncharged view of unharvested completions (for invariant
+        checks and crash-recovery harvesting)."""
+        out = []
+        for idx in range(self.cq_head, self.cq_tail):
+            raw = self._mem.read(
+                self.pa_base + self._cqe_off
+                + (idx % self.entries) * CQE_BYTES, _CQE.size)
+            out.append(CQE(*_CQE.unpack(raw)))
+        return out
+
+    def __repr__(self) -> str:
+        return (f"XPCRing({self.name!r}, entries={self.entries}, "
+                f"sq={self.sq_head}/{self.sq_tail}, "
+                f"cq={self.cq_head}/{self.cq_tail})")

@@ -66,6 +66,21 @@ CATALOGUE = {
         "services",
         "the loopback device flips a byte in the echoed frame; the "
         "IP/TCP checksums catch it and the stack drops the frame"),
+    # -- async / batched XPC ------------------------------------------
+    "aio.ring_full": (
+        "aio",
+        "a submission-queue push is refused as full even though space "
+        "remains (models a racing producer filling the ring first); "
+        "admission control rejects or parks the caller"),
+    "aio.stale_head": (
+        "aio",
+        "the drain-side cached SQ head is stale; the worker re-reads "
+        "the index from ring memory (charged) and recovers"),
+    "aio.worker_death": (
+        "aio",
+        "the worker process dies between two SQEs mid-batch; completed "
+        "CQEs survive in the ring, the supervisor restarts the worker "
+        "and unfinished submissions are re-dispatched"),
 }
 
 #: Prefix under which tests may fire ad-hoc points without registering.

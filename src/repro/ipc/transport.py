@@ -23,6 +23,7 @@ path in seL4.
 from __future__ import annotations
 
 import abc
+from contextlib import contextmanager
 from dataclasses import dataclass
 from typing import Callable, Dict, Optional, Tuple
 
@@ -77,10 +78,16 @@ class RelayPayload(Payload):
     zero copies, and single ownership is enforced by the engine.
     """
 
-    def __init__(self, mem, window, used: int) -> None:
+    def __init__(self, mem, window, used: int,
+                 base_offset: int = 0) -> None:
         self._mem = mem
         self._window = window
         self._used = used
+        #: Where this payload's window starts inside the *thread's
+        #: active* relay window.  0 on the synchronous path (the
+        #: payload is the window); an aio arena slot sits at its
+        #: SQE's data offset within the ring segment.
+        self._base_offset = base_offset
 
     def read(self, n: int = -1, offset: int = 0) -> bytes:
         if n < 0:
@@ -94,6 +101,15 @@ class RelayPayload(Payload):
             raise IndexError("write escapes the relay window")
         self._mem.write(self._window.pa_base + offset, data)
         self._used = max(self._used, offset + len(data))
+
+    def window_slice(self, offset: int, length: int):
+        """Translate a payload-relative range into the ``window_slice``
+        coordinates of :meth:`Transport.call` — i.e. offsets within the
+        thread's *active* relay window.  Handlers that slide their
+        payload down the chain (§4.4) must go through this instead of
+        passing raw offsets, so they keep working when the payload is a
+        sub-window of a larger segment (a batched-ring arena slot)."""
+        return (self._base_offset + offset, length)
 
     def __len__(self) -> int:
         return self._used
@@ -126,6 +142,36 @@ class Transport(abc.ABC):
         #: across all calls — handler time excluded.  This is the
         #: numerator of the paper's Figure 1(a) "CPU time spent on IPC".
         self.ipc_cycles = 0
+        #: When a handler is being driven from a core other than the
+        #: transport's home core (a batched ring drain on a worker
+        #: core), this names it; see :meth:`serving`.
+        self._serving_core = None
+
+    # -- execution context -------------------------------------------------
+    @property
+    def current_core(self):
+        """The core currently executing service code through this
+        transport.
+
+        Equal to ``self.core`` on the synchronous path (the migrating
+        thread runs servers on the client's core), but rebound inside a
+        :meth:`serving` block when an aio worker drains a ring on its
+        own core.  Handler logic costs and nested onward calls must use
+        this, not the home core, so batched execution is charged to —
+        and windows resolve against — the core actually doing the work.
+        """
+        return self._serving_core if self._serving_core is not None \
+            else self.core
+
+    @contextmanager
+    def serving(self, core):
+        """Rebind :attr:`current_core` for the duration of a drain."""
+        prev = self._serving_core
+        self._serving_core = core
+        try:
+            yield
+        finally:
+            self._serving_core = prev
 
     # -- registration ------------------------------------------------------
     def register(self, name: str, handler: Handler,

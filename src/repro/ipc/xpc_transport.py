@@ -125,43 +125,50 @@ class XPCTransport(Transport):
         self.call_count += 1
         self.bytes_moved += len(payload)
         span = None
+        obs_core = self.current_core
         if obs.ACTIVE is not None:
             span = obs.ACTIVE.spans.begin(
-                self.core, f"call:{service.name}", cat="transport",
+                obs_core, f"call:{service.name}", cat="transport",
                 sid=sid, bytes=len(payload))
             obs.ACTIVE.registry.histogram(
                 "transport.payload_bytes").observe(
-                    len(payload), cycle=self.core.cycles)
+                    len(payload), cycle=obs_core.cycles)
         try:
             return self._call(service, meta, payload, reply_capacity,
                               window_slice)
         finally:
             if span is not None and obs.ACTIVE is not None:
-                obs.ACTIVE.spans.end(self.core, span)
+                obs.ACTIVE.spans.end(obs_core, span)
 
     def _call(self, service: XPCService, meta: tuple, payload: bytes,
               reply_capacity: int, window_slice) -> Tuple[tuple, bytes]:
-        engine = self.core.xpc_engine
+        # The core actually executing this call: the home core on the
+        # synchronous path, the *worker's* core when a handler invoked
+        # from a batched ring drain calls onward — its engine (not the
+        # home core's) holds the mid-call state the nested path needs.
+        core = self.current_core
+        engine = core.xpc_engine
         if self.lib_overhead:
-            self.core.tick(self.lib_overhead)
+            core.tick(self.lib_overhead)
         nested = (engine is not None and engine.state is not None
                   and engine.state.link_stack.depth > 0)
-        start = self.core.cycles
+        start = core.cycles
         handlers_before = self._handler_acc
         if nested:
             # We are *inside* a migrated call (a server calling onward):
             # do not rebind threads or touch the client's segment.
-            result = self._nested_call(engine, service, meta, payload,
-                                       reply_capacity, window_slice)
+            result = self._nested_call(core, engine, service, meta,
+                                       payload, reply_capacity,
+                                       window_slice)
             # This nested call's mechanism time: everything except the
             # inner handler.  The *enclosing* call already excludes all
             # of it via its own handler-span measurement, so counting
             # it here is the only place it lands in ipc_cycles.
-            self.ipc_cycles += ((self.core.cycles - start)
+            self.ipc_cycles += ((core.cycles - start)
                                 - (self._handler_acc - handlers_before))
             return result
         mem = self.kernel.machine.memory
-        self.kernel.run_thread(self.core, self.client_thread)
+        self.kernel.run_thread(core, self.client_thread)
         window_bytes = max(len(payload), reply_capacity)
         self._ensure_seg(window_bytes)
         if (faults.ACTIVE is not None
@@ -176,24 +183,24 @@ class XPCTransport(Transport):
             # segment (paper Listing 1: "fill relay-seg with argument").
             # Not a copy — but the store stream allocates cache lines.
             mem.write(seg.pa_base, payload)
-            self.core.tick(int(len(payload)
-                               * self.kernel.params.relay_fill_per_byte))
+            core.tick(int(len(payload)
+                          * self.kernel.params.relay_fill_per_byte))
         masked = _round_page(window_bytes)
         mask = (SegMask(0, masked) if window_bytes and masked < seg.length
                 else NO_MASK)
         # Migrating-thread model: cross-core calls run the server's code
         # on the client's core, so nothing extra is charged (§5.2).
         reply_meta, reply_len = xpc_call(
-            self.core, service.entry_id, len(payload), meta,
+            core, service.entry_id, len(payload), meta,
             mask=mask, kernel=self.kernel)
         reply = mem.read(seg.pa_base, reply_len) if reply_len else b""
-        self.ipc_cycles += ((self.core.cycles - start)
+        self.ipc_cycles += ((core.cycles - start)
                             - (self._handler_acc - handlers_before))
         return reply_meta, reply
 
     # -- nested (server → server) calls --------------------------------------
-    def _nested_call(self, engine, service: XPCService, meta: tuple,
-                     payload: bytes, reply_capacity: int,
+    def _nested_call(self, core: Core, engine, service: XPCService,
+                     meta: tuple, payload: bytes, reply_capacity: int,
                      window_slice) -> Tuple[tuple, bytes]:
         """Call onward from inside a handler (paper §3.3 Figure 3).
 
@@ -201,7 +208,7 @@ class XPCTransport(Transport):
         handed over (the §4.4 sliding window — zero copies).  Otherwise
         the handler parks the caller's window with ``swapseg``, stages
         the request in its own scratch segment (one copy), calls, and
-        swaps back.
+        swaps back.  *core* is the core whose engine is mid-call.
         """
         mem = self.kernel.machine.memory
         state = engine.state
@@ -209,31 +216,31 @@ class XPCTransport(Transport):
             offset, length = window_slice
             base_pa = state.seg_reg.pa_base + offset
             reply_meta, reply_len = xpc_call(
-                self.core, service.entry_id, length, meta,
+                core, service.entry_id, length, meta,
                 mask=SegMask(offset, length), kernel=self.kernel)
             reply = mem.read(base_pa, reply_len) if reply_len else b""
             return reply_meta, reply
-        seg, slot = self._nested_seg(engine,
+        seg, slot = self._nested_seg(core, engine,
                                      max(len(payload), reply_capacity))
         engine.swapseg(slot)  # park the caller's window, load scratch
         try:
             if payload:
                 mem.write(seg.pa_base, payload)
                 # Staging into the scratch segment is a real copy.
-                self.core.tick(self.kernel.params.copy_cycles(len(payload)))
+                core.tick(self.kernel.params.copy_cycles(len(payload)))
             window_bytes = max(len(payload), reply_capacity)
             masked = _round_page(max(window_bytes, 1))
             mask = (SegMask(0, masked) if masked < seg.length
                     else NO_MASK)
             reply_meta, reply_len = xpc_call(
-                self.core, service.entry_id, len(payload), meta,
+                core, service.entry_id, len(payload), meta,
                 mask=mask, kernel=self.kernel)
             reply = mem.read(seg.pa_base, reply_len) if reply_len else b""
         finally:
             engine.swapseg(slot)  # restore the caller's window
         return reply_meta, reply
 
-    def _nested_seg(self, engine, nbytes: int):
+    def _nested_seg(self, core: Core, engine, nbytes: int):
         """Scratch relay segment for the current runtime state."""
         state = engine.state
         key = id(state.cap_bitmap)
@@ -248,9 +255,9 @@ class XPCTransport(Transport):
         if seg_slot is not None:
             old_seg, old_slot = seg_slot
             process.seg_list.drop(old_slot)
-            self.kernel.free_relay_seg(self.core, old_seg)
+            self.kernel.free_relay_seg(core, old_seg)
         size = max(needed, 64 * 1024)
-        seg, slot = self.kernel.create_relay_seg(self.core, process, size)
+        seg, slot = self.kernel.create_relay_seg(core, process, size)
         self._nested_segs[key] = (seg, slot)
         return seg, slot
 

@@ -3,12 +3,18 @@
 Used by the Zircon model on every channel round trip (Zircon "does not
 optimize the scheduling in the IPC path", paper §5.2) and by the seL4
 slow path.  The fast paths — seL4 fastpath and XPC — bypass it entirely.
+
+Blocking uses lazy removal: the queue holds ``[thread, live]`` cells and
+``block`` merely tombstones the thread's cell (O(1)) instead of an O(n)
+``deque.remove``; ``pick_next`` discards tombstones as it pops.  Costs
+are charged per logical operation — ``sched_enqueue`` on enqueue,
+``sched_block`` on block — so ablations can price them independently.
 """
 
 from __future__ import annotations
 
 from collections import deque
-from typing import Deque, Optional
+from typing import Deque, Dict, List, Optional
 
 from repro.hw.cpu import Core
 from repro.kernel.process import Thread
@@ -20,31 +26,52 @@ class Scheduler:
 
     def __init__(self, params: CycleParams) -> None:
         self.params = params
-        self._queue: Deque[Thread] = deque()
+        # Each cell is [thread, live].  A thread has at most one live
+        # cell; block() flips live to False and pick_next() garbage
+        # collects dead cells when it reaches them.
+        self._queue: Deque[List[object]] = deque()
+        self._cell: Dict[Thread, List[object]] = {}
         self.enqueues = 0
+        self.blocks = 0
         self.switches = 0
+        self.tombstones = 0
 
     def enqueue(self, core: Core, thread: Thread) -> None:
         """Make *thread* runnable (charges run-queue manipulation)."""
         thread.sched.runnable = True
-        self._queue.append(thread)
+        cell = self._cell.get(thread)
+        if cell is not None and cell[1]:
+            # Already queued and live: round-robin position unchanged.
+            core.tick(self.params.sched_enqueue)
+            return
+        cell = [thread, True]
+        self._cell[thread] = cell
+        self._queue.append(cell)
         self.enqueues += 1
         core.tick(self.params.sched_enqueue)
 
     def block(self, core: Core, thread: Thread) -> None:
-        """Block *thread* (dequeue if queued)."""
+        """Block *thread*: tombstone its queue cell in O(1)."""
         thread.sched.runnable = False
-        try:
-            self._queue.remove(thread)
-        except ValueError:
-            pass
-        core.tick(self.params.sched_enqueue)
+        cell = self._cell.get(thread)
+        if cell is not None and cell[1]:
+            cell[1] = False
+            self.tombstones += 1
+        self.blocks += 1
+        core.tick(self.params.sched_block)
 
     def pick_next(self, core: Core) -> Optional[Thread]:
         """Pop the next runnable thread (charges the pick cost)."""
         core.tick(self.params.sched_pick)
         while self._queue:
-            thread = self._queue.popleft()
+            cell = self._queue.popleft()
+            if not cell[1]:
+                self.tombstones -= 1
+                continue
+            thread = cell[0]
+            # A live cell is always the thread's current cell (block is
+            # the only tombstoner; enqueue reuses a live cell in place).
+            del self._cell[thread]
             if thread.sched.runnable and thread.alive:
                 return thread
         return None
@@ -58,4 +85,5 @@ class Scheduler:
 
     @property
     def queued(self) -> int:
-        return len(self._queue)
+        """Number of live (non-tombstoned) queued threads."""
+        return len(self._queue) - self.tombstones

@@ -81,6 +81,7 @@ class CycleParams:
 
     # Scheduler (used by the Zircon model and seL4 slow path).
     sched_enqueue: int = 120
+    sched_block: int = 120          # tombstone a queued thread (O(1))
     sched_pick: int = 260
     context_switch: int = 450       # full register file + kernel stacks
 
@@ -130,6 +131,19 @@ class CycleParams:
     ashmem_mmap: int = 5200         # map ashmem region on first use
     page_fault: int = 900           # relay-seg lazy switch via fault (§4.3)
     cycles_per_us: int = 100        # FPGA clock for reporting Figure 9
+
+    # ------------------------------------------------------------------
+    # Asynchronous/batched XPC (repro.aio): submission/completion rings
+    # inside a relay segment.  A ring op is one fixed-size record
+    # read-or-write plus an index update — a couple of L1/L2 accesses;
+    # arena fills ride on relay_fill_per_byte like any relay-seg
+    # message production.  aio_index_reload is the recovery cost of
+    # re-reading a shared index cache line from memory (stale head) and
+    # also prices header setup/rewind.
+    # ------------------------------------------------------------------
+    aio_sqe_op: int = 10            # push or pop one submission entry
+    aio_cqe_op: int = 8             # push or pop one completion entry
+    aio_index_reload: int = 20      # re-fetch a shared index line
 
     # ------------------------------------------------------------------
     # Devices.

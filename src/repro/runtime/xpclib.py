@@ -290,6 +290,31 @@ def _unwind(core: Core, engine: XPCEngine,
             return True
 
 
+def xpc_submit(batcher, meta: tuple, payload: bytes = b"",
+               reply_capacity: int = 0,
+               arrival_cycle: Optional[int] = None):
+    """Asynchronous submission: queue one request on *batcher*.
+
+    Returns a future; the boundary is crossed only when the batcher
+    flushes (batch full, deadline, or :func:`xpc_wait_all`).  *batcher*
+    is any object with the :class:`repro.aio.Batcher` submit/flush
+    surface — duck-typed so the runtime layer stays below
+    :mod:`repro.aio` (and a :class:`repro.aio.WorkerPool` works too).
+    """
+    return batcher.submit(meta, payload, reply_capacity,
+                          arrival_cycle=arrival_cycle)
+
+
+def xpc_wait_all(batcher, futures=None):
+    """Flush *batcher* and return ``result()`` for each future.
+
+    With ``futures=None`` every request pending on the batcher is
+    awaited.  Results come back as ``(reply_meta, reply_bytes)`` pairs
+    in the order the futures were given.
+    """
+    return batcher.wait_all(futures)
+
+
 def xpc_call(core: Core, entry_id: int, *args,
              mask: Optional[SegMask] = None,
              kernel: Optional[BaseKernel] = None,

@@ -32,7 +32,7 @@ class CryptoServer:
         op = meta[0]
         if obs.ACTIVE is None:
             return self._dispatch(op, meta, payload)
-        core = self.transport.core
+        core = self.transport.current_core
         span = obs.ACTIVE.spans.begin(core, f"crypto:{op}",
                                       cat="service")
         start = core.cycles
@@ -49,7 +49,7 @@ class CryptoServer:
         if op not in (OP_ENCRYPT, OP_DECRYPT):
             return (-1, f"unknown crypto op {op!r}"), None
         data = payload.read(n)
-        self.transport.core.tick(int(len(data) * AES_CYCLES_PER_BYTE))
+        self.transport.current_core.tick(int(len(data) * AES_CYCLES_PER_BYTE))
         out = self.aes.ctr_crypt(data, nonce)
         self.bytes_processed += len(out)
         if isinstance(payload, RelayPayload):

@@ -38,7 +38,7 @@ class FileCacheServer:
 
     def _handle(self, meta: tuple, payload: Payload):
         op = meta[0]
-        self.transport.core.tick(LOOKUP_CYCLES)
+        self.transport.current_core.tick(LOOKUP_CYCLES)
         if op == OP_GET:
             data = self._get(meta[1])
             if data is None:
@@ -48,7 +48,7 @@ class FileCacheServer:
             if isinstance(payload, RelayPayload):
                 payload.write(data, 0)
                 # Serving from cache into the window is one real copy.
-                self.transport.core.tick(
+                self.transport.current_core.tick(
                     self.transport.kernel.params.copy_cycles(len(data)))
                 return (0, len(data)), len(data)
             return (0, len(data)), data

@@ -104,7 +104,7 @@ class BlockServer:
 
     def _handle(self, meta: tuple, payload: Payload):
         op, blockno = meta[0], meta[1] if len(meta) > 1 else 0
-        core = self.transport.core
+        core = self.transport.current_core
         try:
             if op == OP_READ:
                 core.tick(self.params.ramdisk_per_block)

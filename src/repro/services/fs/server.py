@@ -11,9 +11,10 @@ hands block images onward.
 
 from __future__ import annotations
 
-from typing import Optional, Tuple
+from typing import Optional, Sequence, Tuple
 
 import repro.obs as obs
+from repro.aio.pool import WorkerPool
 from repro.ipc.transport import Payload, RelayPayload, Transport
 from repro.services.fs.blockdev import (BlockClient, BlockDeviceError,
                                         BlockServer, RamDisk)
@@ -45,7 +46,7 @@ class FSServer:
                  server_process, server_thread, name: str = "fs",
                  format_disk: bool = True) -> None:
         self.transport = transport
-        self.core = transport.core
+        self.disk_client = disk_client
         cache = BufferCache(disk_client)
         if format_disk:
             self.fs = Xv6FS.mkfs(cache)
@@ -56,6 +57,33 @@ class FSServer:
         self.params = transport.kernel.params
         self.sid = transport.register(
             name, self._handle, server_process, server_thread)
+
+    @property
+    def core(self):
+        """The core running FS logic right now: the transport's home
+        core synchronously, the worker's core inside a ring drain."""
+        return self.transport.current_core
+
+    # -- async front-end -----------------------------------------------
+    def serve_async(self, cores: Sequence, name: str = "fs-aio",
+                    **pool_kwargs) -> WorkerPool:
+        """Batched front-end: a ring-drain worker pool over the same
+        handler (XPC transports only).  Every worker thread — including
+        supervisor-restarted generations — is granted the onward
+        xcall-cap for the block device, so the zero-copy nested read
+        path keeps working from inside a drain."""
+        pool_kwargs.setdefault("serve_context", self.transport.serving)
+        pool = WorkerPool(self.transport.kernel, self._handle, cores,
+                          name=name, **pool_kwargs)
+        blk_sid = self.disk_client.sid
+        for worker in pool.workers:
+            self.transport.grant_to_thread(
+                blk_sid, worker.supervisor.thread(worker.service_name))
+            worker.supervisor.on_restart.append(
+                lambda sname, _svc, _sup=worker.supervisor:
+                self.transport.grant_to_thread(blk_sid,
+                                               _sup.thread(sname)))
+        return pool
 
     # ------------------------------------------------------------------
     def _handle(self, meta: tuple, payload: Payload):
@@ -146,7 +174,11 @@ class FSServer:
                 if (boff == 0 and chunk == fs.bsize and addr != 0
                         and pending is None and dst % fs.bsize == 0):
                     # Device writes the block into the window (zero-copy).
-                    self.fs.dev.dev.bread_into(addr, (dst, fs.bsize))
+                    # window_slice translates the payload-relative dst
+                    # into active-window coordinates — identical on the
+                    # sync path, offset by the arena slot when batched.
+                    self.fs.dev.dev.bread_into(
+                        addr, payload.window_slice(dst, fs.bsize))
                 else:
                     data = (b"\x00" * chunk if addr == 0 else
                             (pending or fs.dev.bread(addr)

@@ -37,7 +37,7 @@ class LoopbackServer:
     def _handle(self, meta: tuple, payload: Payload):
         op = meta[0]
         if op == OP_SEND:
-            self.transport.core.tick(self.params.nic_loopback_fixed)
+            self.transport.current_core.tick(self.params.nic_loopback_fixed)
             self.frames += 1
             frame = payload.read(meta[1])
             self.bytes += len(frame)

@@ -8,9 +8,10 @@ the paper's network evaluation (§5.3).
 
 from __future__ import annotations
 
-from typing import Optional, Tuple
+from typing import Optional, Sequence, Tuple
 
 import repro.obs as obs
+from repro.aio.pool import WorkerPool
 from repro.ipc.transport import Payload, RelayPayload, Transport
 from repro.services.net.loopback import LoopbackServer
 from repro.services.net.stack import NetStack
@@ -39,11 +40,29 @@ class NetServer:
         self.sid = transport.register(
             name, self._handle, server_process, server_thread)
 
+    def serve_async(self, cores: Sequence, name: str = "net-aio",
+                    **pool_kwargs) -> WorkerPool:
+        """Batched front-end over the same socket handler (XPC only);
+        worker threads get the loopback device's onward xcall-cap on
+        every supervisor generation."""
+        pool_kwargs.setdefault("serve_context", self.transport.serving)
+        pool = WorkerPool(self.transport.kernel, self._handle, cores,
+                          name=name, **pool_kwargs)
+        dev_sid = self.stack.netdev_sid
+        for worker in pool.workers:
+            self.transport.grant_to_thread(
+                dev_sid, worker.supervisor.thread(worker.service_name))
+            worker.supervisor.on_restart.append(
+                lambda sname, _svc, _sup=worker.supervisor:
+                self.transport.grant_to_thread(dev_sid,
+                                               _sup.thread(sname)))
+        return pool
+
     def _handle(self, meta: tuple, payload: Payload):
         op = meta[0]
         if obs.ACTIVE is None:
             return self._dispatch(op, meta, payload)
-        core = self.transport.core
+        core = self.transport.current_core
         span = obs.ACTIVE.spans.begin(core, f"net:{op}", cat="service")
         start = core.cycles
         try:

@@ -128,7 +128,7 @@ class NetStack:
 
     def pump(self, max_rounds: int = 64) -> None:
         """Push pending segments through the loopback device."""
-        core = self.transport.core
+        core = self.transport.current_core
         params = self.transport.kernel.params
         for _ in range(max_rounds):
             moved = False
@@ -159,7 +159,7 @@ class NetStack:
                     return
 
     def _deliver(self, frame: bytes) -> None:
-        core = self.transport.core
+        core = self.transport.current_core
         hdr, payload = parse_packet(frame)
         seg = Segment.parse(payload, hdr.src, hdr.dst)
         self.segments_rx += 1

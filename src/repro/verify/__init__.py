@@ -42,7 +42,8 @@ from repro.verify.lint import (
 )
 from repro.verify.rules import DEFAULT_RULES, default_rules
 from repro.verify.invariants import InvariantViolation
-from repro.verify.live import check_quiescent, check_recovery_invariants
+from repro.verify.live import (check_quiescent, check_recovery_invariants,
+                               check_ring_invariants)
 from repro.verify.model import (
     CounterExample, ModelChecker, ModelConfig, ExploreResult,
 )
@@ -53,4 +54,5 @@ __all__ = [
     "DEFAULT_RULES", "default_rules",
     "InvariantViolation", "CounterExample", "ModelChecker", "ModelConfig",
     "ExploreResult", "check_quiescent", "check_recovery_invariants",
+    "check_ring_invariants",
 ]

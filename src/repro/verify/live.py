@@ -94,6 +94,75 @@ def check_recovery_invariants(kernel) -> List[InvariantViolation]:
     return violations
 
 
+def check_ring_invariants(ring, kernel=None) -> List[InvariantViolation]:
+    """Memory-resident invariants of one aio submission/completion ring.
+
+    *ring* is duck-typed (anything with the
+    :class:`repro.aio.ring.XPCRing` peek surface) so this layer does not
+    import :mod:`repro.aio`.  All reads are uncharged — checking never
+    moves the simulated clock.
+
+    * head ≤ tail for both queues, and neither queue holds more than
+      ``entries`` records (monotonic indices make both checkable
+      straight from the header bytes);
+    * no CQE without a matching SQE: every unharvested completion's
+      sequence number was allocated (< ``next_seq``), was consumed by
+      the worker (< ``sq_head``), and appears at most once;
+    * single owner: the backing relay segment obeys §3.3 — at most one
+      live thread windows it, and ``active_owner`` agrees (checked when
+      *kernel* is given).
+    """
+    violations: List[InvariantViolation] = []
+    idx = ring.peek_indices()
+
+    for side in ("sq", "cq"):
+        head, tail = idx[f"{side}_head"], idx[f"{side}_tail"]
+        if head > tail:
+            violations.append(InvariantViolation(
+                "ring-head-le-tail",
+                f"{ring.name}: {side}_head {head} > {side}_tail {tail}"))
+        if tail - head > ring.entries:
+            violations.append(InvariantViolation(
+                "ring-bounded",
+                f"{ring.name}: {side} holds {tail - head} records, "
+                f"capacity {ring.entries}"))
+
+    seen = set()
+    for cqe in ring.peek_cqes():
+        if cqe.seq >= idx["next_seq"]:
+            violations.append(InvariantViolation(
+                "cqe-matches-sqe",
+                f"{ring.name}: CQE seq {cqe.seq} was never submitted "
+                f"(next_seq {idx['next_seq']})"))
+        elif cqe.seq >= idx["sq_head"]:
+            violations.append(InvariantViolation(
+                "cqe-matches-sqe",
+                f"{ring.name}: CQE seq {cqe.seq} completed before its "
+                f"SQE was consumed (sq_head {idx['sq_head']})"))
+        if cqe.seq in seen:
+            violations.append(InvariantViolation(
+                "cqe-matches-sqe",
+                f"{ring.name}: duplicate CQE for seq {cqe.seq}"))
+        seen.add(cqe.seq)
+
+    seg = getattr(ring, "segment", None)
+    if seg is not None and kernel is not None:
+        holders = [t for t in kernel.threads
+                   if t.xpc.seg_reg.valid and t.xpc.seg_reg.segment is seg]
+        if len(holders) > 1:
+            violations.append(InvariantViolation(
+                "single-owner",
+                f"{ring.name}: ring segment {seg.seg_id} windowed by "
+                f"{len(holders)} threads"))
+        elif holders and seg.active_owner not in (None, holders[0]):
+            violations.append(InvariantViolation(
+                "single-owner",
+                f"{ring.name}: ring segment {seg.seg_id} windowed by "
+                f"{holders[0]} but active_owner is {seg.active_owner}"))
+
+    return violations
+
+
 def check_quiescent(kernel, thread) -> List[InvariantViolation]:
     """Between top-level calls *thread* must be fully unwound (LIFO
     restore observed end-to-end)."""

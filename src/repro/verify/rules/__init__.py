@@ -8,19 +8,20 @@ from repro.verify.rules.layering import LayeringRule
 from repro.verify.rules.cycles import CycleAccountingRule
 from repro.verify.rules.errors import ErrorDisciplineRule
 from repro.verify.rules.obs import ObsDisciplineRule
+from repro.verify.rules.aio import AioDisciplineRule
 from repro.verify.rules.state import StateMutationRule
 
 
 def default_rules():
     """One fresh instance of every rule in the suite."""
     return [LayeringRule(), CycleAccountingRule(), ErrorDisciplineRule(),
-            StateMutationRule(), ObsDisciplineRule()]
+            StateMutationRule(), ObsDisciplineRule(), AioDisciplineRule()]
 
 
 #: The rule classes, for introspection / selective runs.
 DEFAULT_RULES = (LayeringRule, CycleAccountingRule, ErrorDisciplineRule,
-                 StateMutationRule, ObsDisciplineRule)
+                 StateMutationRule, ObsDisciplineRule, AioDisciplineRule)
 
-__all__ = ["LayeringRule", "CycleAccountingRule", "ErrorDisciplineRule",
-           "ObsDisciplineRule", "StateMutationRule", "default_rules",
-           "DEFAULT_RULES"]
+__all__ = ["AioDisciplineRule", "LayeringRule", "CycleAccountingRule",
+           "ErrorDisciplineRule", "ObsDisciplineRule", "StateMutationRule",
+           "default_rules", "DEFAULT_RULES"]

@@ -50,8 +50,13 @@ ALLOWED_IMPORTS = {
                "obs"},
     "binder": {"ipc", "runtime", "kernel", "xpc", "hw", "params", "faults",
                "obs"},
-    "services": {"ipc", "runtime", "kernel", "xpc", "hw", "params",
+    "services": {"aio", "ipc", "runtime", "kernel", "xpc", "hw", "params",
                  "faults", "analysis", "obs"},
+    # Async/batched XPC sits between ipc and services: it builds on the
+    # transport's payload surface and the runtime library, and the
+    # service servers adopt it for their batched front-ends.
+    "aio": {"ipc", "runtime", "kernel", "xpc", "hw", "params", "faults",
+            "obs"},
     "apps": {"services", "ipc", "runtime", "kernel", "xpc", "hw", "params",
              "faults", "obs"},
     # Side packages: measurement and analysis tooling.

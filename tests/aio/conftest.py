@@ -1,0 +1,43 @@
+"""Shared world builder for the aio unit tests.
+
+Builds the smallest complete async stack on a bare :class:`BaseKernel`:
+one client thread with a ring-backed :class:`Batcher`, one supervised-
+free worker process serving a byte-echo handler through a
+:class:`RingService`.  The pool and service tests layer on top.
+"""
+
+from repro.aio import Batcher, RingService
+from repro.hw.machine import Machine
+from repro.kernel.kernel import BaseKernel
+
+
+def echo(meta, payload):
+    """Reverse the payload; reply meta carries the request id through."""
+    data = payload.read()
+    return (0,) + tuple(meta[1:]), bytes(reversed(data))
+
+
+class AioWorld:
+    def __init__(self, cores=1, handler=echo, entries=16,
+                 seg_bytes=64 * 1024, service_kwargs=None,
+                 params=None, **batch_kwargs):
+        self.machine = Machine(cores=max(cores, 1),
+                               mem_bytes=128 * 1024 * 1024,
+                               params=params)
+        self.kernel = BaseKernel(self.machine)
+        self.core = self.machine.core0
+        self.client_proc = self.kernel.create_process("client")
+        self.client = self.kernel.create_thread(self.client_proc)
+        self.server_proc = self.kernel.create_process("worker")
+        self.server_thread = self.kernel.create_thread(self.server_proc)
+        self.kernel.run_thread(self.core, self.server_thread)
+        self.service = RingService(self.kernel, self.core,
+                                   self.server_thread, handler,
+                                   name="t", **(service_kwargs or {}))
+        self.kernel.grant_xcall_cap(self.core, self.server_proc,
+                                    self.client, self.service.entry_id)
+        self.kernel.run_thread(self.core, self.client)
+        self.batcher = Batcher(self.kernel, self.core, self.client,
+                               self.service.entry_id, entries=entries,
+                               seg_bytes=seg_bytes, name="t",
+                               **batch_kwargs)

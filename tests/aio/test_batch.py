@@ -1,0 +1,128 @@
+"""Batcher: futures, flush policies, per-request errors, crash failure."""
+
+import pytest
+
+from repro.aio import XPCRequestError, XPCRingFullError
+from repro.xpc.errors import XPCError, XPCPeerDiedError
+from tests.aio.conftest import AioWorld
+
+
+class TestFutures:
+    def test_submit_is_pending_until_flush(self):
+        world = AioWorld()
+        future = world.batcher.submit(("echo", 1), b"abc",
+                                      reply_capacity=8)
+        assert not future.done
+        with pytest.raises(XPCError):
+            future.result()
+        world.batcher.flush()
+        assert future.done
+        meta, data = future.result()
+        assert meta == (0, 1)
+        assert data == b"cba"
+
+    def test_wait_all_preserves_submission_order(self):
+        world = AioWorld()
+        futures = [world.batcher.submit(("echo", i),
+                                        f"m{i}".encode(),
+                                        reply_capacity=8)
+                   for i in range(5)]
+        results = world.batcher.wait_all(futures)
+        assert [meta for meta, _ in results] == [(0, i) for i in range(5)]
+        assert [data for _, data in results] == [
+            f"m{i}".encode()[::-1] for i in range(5)]
+
+    def test_one_xcall_per_batch(self):
+        world = AioWorld(max_batch=64)
+        for i in range(10):
+            world.batcher.submit(("echo", i), b"x")
+        world.batcher.flush()
+        assert world.batcher.flushes == 1
+        assert world.service.drained == 10
+
+
+class TestFlushPolicies:
+    def test_auto_flush_at_max_batch(self):
+        world = AioWorld(max_batch=4)
+        futures = [world.batcher.submit(("echo", i), b"y")
+                   for i in range(4)]
+        # The fourth submit crossed the threshold: no explicit flush.
+        assert all(f.done for f in futures)
+        assert world.batcher.flushes == 1
+
+    def test_deadline_flush(self):
+        world = AioWorld(max_batch=64, max_wait_cycles=500)
+        first = world.batcher.submit(("echo", 0), b"a")
+        world.core.tick(1000)
+        # The next submit notices the overdue batch and flushes it
+        # before queueing itself.
+        second = world.batcher.submit(("echo", 1), b"b")
+        assert first.done
+        assert not second.done
+
+    def test_ring_full_submit_flushes_and_retries(self):
+        world = AioWorld(entries=4, max_batch=64)
+        futures = [world.batcher.submit(("echo", i), b"z")
+                   for i in range(6)]
+        # Submissions 5 and 6 only fit because the full ring forced a
+        # drain of the first four.
+        assert world.batcher.flushes >= 1
+        assert sum(f.done for f in futures) >= 4
+        world.batcher.flush()
+        assert all(f.done for f in futures)
+
+
+class TestErrors:
+    def test_handler_error_fails_only_its_request(self):
+        def picky(meta, payload):
+            if meta[1] == 2:
+                raise ValueError("bad request")
+            return (0, meta[1]), None
+
+        world = AioWorld(handler=picky)
+        futures = [world.batcher.submit(("op", i)) for i in range(4)]
+        world.batcher.flush()
+        assert all(f.done for f in futures)
+        with pytest.raises(XPCRequestError) as exc_info:
+            futures[2].result()
+        assert exc_info.value.reply_meta == ("ValueError", "bad request")
+        assert futures[0].result()[0] == (0, 0)
+        assert futures[3].result()[0] == (0, 3)
+        assert world.service.failed == 1
+
+    def test_dead_worker_fails_pending_futures(self):
+        world = AioWorld()
+        future = world.batcher.submit(("echo", 1), b"abc")
+        world.kernel.kill_process(world.server_proc)
+        world.batcher.flush()
+        assert future.done
+        with pytest.raises(XPCPeerDiedError):
+            future.result()
+        # The batcher is usable again once the entry id is live; here
+        # there is no supervisor, so only verify clean bookkeeping.
+        assert world.batcher.backlog == 0
+
+
+class TestLifecycle:
+    def test_ring_resets_between_batches(self):
+        world = AioWorld()
+        for round_no in range(3):
+            world.batcher.submit(("echo", round_no), b"r" * 64)
+            world.batcher.flush()
+        # Arena rewound each round: three rounds fit where one round's
+        # bytes would not if they accumulated.
+        idx = world.batcher.ring.peek_indices()
+        assert idx["sq_head"] == idx["sq_tail"] == 3
+
+    def test_close_refuses_with_pending_then_succeeds(self):
+        world = AioWorld()
+        world.batcher.submit(("echo", 1), b"x")
+        with pytest.raises(XPCError):
+            world.batcher.close()
+        world.batcher.flush()
+        world.batcher.close()
+
+    def test_submit_too_big_for_arena_raises_typed_error(self):
+        world = AioWorld(seg_bytes=16 * 1024)
+        with pytest.raises(XPCRingFullError):
+            world.batcher.submit(("echo", 1), b"q" * (64 * 1024))

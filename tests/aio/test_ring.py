@@ -1,0 +1,189 @@
+"""XPCRing: layout, memory-resident indices, capacity, cycle charges."""
+
+import pytest
+
+from repro.aio import CQE, SQE_ERR, SQE_OK, XPCRing, XPCRingFullError
+from repro.aio.ring import decode_meta, encode_meta
+from repro.hw.machine import Machine
+from repro.kernel.kernel import BaseKernel
+from repro.params import DEFAULT_PARAMS
+from repro.verify import check_ring_invariants
+from repro.xpc.errors import XPCError
+from repro.xpc.relayseg import SegReg
+
+
+def make_ring(entries=4, seg_bytes=8192, params=None):
+    machine = Machine(cores=1, mem_bytes=64 * 1024 * 1024, params=params)
+    kernel = BaseKernel(machine)
+    proc = kernel.create_process("p")
+    seg, _slot = kernel.create_relay_seg(machine.core0, proc, seg_bytes)
+    ring = XPCRing.format(machine.core0, machine.memory, seg,
+                          entries=entries)
+    return machine, kernel, seg, ring
+
+
+class TestLayout:
+    def test_format_writes_header_to_memory(self):
+        machine, kernel, seg, ring = make_ring()
+        # A fresh attach over the same bytes reads the same geometry.
+        view = XPCRing.attach(machine.core0, machine.memory,
+                              SegReg.for_segment(seg))
+        assert view.entries == ring.entries
+        assert view.peek_indices() == ring.peek_indices()
+
+    def test_attach_rejects_unformatted_memory(self):
+        machine, kernel, seg, ring = make_ring()
+        other, _ = kernel.create_relay_seg(
+            machine.core0, kernel.create_process("q"), 8192)
+        with pytest.raises(XPCError):
+            XPCRing.attach(machine.core0, machine.memory,
+                           SegReg.for_segment(other))
+
+    def test_too_small_segment_rejected(self):
+        machine, kernel, seg, _ = make_ring()
+        small, _ = kernel.create_relay_seg(
+            machine.core0, kernel.create_process("q"), 4096)
+        with pytest.raises(ValueError):
+            XPCRing.format(machine.core0, machine.memory, small,
+                           entries=512)
+
+    def test_meta_codec_roundtrip(self):
+        meta = ("read", "/a/b", 0, 4096)
+        assert decode_meta(encode_meta(meta)) == meta
+
+
+class TestQueues:
+    def test_sqe_roundtrip_through_memory(self):
+        machine, kernel, seg, ring = make_ring()
+        core = machine.core0
+        seq = ring.push_sqe(core, ("op", 7), b"hello", reply_capacity=16)
+        assert seq == 0
+        view = XPCRing.attach(core, machine.memory,
+                              SegReg.for_segment(seg))
+        sqe = view.pop_sqe(core)
+        assert view.read_meta(sqe) == ("op", 7)
+        assert view.read_bytes(sqe.data_off, sqe.data_len) == b"hello"
+        assert sqe.slot_len >= 16
+
+    def test_cqe_roundtrip_and_indices(self):
+        machine, kernel, seg, ring = make_ring()
+        core = machine.core0
+        for i in range(3):
+            ring.push_sqe(core, ("op", i), bytes([i]) * 8)
+        assert ring.peek_indices()["sq_tail"] == 3
+        for _ in range(3):
+            sqe = ring.pop_sqe(core)
+            ring.push_cqe(core, sqe.seq, SQE_OK, ("ok", sqe.seq),
+                          sqe.data_off, sqe.data_len)
+        assert ring.pop_sqe(core) is None
+        seen = []
+        while True:
+            cqe = ring.pop_cqe(core)
+            if cqe is None:
+                break
+            assert cqe.status == SQE_OK
+            assert ring.read_reply_meta(cqe) == ("ok", cqe.seq)
+            seen.append(cqe.seq)
+        assert seen == [0, 1, 2]
+        idx = ring.peek_indices()
+        assert idx["sq_head"] == idx["sq_tail"] == 3
+        assert idx["cq_head"] == idx["cq_tail"] == 3
+
+    def test_indices_are_monotonic_across_wrap(self):
+        machine, kernel, seg, ring = make_ring(entries=2)
+        core = machine.core0
+        for round_no in range(5):
+            seq = ring.push_sqe(core, ("r", round_no), b"x")
+            sqe = ring.pop_sqe(core)
+            ring.push_cqe(core, sqe.seq, SQE_OK, (), sqe.data_off, 0)
+            assert ring.pop_cqe(core).seq == seq
+        # 5 one-deep rounds through a 2-entry ring: indices never wrap.
+        assert ring.peek_indices()["sq_tail"] == 5
+        assert ring.next_seq == 5
+
+
+class TestCapacity:
+    def test_full_ring_refuses(self):
+        machine, kernel, seg, ring = make_ring(entries=2)
+        core = machine.core0
+        ring.push_sqe(core, ("a",))
+        ring.push_sqe(core, ("b",))
+        with pytest.raises(XPCRingFullError):
+            ring.push_sqe(core, ("c",))
+
+    def test_slot_frees_only_after_harvest(self):
+        # Consuming the SQE is not enough — the CQE slot is still owed.
+        machine, kernel, seg, ring = make_ring(entries=2)
+        core = machine.core0
+        ring.push_sqe(core, ("a",))
+        ring.push_sqe(core, ("b",))
+        sqe = ring.pop_sqe(core)
+        ring.push_cqe(core, sqe.seq, SQE_OK, (), sqe.data_off, 0)
+        with pytest.raises(XPCRingFullError):
+            ring.push_sqe(core, ("c",))
+        ring.pop_cqe(core)
+        ring.push_sqe(core, ("c",))   # harvested: slot reusable
+
+    def test_arena_exhaustion(self):
+        machine, kernel, seg, ring = make_ring(entries=64,
+                                               seg_bytes=8192)
+        core = machine.core0
+        with pytest.raises(XPCRingFullError) as exc_info:
+            for i in range(64):
+                ring.push_sqe(core, ("big", i), b"z" * 1024)
+        assert "arena" in str(exc_info.value)
+
+    def test_reset_rewinds_arena(self):
+        machine, kernel, seg, ring = make_ring()
+        core = machine.core0
+        ring.push_sqe(core, ("a",), b"q" * 64)
+        with pytest.raises(XPCError):
+            ring.reset(core)            # in flight: refused
+        sqe = ring.pop_sqe(core)
+        ring.push_cqe(core, sqe.seq, SQE_OK, (), sqe.data_off, 0)
+        with pytest.raises(XPCError):
+            ring.reset(core)            # unharvested CQE: refused
+        ring.pop_cqe(core)
+        cursor_before = ring.arena_cursor
+        ring.reset(core)
+        assert ring.arena_cursor < cursor_before
+
+
+class TestCycleAccounting:
+    def test_push_sqe_charges_op_plus_fill(self):
+        params = DEFAULT_PARAMS.clone(aio_sqe_op=100)
+        machine, kernel, seg, ring = make_ring(params=params)
+        core = machine.core0
+        payload = b"p" * 200
+        before = core.cycles
+        ring.push_sqe(core, ("op",), payload)
+        fill = len(encode_meta(("op",))) + len(payload)
+        assert core.cycles - before == 100 + int(
+            fill * params.relay_fill_per_byte)
+
+    def test_peeks_are_uncharged(self):
+        machine, kernel, seg, ring = make_ring()
+        core = machine.core0
+        ring.push_sqe(core, ("a",), b"x")
+        before = core.cycles
+        ring.peek_indices()
+        ring.peek_cqes()
+        ring.outstanding
+        ring.space()
+        assert core.cycles == before
+
+    def test_invariants_hold_through_a_full_cycle(self):
+        machine, kernel, seg, ring = make_ring()
+        core = machine.core0
+        assert check_ring_invariants(ring) == []
+        for i in range(3):
+            ring.push_sqe(core, ("op", i), b"d")
+        assert check_ring_invariants(ring) == []
+        for _ in range(3):
+            sqe = ring.pop_sqe(core)
+            ring.push_cqe(core, sqe.seq, SQE_ERR, ("bad",),
+                          sqe.data_off, 0)
+            assert check_ring_invariants(ring) == []
+        while ring.pop_cqe(core):
+            pass
+        assert check_ring_invariants(ring) == []

@@ -1,0 +1,200 @@
+"""Chaos suite: batched-async workloads under the three aio fault
+points (``aio.ring_full``, ``aio.stale_head``, ``aio.worker_death``),
+with ring + recovery invariants swept after every injection.
+
+Same discipline as the fs/net chaos suite: deterministic seeded plans,
+``CHAOS_SEED`` narrowing, and a ``chaos-traces/`` artifact on failure.
+"""
+
+from __future__ import annotations
+
+import os
+import random
+from contextlib import contextmanager
+from pathlib import Path
+
+import pytest
+
+import repro.faults as faults
+from repro.aio import WorkerPool, XPCRingFullError
+from repro.faults import FaultPlan
+from repro.hw.machine import Machine
+from repro.kernel.kernel import BaseKernel
+from repro.services.fs import build_fs_stack
+from repro.verify import (check_quiescent, check_recovery_invariants,
+                          check_ring_invariants)
+from tests.conftest import TRANSPORT_SPECS, build_transport
+
+SEEDS = ([int(os.environ["CHAOS_SEED"])] if os.environ.get("CHAOS_SEED")
+         else [11, 23, 37, 41, 53])
+
+TRACE_DIR = Path(__file__).resolve().parents[2] / "chaos-traces"
+
+XPC_SPEC = next(s for s in TRANSPORT_SPECS if s[0] == "seL4-XPC")
+
+
+@contextmanager
+def trace_artifact(name: str, plan: FaultPlan):
+    try:
+        yield
+    except BaseException:
+        TRACE_DIR.mkdir(exist_ok=True)
+        (TRACE_DIR / f"{name}.json").write_text(plan.trace_json())
+        raise
+
+
+def aio_plan(seed: int) -> FaultPlan:
+    """All three aio points at once: injected submission rejections,
+    stale cached ring indices, and mid-batch worker deaths."""
+    return (FaultPlan(seed)
+            .arm("aio.ring_full", probability=0.04, times=None)
+            .arm("aio.stale_head", probability=0.05, times=None)
+            .arm("aio.worker_death", probability=0.02, times=2))
+
+
+def assert_aio_invariants(kernel, pool) -> None:
+    violations = check_recovery_invariants(kernel)
+    for worker in pool.workers:
+        violations += check_ring_invariants(worker.batcher.ring, kernel)
+        violations += check_quiescent(kernel, worker.batcher.client_thread)
+    assert not violations, "\n".join(str(v) for v in violations)
+
+
+class InvariantWatch:
+    """Sweep the invariants after every op that injected a fault."""
+
+    def __init__(self, kernel, pool, plan):
+        self.kernel = kernel
+        self.pool = pool
+        self.plan = plan
+        self.seen = 0
+        self.checked = 0
+
+    def after_op(self):
+        if len(self.plan.trace) > self.seen:
+            self.seen = len(self.plan.trace)
+            assert_aio_invariants(self.kernel, self.pool)
+            self.checked += 1
+
+
+def submit_retry(pool, watch, meta, payload=b"", reply_capacity=0):
+    """Submit with bounded retry: an injected ``aio.ring_full`` models
+    a racing producer, and the recovery is drain-then-retry."""
+    for _ in range(6):
+        try:
+            return pool.submit(meta, payload,
+                               reply_capacity=reply_capacity)
+        except XPCRingFullError:
+            watch.after_op()
+            pool.drain()
+    raise AssertionError("ring stayed full across six drains")
+
+
+def run_aio_fs_workload(machine, kernel, transport, plan, seed):
+    """Batched fs traffic through a two-worker pool under *plan*.
+
+    Rounds alternate: write rounds touch disjoint 2 KiB chunks (batched
+    writes land in shard order, so they must be order-independent);
+    read rounds verify against the mirror.
+    """
+    server, fs, _disk = build_fs_stack(transport, kernel,
+                                       disk_blocks=4096)
+    rng = random.Random(seed * 31337)
+    chunk = 2048
+    chunks = 16
+    mirror = bytearray(rng.randbytes(chunk * chunks))
+    fs.create("/chaos")
+    fs.write("/chaos", bytes(mirror))
+    pool = server.serve_async(machine.cores[2:4], max_batch=8)
+    watch = InvariantWatch(kernel, pool, plan)
+    with faults.active(plan):
+        for round_no in range(10):
+            expect = []
+            if round_no % 2 == 0:
+                for index in rng.sample(range(chunks), 5):
+                    data = rng.randbytes(chunk)
+                    future = submit_retry(
+                        pool, watch,
+                        ("write", "/chaos", index * chunk, chunk), data)
+                    mirror[index * chunk:(index + 1) * chunk] = data
+                    expect.append((future, (0, chunk), None))
+                    watch.after_op()
+            else:
+                for _ in range(5):
+                    off = rng.randrange(0, chunk * (chunks - 1))
+                    future = submit_retry(
+                        pool, watch, ("read", "/chaos", off, chunk),
+                        reply_capacity=chunk)
+                    expect.append((future, None,
+                                   bytes(mirror[off:off + chunk])))
+                    watch.after_op()
+            pool.wait_all([f for f, _, _ in expect])
+            watch.after_op()
+            for future, want_meta, want_data in expect:
+                meta, data = future.result()
+                if want_meta is not None:
+                    assert meta == want_meta
+                if want_data is not None:
+                    assert meta[0] == 0
+                    assert data[:meta[1]] == want_data, \
+                        f"round {round_no}: silent data divergence"
+    # Post-chaos: plan disarmed, the whole file still matches and the
+    # pool still serves.
+    assert fs.read("/chaos", 0, chunk * chunks) == bytes(mirror)
+    future = pool.submit(("stat", "/chaos"))
+    assert pool.wait_all([future])[0][0][0] == 0
+    assert_aio_invariants(kernel, pool)
+    return pool, watch
+
+
+class TestAioChaos:
+    @pytest.mark.parametrize("seed", SEEDS)
+    def test_aio_fs_workload_survives_fault_plan(self, seed):
+        machine, kernel, transport, _ct = build_transport(
+            XPC_SPEC, mem_bytes=256 * 1024 * 1024, cores=4)
+        plan = aio_plan(seed)
+        with trace_artifact(f"aio-fs-{seed}", plan):
+            pool, watch = run_aio_fs_workload(
+                machine, kernel, transport, plan, seed)
+        assert plan.trace, "fault plan injected nothing"
+        assert watch.checked > 0
+        deaths = sum(e.point == "aio.worker_death" for e in plan.trace)
+        restarts = sum(s["restarts"] for s in pool.stats().values())
+        assert restarts == deaths
+
+    def test_aio_chaos_trace_is_deterministic(self):
+        def one_run():
+            machine, kernel, transport, _ct = build_transport(
+                XPC_SPEC, mem_bytes=256 * 1024 * 1024, cores=4)
+            plan = aio_plan(SEEDS[0])
+            run_aio_fs_workload(machine, kernel, transport, plan,
+                                SEEDS[0])
+            return plan.trace_json()
+
+        assert one_run() == one_run()
+
+    def test_worker_death_storm_re_drives_every_request(self):
+        """Deaths on every worker mid-batch: the supervisors restart
+        each generation and no request is lost or duplicated in the
+        completion stream."""
+        machine = Machine(cores=2, mem_bytes=256 * 1024 * 1024)
+        kernel = BaseKernel(machine)
+
+        def echo(meta, payload):
+            return (0, meta[1]), bytes(payload.read()[::-1])
+
+        pool = WorkerPool(kernel, echo, machine.cores[:2], max_batch=64)
+        plan = FaultPlan(SEEDS[0]).arm("aio.worker_death",
+                                       probability=0.2, times=2)
+        with trace_artifact("aio-death-storm", plan), faults.active(plan):
+            futures = [pool.submit(("r", i), f"p{i}".encode(),
+                                   reply_capacity=8) for i in range(24)]
+            results = pool.wait_all(futures)
+        assert [meta for meta, _ in results] == [
+            (0, i) for i in range(24)]
+        assert [data for _, data in results] == [
+            f"p{i}".encode()[::-1] for i in range(24)]
+        assert len(plan.trace) == 2
+        restarts = sum(s["restarts"] for s in pool.stats().values())
+        assert restarts == 2
+        assert_aio_invariants(kernel, pool)

@@ -146,4 +146,5 @@ class TestInstallation:
     def test_catalogue_layers_are_known(self):
         from repro.faults.points import CATALOGUE, layer_of
         for point in CATALOGUE:
-            assert layer_of(point) in {"hw", "xpc", "kernel", "services"}
+            assert layer_of(point) in {"hw", "xpc", "kernel", "services",
+                                       "aio"}

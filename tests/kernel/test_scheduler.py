@@ -63,3 +63,65 @@ def test_context_switch_charges_and_switches_space():
 def test_empty_queue_returns_none():
     machine, kernel, _, _ = build()
     assert kernel.scheduler.pick_next(machine.core0) is None
+
+
+def test_block_charges_sched_block_not_enqueue():
+    # Regression: block used to walk (and re-charge) like an enqueue;
+    # it must charge exactly its own constant, independent of queue
+    # depth.
+    params = DEFAULT_PARAMS.clone(sched_enqueue=111, sched_block=77)
+    machine = Machine(cores=1, mem_bytes=32 * 1024 * 1024, params=params)
+    kernel = BaseKernel(machine)
+    p = kernel.create_process("p")
+    threads = [kernel.create_thread(p) for _ in range(8)]
+    core = machine.core0
+    for t in threads:
+        kernel.scheduler.enqueue(core, t)
+    before = core.cycles
+    kernel.scheduler.block(core, threads[5])
+    assert core.cycles - before == 77
+    before = core.cycles
+    kernel.scheduler.block(core, threads[0])
+    assert core.cycles - before == 77  # depth-independent
+
+
+def test_block_then_reenqueue_keeps_single_queue_slot():
+    machine, kernel, t1, t2 = build()
+    sched = kernel.scheduler
+    core = machine.core0
+    sched.enqueue(core, t1)
+    sched.enqueue(core, t2)
+    sched.block(core, t1)
+    sched.enqueue(core, t1)   # revive: must not duplicate the thread
+    assert sched.queued == 2
+    # A revived thread rejoins at the back, exactly as the old
+    # remove-on-block scheduler behaved.
+    assert sched.pick_next(core) is t2
+    assert sched.pick_next(core) is t1
+    assert sched.pick_next(core) is None
+
+
+def test_queued_excludes_tombstones():
+    machine, kernel, t1, t2 = build()
+    sched = kernel.scheduler
+    core = machine.core0
+    sched.enqueue(core, t1)
+    sched.enqueue(core, t2)
+    assert sched.queued == 2
+    sched.block(core, t1)
+    assert sched.queued == 1
+    sched.block(core, t2)
+    assert sched.queued == 0
+    assert sched.pick_next(core) is None
+    assert sched.queued == 0
+
+
+def test_block_unqueued_thread_is_harmless():
+    machine, kernel, t1, _ = build()
+    sched = kernel.scheduler
+    core = machine.core0
+    sched.block(core, t1)     # never enqueued: just mark unrunnable
+    assert sched.queued == 0
+    assert not t1.sched.runnable
+    sched.enqueue(core, t1)
+    assert sched.pick_next(core) is t1

@@ -4,6 +4,7 @@ quiet on the equivalent well-formed code."""
 import textwrap
 
 from repro.verify import lint_source
+from repro.verify.rules.aio import AioDisciplineRule
 from repro.verify.rules.cycles import CycleAccountingRule
 from repro.verify.rules.errors import ErrorDisciplineRule
 from repro.verify.rules.layering import LayeringRule
@@ -302,4 +303,76 @@ class TestObsDisciplineRule:
                 obs.ACTIVE.registry.counter("x").value = 0  # verify-ok: obs-discipline
             """,
             "repro.tools.bench", ObsDisciplineRule())
+        assert violations == []
+
+
+# ----------------------------------------------------------------------
+# aio-discipline
+# ----------------------------------------------------------------------
+class TestAioDisciplineRule:
+    def test_private_ring_method_call_flagged(self):
+        violations = lint(
+            """\
+            def f(ring, core, data):
+                ring._store(0, data)
+            """,
+            "repro.services.fs.server", AioDisciplineRule())
+        assert len(violations) == 1
+        assert violations[0].rule == "aio-discipline"
+        assert "_store" in violations[0].message
+
+    def test_index_attribute_write_flagged(self):
+        violations = lint(
+            "def f(ring):\n    ring.sq_head = 7\n",
+            "repro.runtime.xpclib", AioDisciplineRule())
+        assert len(violations) == 1
+        assert "sq_head" in violations[0].message
+
+    def test_chained_write_through_ring_reference_flagged(self):
+        violations = lint(
+            """\
+            def f(self):
+                self.ring.header.entries = 0
+            """,
+            "repro.kernel.kernel", AioDisciplineRule())
+        assert len(violations) == 1
+        assert "entries" in violations[0].message
+
+    def test_augmented_index_write_flagged(self):
+        violations = lint(
+            "def f(worker):\n    worker.batcher.ring.cq_tail += 1\n",
+            "repro.services.net.server", AioDisciplineRule())
+        assert len(violations) == 1
+
+    def test_repro_aio_itself_exempt(self):
+        violations = lint(
+            "def f(self):\n    self.sq_head = 0\n    self._store(0, b'')\n",
+            "repro.aio.ring", AioDisciplineRule())
+        assert violations == []
+
+    def test_holding_a_ring_reference_is_legal(self):
+        violations = lint(
+            """\
+            def f(self, core, ring):
+                self.ring = ring
+                seq = ring.push_sqe(core, ("m",), b"")
+                cqe = ring.pop_cqe(core)
+                depth = ring.sq_tail - ring.sq_head
+            """,
+            "repro.services.fs.server", AioDisciplineRule())
+        assert violations == []
+
+    def test_generic_entries_attribute_not_claimed(self):
+        violations = lint(
+            "def f(self):\n    self.entries = []\n",
+            "repro.kernel.kernel", AioDisciplineRule())
+        assert violations == []
+
+    def test_pragma_suppresses(self):
+        violations = lint(
+            """\
+            def f(ring):
+                ring.sq_head = 0  # verify-ok: aio-discipline
+            """,
+            "repro.tools.bench", AioDisciplineRule())
         assert violations == []
