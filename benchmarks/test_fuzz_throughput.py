@@ -1,0 +1,52 @@
+"""Differential-fuzz throughput smoke.
+
+Runs a fixed batch of generated programs through the full executor
+fleet (every transport, the batcher, and the fault-armed variants) and
+records how many simulated cycles the campaign burns per program and
+per op.  The numbers are fully deterministic — fixed generator seeds,
+fixed fault seeds, simulated clock — so they double as a regression
+fence: a mechanism whose cycle charging drifts shows up here even when
+its outcomes still agree with the oracle.
+"""
+
+from repro.proptest.executors import default_executor_factories
+from repro.proptest.gen import generate
+from repro.proptest.harness import run_differential
+
+SEEDS = (0, 1, 2, 3)
+
+
+def test_fuzz_campaign_throughput(benchmark, results):
+    def run_campaign():
+        total_ops = 0
+        total_cycles = 0
+        per_seed = {}
+        for seed in SEEDS:
+            program = generate(seed)
+            result = run_differential(program)
+            assert result.ok, [d.describe() for d in result.divergences]
+            total_ops += len(program) * len(result.reports)
+            total_cycles += result.sim_cycles
+            per_seed[seed] = result.sim_cycles
+        return total_ops, total_cycles, per_seed
+
+    total_ops, total_cycles, per_seed = benchmark.pedantic(
+        run_campaign, rounds=1, iterations=1)
+
+    executors = len(default_executor_factories())
+    ops_per_mcycle = total_ops / (total_cycles / 1e6)
+    print(f"\nfuzz campaign: {len(SEEDS)} programs x {executors} "
+          f"executors, {total_ops} executed ops, "
+          f"{total_cycles} simulated cycles "
+          f"({ops_per_mcycle:.1f} ops/Mcycle)")
+    for seed, cycles in per_seed.items():
+        print(f"  seed {seed}: {cycles} cycles")
+
+    assert total_cycles > 0 and total_ops > 0
+    results.record("fuzz_throughput", {
+        "programs": len(SEEDS),
+        "executors": executors,
+        "executed_ops": total_ops,
+        "sim_cycles": total_cycles,
+        "ops_per_mcycle": round(ops_per_mcycle, 2),
+    })

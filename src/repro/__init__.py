@@ -14,7 +14,10 @@ The package provides:
   system, network, crypto, cache) and applications (SQLite-like DB,
   YCSB, HTTP server) used by the paper's evaluation;
 * :mod:`repro.gem5`, :mod:`repro.hwcost`, :mod:`repro.compare` — the
-  generality, hardware-cost, and related-work models.
+  generality, hardware-cost, and related-work models;
+* :mod:`repro.proptest` — property-based differential fuzzing of every
+  IPC mechanism against a shared oracle (imported on demand: it sits
+  on top of everything above).
 
 Quickstart::
 

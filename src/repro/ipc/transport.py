@@ -204,6 +204,15 @@ class Transport(abc.ABC):
         transports whose kernels do the check at call time.
         """
 
+    def revoke_from_thread(self, sid: int, thread) -> None:
+        """Withdraw *thread*'s right to call service *sid*.
+
+        The inverse of :meth:`grant_to_thread`.  On XPC transports this
+        clears the xcall-cap bit so the *engine* denies the next call;
+        baseline transports whose kernels keep no per-thread grant state
+        leave enforcement to the caller (a no-op here).
+        """
+
     # -- the two hooks concrete transports implement -------------------------
     @abc.abstractmethod
     def _bind(self, reg: ServerRegistration) -> None:

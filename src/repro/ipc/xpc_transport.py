@@ -117,6 +117,13 @@ class XPCTransport(Transport):
         self.kernel.grant_xcall_cap(
             self.core, reg.server_process, thread, service.entry_id)
 
+    def revoke_from_thread(self, sid: int, thread: Thread) -> None:
+        """Clear *thread*'s xcall-cap bit for *sid*: the next call trips
+        the engine's cap test (§3.2), not a library-level check."""
+        self._reg(sid)
+        service = self._xpc_services[sid]
+        self.kernel.revoke_xcall_cap(thread, service.entry_id)
+
     def call(self, sid: int, meta: tuple = (), payload: bytes = b"",
              reply_capacity: int = 0,
              cross_core: bool = False,

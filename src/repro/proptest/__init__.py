@@ -1,0 +1,43 @@
+"""repro.proptest: property-based differential fuzzing of every IPC
+mechanism against a shared oracle.
+
+One seeded generator emits typed op programs over a small service
+vocabulary; a pure reference model (the oracle) predicts every
+observable outcome; executors replay the identical program through the
+XPC transport, the trap-based baselines, and the aio batcher — plus
+fault-injected variants — and the harness diffs them op by op.
+Diverging programs shrink deterministically to replayable JSON
+counterexamples.
+
+Quickstart::
+
+    python -m repro.proptest --seed 0 --programs 200
+    python -m repro.proptest --replay proptest-failures/<artifact>.json
+"""
+
+from repro.proptest.executors import (BatchedExecutor, ExecutionReport,
+                                      FaultingExecutor, SyncExecutor,
+                                      classify_exception,
+                                      default_executor_factories)
+from repro.proptest.gen import generate
+from repro.proptest.grammar import (CallOp, GrantOp, KillOp, PreemptOp,
+                                    Program, RegisterOp, RevokeOp,
+                                    SubmitOp, WaitOp, validate)
+from repro.proptest.harness import (DiffResult, Divergence,
+                                    expected_outcomes, run_differential)
+from repro.proptest.oracle import Oracle
+from repro.proptest.shrink import (load_artifact,
+                                   load_artifact_expectations,
+                                   make_predicate, minimize_failure,
+                                   save_artifact, shrink)
+
+__all__ = [
+    "BatchedExecutor", "CallOp", "DiffResult", "Divergence",
+    "ExecutionReport", "FaultingExecutor", "GrantOp", "KillOp", "Oracle",
+    "PreemptOp", "Program", "RegisterOp", "RevokeOp", "SubmitOp",
+    "SyncExecutor", "WaitOp", "classify_exception",
+    "default_executor_factories", "expected_outcomes", "generate",
+    "load_artifact", "load_artifact_expectations", "make_predicate",
+    "minimize_failure",
+    "run_differential", "save_artifact", "shrink", "validate",
+]

@@ -1,0 +1,108 @@
+"""CLI driver: fuzz a seed range, or replay a saved counterexample.
+
+Exit status: 0 — all programs agreed with the oracle; 1 — at least one
+divergence (artifacts written under ``--out``); 2 — usage error.
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+
+from repro.proptest.gen import generate
+from repro.proptest.grammar import validate
+from repro.proptest.harness import run_differential
+from repro.proptest.shrink import (ARTIFACT_DIR, load_artifact,
+                                   minimize_failure, save_artifact)
+
+
+def _fuzz(args) -> int:
+    failures = 0
+    spent = 0
+    ran = 0
+    for i in range(args.programs):
+        seed = args.seed + i
+        if args.cycle_budget is not None and spent >= args.cycle_budget:
+            # Never truncate silently: say exactly how far we got.
+            print(f"cycle budget {args.cycle_budget} exhausted after "
+                  f"{ran}/{args.programs} programs "
+                  f"(last seed {args.seed + ran - 1})")
+            break
+        program = generate(seed, min_ops=args.min_ops,
+                           max_ops=args.max_ops)
+        problems = validate(program)
+        if problems:
+            print(f"seed {seed}: generator produced an invalid program:")
+            for problem in problems:
+                print(f"  {problem}")
+            return 1
+        result = run_differential(program)
+        spent += result.sim_cycles
+        ran += 1
+        if result.ok:
+            if not args.quiet:
+                print(f"seed {seed}: ok ({len(program)} ops, "
+                      f"{result.sim_cycles} sim-cycles)")
+            continue
+        failures += 1
+        for failure in result.invariant_failures:
+            print(f"seed {seed}: INVARIANT: {failure}")
+        if result.divergences:
+            print(f"seed {seed}: {len(result.divergences)} divergence(s); "
+                  f"shrinking {len(program)} ops ...")
+            small = minimize_failure(program, result)
+            small_result = run_differential(small)
+            path = save_artifact(small, small_result
+                                 if small_result.divergences else result,
+                                 out_dir=args.out)
+            print(f"seed {seed}: minimized to {len(small)} op(s) -> {path}")
+            for div in (small_result.divergences
+                        or result.divergences)[:5]:
+                print(f"  {div.describe()}")
+    print(f"{ran} program(s), {failures} failing, "
+          f"{spent} simulated cycles total")
+    return 1 if failures else 0
+
+
+def _replay(args) -> int:
+    program = load_artifact(args.replay)
+    result = run_differential(program)
+    print(f"replay {args.replay}: {len(program)} op(s)")
+    for failure in result.invariant_failures:
+        print(f"  INVARIANT: {failure}")
+    for div in result.divergences:
+        print(f"  {div.describe()}")
+    if result.ok:
+        print("  no divergence (bug fixed, or artifact is stale)")
+        return 0
+    return 1
+
+
+def main(argv=None) -> int:
+    parser = argparse.ArgumentParser(
+        prog="python -m repro.proptest",
+        description="Differential fuzzing of every IPC mechanism "
+                    "against the shared oracle.")
+    parser.add_argument("--seed", type=int, default=0,
+                        help="base seed; program i uses seed+i")
+    parser.add_argument("--programs", type=int, default=50,
+                        help="number of programs to generate and run")
+    parser.add_argument("--min-ops", type=int, default=6)
+    parser.add_argument("--max-ops", type=int, default=20)
+    parser.add_argument("--out", default=ARTIFACT_DIR,
+                        help="artifact directory for counterexamples")
+    parser.add_argument("--replay", metavar="ARTIFACT",
+                        help="replay one saved counterexample and exit")
+    parser.add_argument("--cycle-budget", type=int, default=None,
+                        help="stop fuzzing once this many simulated "
+                             "cycles have been burned")
+    parser.add_argument("--quiet", action="store_true",
+                        help="print failing seeds only")
+    args = parser.parse_args(argv)
+    if args.replay:
+        return _replay(args)
+    return _fuzz(args)
+
+
+if __name__ == "__main__":
+    sys.exit(main())

@@ -1,0 +1,189 @@
+"""Seeded program generation over the service vocabulary.
+
+One ``random.Random(seed)`` drives every choice, so a seed names a
+program forever (no wall clock, no hash-order dependence: all state is
+kept in lists and insertion-ordered dicts).  The generator keeps a
+small symbolic model of the world it is building — which names exist,
+which are granted, how many submits are pending — purely to steer op
+*weights* toward interesting sequences; it never needs the model to be
+right for the program to be valid (see ``grammar.validate``).
+"""
+
+from __future__ import annotations
+
+import random
+from typing import List
+
+from repro.proptest.grammar import (
+    MAX_PENDING, MAX_THEFTS, CallOp, GrantOp, KillOp, PreemptOp, Program,
+    RegisterOp, RevokeOp, SubmitOp, WaitOp,
+)
+
+#: The name pool: up to six concurrently known services.
+NAMES = ("svc0", "svc1", "svc2", "svc3", "svc4", "svc5")
+
+#: kind weights at registration time (thieves are rare but present).
+KIND_WEIGHTS = (("echo", 4), ("xform", 3), ("counter", 3), ("kv", 3),
+                ("chain", 2), ("thief", 1))
+
+#: op weights while building the body.
+OP_WEIGHTS = (("call", 10), ("submit", 5), ("wait", 3), ("register", 3),
+              ("grant", 3), ("revoke", 2), ("kill", 2), ("preempt", 1))
+
+KV_KEYS = ("alpha", "beta", "gamma")
+
+MAX_PAYLOAD = 96
+
+
+def _weighted(rng: random.Random, table):
+    total = sum(w for _, w in table)
+    pick = rng.randrange(total)
+    for value, weight in table:
+        pick -= weight
+        if pick < 0:
+            return value
+    raise AssertionError("unreachable")
+
+
+def _payload(rng: random.Random) -> bytes:
+    n = rng.randrange(MAX_PAYLOAD + 1)
+    return bytes(rng.randrange(256) for _ in range(n))
+
+
+class _World:
+    """The generator's symbolic view of the program so far."""
+
+    def __init__(self) -> None:
+        self.kinds = {}          # name -> kind of the current generation
+        self.granted = {}        # name -> bool (sync-call right)
+        self.alive = {}          # name -> bool
+        self.pending = 0
+        self.thefts = 0
+
+    def names(self) -> List[str]:
+        return list(self.kinds)
+
+
+def _request_for(rng: random.Random, kind: str, name: str, world: _World):
+    """(meta, payload, reply_capacity) for one request to *name*."""
+    if kind == "echo":
+        data = _payload(rng)
+        return ("echo", rng.randrange(100)), data, len(data)
+    if kind == "xform":
+        data = _payload(rng)
+        return ("xf", rng.randrange(100)), data, len(data)
+    if kind == "counter":
+        return ("add", rng.randrange(10)), b"", 16
+    if kind == "kv":
+        key = rng.choice(KV_KEYS)
+        if rng.random() < 0.5:
+            data = _payload(rng)
+            return ("put", key), data, max(len(data), 8)
+        return ("get", key), b"", 128
+    if kind == "thief":
+        return ("steal", rng.randrange(100)), b"", 8
+    if kind == "chain":
+        # Pick an inner target among the *other* known names (never a
+        # chain — the vocabulary has no recursive chains) or, rarely, a
+        # name that does not exist, exercising the inner no-service arm.
+        candidates = [n for n in world.names()
+                      if n != name and world.kinds.get(n) != "chain"]
+        if candidates and rng.random() < 0.9:
+            target = rng.choice(candidates)
+        else:
+            target = "ghost"
+        target_kind = world.kinds.get(target, "echo")
+        inner_meta, data, inner_cap = _request_for(
+            rng, target_kind, target, world)
+        # The §4.4 sliding-window handover re-masks the live window, so
+        # it needs a non-empty window and an in-place-sized reply:
+        # stateless transforms only.  Everything else stages through a
+        # scratch segment (the swapseg path).
+        handover = (target_kind in ("echo", "xform") and len(data) > 0
+                    and rng.random() < 0.5)
+        cap = len(data) if handover else max(inner_cap, 512)
+        return ("fwd", target, int(handover), inner_meta), data, cap
+    raise ValueError(f"unknown kind {kind!r}")
+
+
+def _register(rng: random.Random, world: _World) -> RegisterOp:
+    name = rng.choice(NAMES)
+    kind = _weighted(rng, KIND_WEIGHTS)
+    world.kinds[name] = kind
+    world.granted[name] = False
+    world.alive[name] = True
+    return RegisterOp(name, kind)
+
+
+def _pick_name(rng: random.Random, world: _World) -> str:
+    """Mostly a known name; sometimes an unknown one (no-service arm)."""
+    names = world.names()
+    if names and rng.random() < 0.92:
+        return rng.choice(names)
+    return "ghost"
+
+
+def generate(seed: int, min_ops: int = 6, max_ops: int = 20) -> Program:
+    """One program for one seed.  Deterministic; structurally valid."""
+    rng = random.Random(seed)
+    world = _World()
+    ops = []
+    for _ in range(rng.randrange(1, 4)):
+        ops.append(_register(rng, world))
+        if rng.random() < 0.8:
+            ops.append(GrantOp(ops[-1].name))
+            world.granted[ops[-1].name] = True
+    body = rng.randrange(min_ops, max_ops + 1)
+    while len(ops) < body:
+        kind = _weighted(rng, OP_WEIGHTS)
+        if kind == "register":
+            ops.append(_register(rng, world))
+        elif kind == "grant":
+            name = _pick_name(rng, world)
+            ops.append(GrantOp(name))
+            if name in world.kinds:
+                world.granted[name] = True
+        elif kind == "revoke":
+            name = _pick_name(rng, world)
+            ops.append(RevokeOp(name))
+            if name in world.kinds:
+                world.granted[name] = False
+        elif kind == "kill":
+            name = _pick_name(rng, world)
+            ops.append(KillOp(name, lazy=rng.random() < 0.7))
+            if name in world.kinds:
+                world.alive[name] = False
+        elif kind == "preempt":
+            ops.append(PreemptOp())
+        elif kind == "wait":
+            ops.append(WaitOp())
+            world.pending = 0
+        elif kind == "call":
+            name = _pick_name(rng, world)
+            svc_kind = world.kinds.get(name, "echo")
+            thieving = (svc_kind == "thief")
+            meta, payload, cap = _request_for(rng, svc_kind, name, world)
+            if svc_kind == "chain" and world.kinds.get(meta[1]) == "thief":
+                thieving = True
+            if thieving:
+                if world.thefts >= MAX_THEFTS:
+                    continue
+                world.thefts += 1
+            ops.append(CallOp(name, meta, payload, cap))
+        elif kind == "submit":
+            if world.pending >= MAX_PENDING:
+                ops.append(WaitOp())
+                world.pending = 0
+                continue
+            name = _pick_name(rng, world)
+            svc_kind = world.kinds.get(name, "echo")
+            if svc_kind == "thief":
+                continue        # thieves are sync-only by construction
+            meta, payload, cap = _request_for(rng, svc_kind, name, world)
+            if svc_kind == "chain" and world.kinds.get(meta[1]) == "thief":
+                continue
+            ops.append(SubmitOp(name, meta, payload, cap))
+            world.pending += 1
+    if world.pending:
+        ops.append(WaitOp())
+    return Program(tuple(ops), seed)

@@ -1,0 +1,162 @@
+"""The oracle: a pure reference model of XPC-visible semantics.
+
+No cycles, no segments, no kernels — just the ownership, capability and
+message rules the paper's protocol promises (§3–§4), small enough to
+audit by eye.  Every executor must produce exactly these observable
+outcomes; anything else is a divergence worth a counterexample.
+
+The model the paper implies, op by op:
+
+* **register** starts a new *generation* of a name.  The previous
+  generation stays alive (its x-entries are not torn down) but new
+  traffic binds to the new one.
+* **grant / revoke** toggle the *client's* sync-call capability — the
+  engine's xcall-cap test (§3.2).  The async ring entry belongs to the
+  ring's own client thread, so revocation never touches submits.
+* **kill** invalidates the current generation's x-entries (§4.2):
+  later calls — and pending submits bound to it — surface peer-death.
+* A **sync call** is checked in the engine's order: unknown name →
+  ``no-service``; capability cleared → ``denied`` (the cap test fires
+  before the x-entry load); generation dead → ``peer-died``; then the
+  handler runs.  A handler exception is a typed ``handler-error``; a
+  thief (a callee that swapsegs the handed-over window away) trips the
+  §3.3 return-time integrity check and surfaces as ``peer-died``.
+* **submit** binds a request to the target's current generation and
+  parks it; **wait** completes all pending requests in submission
+  order, each evaluated against the world *at the wait* (batching
+  defers execution, it does not snapshot state).
+* **chain** services call onward (§4.4): the inner outcome is folded
+  into the reply — ``("via",) + inner_meta`` on success,
+  ``("via-err", kind)`` on an inner error — so one outer outcome
+  captures the whole hop.
+"""
+
+from __future__ import annotations
+
+from typing import List, Optional
+
+from repro.proptest.grammar import (
+    CallOp, GrantOp, KillOp, PreemptOp, Program, RegisterOp, RevokeOp,
+    SubmitOp, WaitOp, counter_bytes, xform_bytes,
+)
+
+OK = ("ok",)
+
+
+class _Gen:
+    """One generation of one service name."""
+
+    def __init__(self, name: str, kind: str) -> None:
+        self.name = name
+        self.kind = kind
+        self.alive = True
+        self.granted = False
+        self.counter = 0
+        self.kv = {}
+
+
+class Oracle:
+    """Interpret a program; :meth:`expected` returns all outcomes."""
+
+    def __init__(self) -> None:
+        self.services = {}                     # name -> current _Gen
+        self.pending: List[tuple] = []         # (gen|None, meta, payload)
+
+    # -- public -------------------------------------------------------
+    def expected(self, program: Program) -> List[tuple]:
+        return [self.step(op) for op in program.ops]
+
+    def step(self, op) -> tuple:
+        if isinstance(op, RegisterOp):
+            self.services[op.name] = _Gen(op.name, op.kind)
+            return OK
+        if isinstance(op, GrantOp):
+            gen = self.services.get(op.name)
+            if gen is None:
+                return ("error", "no-service")
+            gen.granted = True
+            return OK
+        if isinstance(op, RevokeOp):
+            gen = self.services.get(op.name)
+            if gen is None:
+                return ("error", "no-service")
+            gen.granted = False
+            return OK
+        if isinstance(op, KillOp):
+            gen = self.services.get(op.name)
+            if gen is None:
+                return ("error", "no-service")
+            gen.alive = False
+            return OK
+        if isinstance(op, PreemptOp):
+            return OK
+        if isinstance(op, CallOp):
+            return self._sync_call(op.name, op.meta, op.payload)
+        if isinstance(op, SubmitOp):
+            self.pending.append((self.services.get(op.name), op.meta,
+                                 op.payload))
+            return ("queued",)
+        if isinstance(op, WaitOp):
+            outcomes = tuple(self._async_call(gen, meta, payload)
+                             for gen, meta, payload in self.pending)
+            self.pending = []
+            return ("batch", outcomes)
+        raise TypeError(f"unknown op {op!r}")
+
+    # -- call semantics ------------------------------------------------
+    def _sync_call(self, name: str, meta: tuple,
+                   payload: bytes) -> tuple:
+        gen = self.services.get(name)
+        if gen is None:
+            return ("error", "no-service")
+        if not gen.granted:
+            return ("error", "denied")
+        if not gen.alive:
+            return ("error", "peer-died")
+        return self._dispatch(gen, meta, payload)
+
+    def _async_call(self, gen: Optional[_Gen], meta: tuple,
+                    payload: bytes) -> tuple:
+        if gen is None:
+            return ("error", "no-service")
+        if not gen.alive:
+            return ("error", "peer-died")
+        return self._dispatch(gen, meta, payload)
+
+    def _dispatch(self, gen: _Gen, meta: tuple, payload: bytes) -> tuple:
+        if gen.kind == "thief":
+            # §3.3: seg-reg no longer matches the linkage record at
+            # xret; the trap is repaired into a peer death (§4.2).
+            return ("error", "peer-died")
+        if gen.kind == "echo":
+            return ("ok", ("echo",) + meta[1:], payload)
+        if gen.kind == "xform":
+            return ("ok", ("xf",) + meta[1:], xform_bytes(payload))
+        if gen.kind == "counter":
+            gen.counter += meta[1]
+            return ("ok", ("cnt", gen.counter), counter_bytes(gen.counter))
+        if gen.kind == "kv":
+            verb, key = meta[0], meta[1]
+            if verb == "put":
+                gen.kv[key] = payload
+                return ("ok", ("put", key, len(payload)), b"")
+            value = gen.kv.get(key)
+            if value is None:
+                return ("error", "handler-error")
+            return ("ok", ("get", key, len(value)), value)
+        if gen.kind == "chain":
+            return self._chain(meta, payload)
+        raise ValueError(f"unknown kind {gen.kind!r}")
+
+    def _chain(self, meta: tuple, payload: bytes) -> tuple:
+        _fwd, target_name, _handover, inner_meta = meta
+        target = self.services.get(target_name)
+        if target is None:
+            return ("ok", ("via-err", "no-service"), b"")
+        if not target.alive:
+            return ("ok", ("via-err", "peer-died"), b"")
+        inner = self._dispatch(target, inner_meta, payload)
+        if inner[0] == "error":
+            return ("ok", ("via-err", inner[1]), b"")
+        _ok, inner_reply_meta, inner_bytes = inner
+        return ("ok", ("via",) + inner_reply_meta, inner_bytes)

@@ -1,0 +1,168 @@
+"""Deterministic shrinking and replayable failure artifacts.
+
+When a program diverges, ddmin (Zeller's delta debugging) plus a greedy
+single-op sweep reduce it to a locally-minimal program that still
+diverges.  The grammar is closed under op removal (unknown names become
+typed ``no-service`` outcomes, grants and kills are idempotent), so
+every candidate the shrinker tries is a valid program — no repair step,
+no generated garbage.
+
+The result is saved as a JSON artifact under ``proptest-failures/``
+that replays exactly: the program, the expected and observed outcomes,
+and the executors that disagreed.  Artifact names are derived from the
+program's content hash — deterministic across machines and reruns.
+"""
+
+from __future__ import annotations
+
+import hashlib
+import json
+import os
+from typing import Callable, List, Optional
+
+from repro.proptest.grammar import (Program, SCHEMA, outcome_from_jsonable,
+                                    outcome_to_jsonable)
+from repro.proptest.harness import DiffResult, run_differential
+
+#: Default artifact directory (git-ignored; CI uploads it on failure).
+ARTIFACT_DIR = "proptest-failures"
+
+
+def make_predicate(factories: Optional[list] = None,
+                   executors: Optional[List[str]] = None
+                   ) -> Callable[[Program], bool]:
+    """True iff the program still diverges (cached by op sequence).
+
+    *executors* restricts the check to the mechanisms that failed the
+    original run — sound (a minimized program that reproduces on one
+    executor is a counterexample) and much faster than re-running the
+    full roster per ddmin probe.
+    """
+    cache = {}
+
+    def diverges(program: Program) -> bool:
+        key = program.ops
+        if key in cache:
+            return cache[key]
+        result = run_differential(program, factories=_filtered(
+            factories, executors))
+        verdict = bool(result.divergences)
+        cache[key] = verdict
+        return verdict
+
+    return diverges
+
+
+def _filtered(factories, executors):
+    if factories is None and executors is None:
+        return None
+    from repro.proptest.executors import default_executor_factories
+    pool = factories if factories is not None \
+        else default_executor_factories()
+    if executors is None:
+        return pool
+    picked = [(name, f) for name, f in pool if name in executors]
+    return picked or pool
+
+
+def shrink(program: Program,
+           predicate: Callable[[Program], bool]) -> Program:
+    """Minimize *program* while *predicate* stays true."""
+    if not predicate(program):
+        return program
+    program = _ddmin(program, predicate)
+    return _greedy(program, predicate)
+
+
+def _ddmin(program: Program, predicate) -> Program:
+    granularity = 2
+    while len(program) >= 2:
+        chunk = max(1, (len(program) + granularity - 1) // granularity)
+        reduced = False
+        for start in range(0, len(program), chunk):
+            candidate = program.without(
+                range(start, min(start + chunk, len(program))))
+            if len(candidate) and predicate(candidate):
+                program = candidate
+                granularity = max(granularity - 1, 2)
+                reduced = True
+                break
+        if not reduced:
+            if granularity >= len(program):
+                break
+            granularity = min(granularity * 2, len(program))
+    return program
+
+
+def _greedy(program: Program, predicate) -> Program:
+    changed = True
+    while changed and len(program) > 1:
+        changed = False
+        for i in range(len(program)):
+            candidate = program.without([i])
+            if predicate(candidate):
+                program = candidate
+                changed = True
+                break
+    return program
+
+
+# ---------------------------------------------------------------------------
+# Artifacts
+# ---------------------------------------------------------------------------
+
+def artifact_name(program: Program) -> str:
+    digest = hashlib.sha256(
+        program.to_json().encode("utf-8")).hexdigest()[:12]
+    return f"counterexample-{digest}-{len(program)}ops.json"
+
+
+def save_artifact(program: Program, result: DiffResult,
+                  out_dir: str = ARTIFACT_DIR) -> str:
+    """Write a replayable counterexample; returns its path."""
+    os.makedirs(out_dir, exist_ok=True)
+    payload = {
+        "schema": SCHEMA,
+        "program": program.to_dict(),
+        "expected": [outcome_to_jsonable(o) for o in result.expected],
+        "divergences": [
+            {"executor": d.executor, "op_index": d.op_index,
+             "expected": outcome_to_jsonable(d.expected),
+             "actual": outcome_to_jsonable(d.actual)}
+            for d in result.divergences
+        ],
+        "invariant_failures": list(result.invariant_failures),
+        "fault_traces": {
+            r.executor: r.fault_trace for r in result.reports
+            if r.fault_trace
+        },
+    }
+    path = os.path.join(out_dir, artifact_name(program))
+    with open(path, "w", encoding="utf-8") as fh:
+        json.dump(payload, fh, indent=2, sort_keys=True)
+        fh.write("\n")
+    return path
+
+
+def load_artifact(path: str) -> Program:
+    with open(path, "r", encoding="utf-8") as fh:
+        payload = json.load(fh)
+    if payload.get("schema") != SCHEMA:
+        raise ValueError(
+            f"{path}: unknown artifact schema {payload.get('schema')!r}")
+    return Program.from_dict(payload["program"])
+
+
+def load_artifact_expectations(path: str) -> List[tuple]:
+    """The outcomes the oracle expected when the artifact was written."""
+    with open(path, "r", encoding="utf-8") as fh:
+        payload = json.load(fh)
+    return [outcome_from_jsonable(o) for o in payload.get("expected", [])]
+
+
+def minimize_failure(program: Program, result: DiffResult,
+                     factories: Optional[list] = None) -> Program:
+    """Shrink against exactly the executors that originally failed."""
+    failing = sorted({d.executor for d in result.divergences})
+    predicate = make_predicate(factories, failing or None)
+    return shrink(program, predicate)

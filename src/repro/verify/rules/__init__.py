@@ -9,19 +9,23 @@ from repro.verify.rules.cycles import CycleAccountingRule
 from repro.verify.rules.errors import ErrorDisciplineRule
 from repro.verify.rules.obs import ObsDisciplineRule
 from repro.verify.rules.aio import AioDisciplineRule
+from repro.verify.rules.proptest import ProptestDisciplineRule
 from repro.verify.rules.state import StateMutationRule
 
 
 def default_rules():
     """One fresh instance of every rule in the suite."""
     return [LayeringRule(), CycleAccountingRule(), ErrorDisciplineRule(),
-            StateMutationRule(), ObsDisciplineRule(), AioDisciplineRule()]
+            StateMutationRule(), ObsDisciplineRule(), AioDisciplineRule(),
+            ProptestDisciplineRule()]
 
 
 #: The rule classes, for introspection / selective runs.
 DEFAULT_RULES = (LayeringRule, CycleAccountingRule, ErrorDisciplineRule,
-                 StateMutationRule, ObsDisciplineRule, AioDisciplineRule)
+                 StateMutationRule, ObsDisciplineRule, AioDisciplineRule,
+                 ProptestDisciplineRule)
 
 __all__ = ["AioDisciplineRule", "LayeringRule", "CycleAccountingRule",
-           "ErrorDisciplineRule", "ObsDisciplineRule", "StateMutationRule",
+           "ErrorDisciplineRule", "ObsDisciplineRule",
+           "ProptestDisciplineRule", "StateMutationRule",
            "default_rules", "DEFAULT_RULES"]

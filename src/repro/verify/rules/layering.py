@@ -71,6 +71,11 @@ ALLOWED_IMPORTS = {
     "tools": {"analysis", "params", "obs"},
     "verify": {"runtime", "kernel", "xpc", "hw", "params", "faults",
                "analysis", "obs"},
+    # Differential fuzzing drives every mechanism (and the analytic
+    # model) from above, so it sits at the top of the stack alongside
+    # apps; nothing may import *it*.
+    "proptest": {"compare", "aio", "ipc", "sel4", "zircon", "runtime",
+                 "kernel", "xpc", "hw", "params", "faults", "obs"},
 }
 
 #: Modules of repro.hw that form its public, architectural surface.

@@ -1,0 +1,82 @@
+"""Proptest-discipline rule: executors may not import the oracle.
+
+The differential harness is only evidence if its two sides are
+independent: the oracle is a pure reference model of the protocol's
+semantics, and the executors earn the same outcomes through the real
+mechanisms.  An executor that imports the oracle (to "reuse" its
+dispatch logic, or to consult the expected outcome mid-run) collapses
+the diff into a tautology — both sides would share the very code under
+test.
+
+Inside ``repro.proptest`` this rule forbids the mechanism-side modules
+(``executors`` and the generator, which must steer by grammar weights
+alone) from importing ``repro.proptest.oracle`` — absolutely *or*
+relatively (the layering rule skips relative imports, so this rule
+handles both forms itself).  The shared vocabulary lives in
+``grammar``; the only module allowed to see both sides is the harness.
+
+``# verify-ok: proptest-discipline`` suppresses a sanctioned site.
+"""
+
+from __future__ import annotations
+
+import ast
+from typing import Iterator
+
+from repro.verify.lint import (
+    LintViolation, ModuleInfo, Rule, in_type_checking_block,
+)
+
+#: Modules of repro.proptest that drive the real mechanisms and must
+#: stay blind to the reference model.
+MECHANISM_SIDE = frozenset({"executors", "gen"})
+
+#: The reference-model module they may not see.
+ORACLE_MODULE = "oracle"
+
+
+class ProptestDisciplineRule(Rule):
+    name = "proptest-discipline"
+    description = ("repro.proptest executors/generator may not import "
+                   "the oracle — the differential's two sides must stay "
+                   "independent")
+
+    def check(self, module: ModuleInfo) -> Iterator[LintViolation]:
+        parts = module.modname.split(".")
+        if module.unit != "proptest" or len(parts) < 3:
+            return
+        if parts[2] not in MECHANISM_SIDE:
+            return
+        for node in ast.walk(module.tree):
+            if not isinstance(node, (ast.Import, ast.ImportFrom)):
+                continue
+            if in_type_checking_block(module.tree, node):
+                continue
+            if self._imports_oracle(node):
+                yield self.violation(
+                    module, node.lineno,
+                    f"repro.proptest.{parts[2]} imports the oracle — "
+                    f"executors must earn outcomes through the real "
+                    f"mechanisms, not the reference model")
+
+    @staticmethod
+    def _imports_oracle(node: ast.AST) -> bool:
+        if isinstance(node, ast.Import):
+            return any(
+                alias.name == f"repro.proptest.{ORACLE_MODULE}"
+                or alias.name.startswith(
+                    f"repro.proptest.{ORACLE_MODULE}.")
+                for alias in node.names)
+        target = node.module or ""
+        if node.level:                       # relative: from . / .oracle
+            return (target == ORACLE_MODULE
+                    or target.startswith(f"{ORACLE_MODULE}.")
+                    or (target == "" and any(
+                        alias.name == ORACLE_MODULE
+                        for alias in node.names)))
+        if target == f"repro.proptest.{ORACLE_MODULE}":
+            return True
+        if target == "repro.proptest":
+            return any(alias.name == ORACLE_MODULE
+                       for alias in node.names)
+        return False

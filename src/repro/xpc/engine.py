@@ -85,6 +85,14 @@ class XPCEngineStats:
 class XPCEngine:
     """One core's XPC engine."""
 
+    #: TEST HOOK — when truthy (set class-wide or per instance) ``xret``
+    #: skips the §3.3 return-time relay-seg integrity check.  It exists
+    #: only so the differential fuzzer can demonstrate that it would
+    #: catch an engine shipping without the check
+    #: (``tests/proptest/test_seeded_bugs.py``); production code never
+    #: sets it.
+    unsafe_skip_return_check = False
+
     def __init__(self, core: Core, table: XEntryTable,
                  config: Optional[XPCConfig] = None) -> None:
         self.core = core
@@ -295,9 +303,10 @@ class XPCEngine:
         # it was handed (§3.3 "Return a relay-seg").  A window the kernel
         # revoked mid-call (§4.4) is exempt: revocation scrubs seg-reg
         # underneath the callee, which is the kernel's doing, not theft.
-        if state.seg_reg != record.passed_seg and not (
-                record.passed_seg.valid
-                and record.passed_seg.segment.revoked):
+        if (not self.unsafe_skip_return_check
+                and state.seg_reg != record.passed_seg and not (
+                    record.passed_seg.valid
+                    and record.passed_seg.segment.revoked)):
             self.stats.exceptions += 1
             # Put the record back: the kernel will repair the chain.
             record.valid = True

@@ -10,6 +10,7 @@ from repro.params import DEFAULT_PARAMS
 from repro.verify import check_ring_invariants
 from repro.xpc.errors import XPCError
 from repro.xpc.relayseg import SegReg
+from tests.aio.conftest import AioWorld
 
 
 def make_ring(entries=4, seg_bytes=8192, params=None):
@@ -187,3 +188,32 @@ class TestCycleAccounting:
         while ring.pop_cqe(core):
             pass
         assert check_ring_invariants(ring) == []
+
+
+class TestPeeksStayUnchargedRegression:
+    """The uncharged observer surfaces (`peek_indices`, `peek_cqes`)
+    must never advance the simulated clock — not on a bare ring and
+    not at any phase of live batched traffic, where the temptation to
+    reuse a charging accessor is strongest."""
+
+    def test_peeks_never_move_the_clock_under_live_traffic(self):
+        world = AioWorld(entries=8, max_batch=8)
+        core, batcher = world.core, world.batcher
+
+        def assert_uncharged():
+            before = core.cycles
+            for _ in range(3):
+                batcher.ring.peek_indices()
+                batcher.ring.peek_cqes()
+            assert core.cycles == before
+
+        assert_uncharged()                       # empty, freshly formatted
+        futures = [batcher.submit(("req", i), bytes([i]) * 8)
+                   for i in range(5)]
+        assert_uncharged()                       # SQEs staged, none served
+        batcher.flush()
+        assert_uncharged()                       # served + harvested
+        for i, future in enumerate(futures):
+            meta, data = future.result()
+            assert data == bytes(reversed(bytes([i]) * 8))
+        assert_uncharged()                       # results consumed

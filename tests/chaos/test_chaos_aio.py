@@ -15,6 +15,8 @@ from pathlib import Path
 
 import pytest
 
+pytestmark = pytest.mark.chaos
+
 import repro.faults as faults
 from repro.aio import WorkerPool, XPCRingFullError
 from repro.faults import FaultPlan

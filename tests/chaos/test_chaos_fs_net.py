@@ -21,6 +21,8 @@ from pathlib import Path
 
 import pytest
 
+pytestmark = pytest.mark.chaos
+
 import repro.faults as faults
 from repro.faults import FaultPlan
 from repro.services.fs import build_fs_stack

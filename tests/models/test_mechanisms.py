@@ -3,6 +3,8 @@
 import pytest
 
 from repro.compare import MECHANISMS, by_name, table7_rows
+from repro.compare.mechanisms import TLB_SHOOTDOWN
+from repro.params import DEFAULT_PARAMS
 
 
 def test_all_fourteen_rows_present():
@@ -64,3 +66,73 @@ def test_table_rows_render():
     xpc_row = [r for r in rows if r[0] == "XPC"][0]
     assert xpc_row[-1] == "0"
     assert xpc_row[4] == xpc_row[5] == "yes"
+    assert all(len(r) == 11 for r in rows)
+
+
+def test_zero_hop_chain_is_free():
+    """chain_cycles(0, n) is 0 everywhere: no hops, no copies, no
+    remaps — the formulas must not charge fixed costs for an empty
+    chain."""
+    for mech in MECHANISMS:
+        assert mech.chain_cycles(0, 4096) == 0, mech.name
+
+
+def test_remap_mechanisms_pay_the_shootdown():
+    """Tornado and MMP move pages by remapping: zero copies, but each
+    hop charges a cross-core TLB shootdown on top of the switch."""
+    for name in ("Tornado", "MMP"):
+        mech = by_name(name)
+        base = mech.chain_cycles(3, 0)
+        # Same mechanism with remaps subtracted = pure switch cost, so
+        # the delta must be exactly hops * TLB_SHOOTDOWN.
+        assert base - 3 * TLB_SHOOTDOWN == \
+            mech.chain_cycles(3, 0) - mech.remap_count(3) * TLB_SHOOTDOWN
+        assert mech.remap_count(3) == 3
+        assert mech.copy_count(3) == 0
+    # L4 shares Tornado's switch flags (trap yes, sched no) but copies
+    # instead of remapping; at 0 bytes the copy is free, so the gap
+    # between the two is purely the shootdown charge.
+    assert (by_name("Tornado").chain_cycles(3, 0)
+            - by_name("L4").chain_cycles(3, 0)) == 3 * TLB_SHOOTDOWN
+
+
+def test_chain_cycles_honors_custom_params():
+    """The ablation hook: chain_cycles(params=...) must price from the
+    given CycleParams, not the module default."""
+    # XPC's trap-free switch floors at xcall_base + tlb_flush once the
+    # residual IPC logic is ablated away.
+    ablated = DEFAULT_PARAMS.clone(ipc_logic=0)
+    xpc = by_name("XPC")
+    assert xpc.chain_cycles(1, 0, ablated) == \
+        ablated.xcall_base + ablated.tlb_flush
+    assert xpc.chain_cycles(1, 0) == DEFAULT_PARAMS.ipc_logic // 2
+
+    # With every switch cost zeroed, Mach-3.0 is pure copies: 2*N
+    # copies of a 64-byte message at 1 cycle/byte and no setup.
+    copies_only = DEFAULT_PARAMS.clone(
+        trap_enter=0, trap_restore=0, ipc_logic=0, sched_enqueue=0,
+        sched_pick=0, context_switch=0, copy_setup=0, copy_per_byte=1.0)
+    assert by_name("Mach-3.0").chain_cycles(2, 64, copies_only) == 256
+
+
+def test_message_size_sensitivity():
+    """Copying mechanisms grow with the payload; zero-copy ones
+    (handover or remap) are size-invariant."""
+    for name in ("Mach-3.0", "LRPC", "L4", "DTU", "SkyBridge"):
+        mech = by_name(name)
+        assert mech.chain_cycles(3, 8192) > mech.chain_cycles(3, 64), name
+    for name in ("XPC", "CHERI", "CODOMs", "Tornado", "MMP"):
+        mech = by_name(name)
+        assert mech.chain_cycles(3, 8192) == mech.chain_cycles(3, 64), name
+
+
+def test_n_minus_one_copy_formula_edges():
+    """'N-1 copies' must clamp at zero, not go negative, for the
+    shared-memory mechanisms."""
+    for name in ("CrossOver", "SkyBridge", "Opal"):
+        mech = by_name(name)
+        assert mech.copy_count(0) == 0
+        assert mech.copy_count(1) == 0
+        assert mech.copy_count(4) == 3
+        # A 1-hop chain therefore prices identically at any size.
+        assert mech.chain_cycles(1, 65536) == mech.chain_cycles(1, 1)

@@ -1,0 +1,119 @@
+"""Grammar + generator: determinism, serialisation, validity."""
+
+from repro.proptest.gen import generate
+from repro.proptest.grammar import (
+    MAX_PENDING, CallOp, GrantOp, Program, RegisterOp, SubmitOp, WaitOp,
+    counter_bytes, meta_from_jsonable, meta_to_jsonable,
+    outcome_from_jsonable, outcome_to_jsonable, validate, xform_bytes,
+)
+
+
+def test_generator_is_deterministic():
+    for seed in (0, 1, 7, 123456):
+        assert generate(seed) == generate(seed)
+
+
+def test_generator_varies_with_seed():
+    programs = {generate(seed).ops for seed in range(10)}
+    assert len(programs) > 1
+
+
+def test_generated_programs_are_valid():
+    for seed in range(200):
+        program = generate(seed)
+        assert validate(program) == [], f"seed {seed}"
+        assert len(program) >= 1
+
+
+def test_generated_programs_cover_the_vocabulary():
+    """Over a seed range the generator exercises every op type and
+    every service kind — no dead grammar arms."""
+    ops_seen, kinds_seen = set(), set()
+    for seed in range(120):
+        for op in generate(seed).ops:
+            ops_seen.add(op.op)
+            if isinstance(op, RegisterOp):
+                kinds_seen.add(op.kind)
+    assert ops_seen == {"register", "grant", "revoke", "kill", "preempt",
+                        "call", "submit", "wait"}
+    assert kinds_seen == {"echo", "xform", "counter", "kv", "chain",
+                          "thief"}
+
+
+def test_json_round_trip():
+    for seed in range(30):
+        program = generate(seed)
+        assert Program.from_json(program.to_json()) == program
+
+
+def test_round_trip_preserves_bytes_and_nested_meta():
+    op = CallOp("svc0", ("fwd", "svc1", 1, ("echo", 3)),
+                payload=bytes(range(16)), reply_capacity=64)
+    program = Program((op,), seed=9)
+    back = Program.from_json(program.to_json())
+    assert back.ops[0].payload == bytes(range(16))
+    assert back.ops[0].meta == ("fwd", "svc1", 1, ("echo", 3))
+
+
+def test_meta_jsonable_round_trip():
+    meta = ("fwd", "x", 0, ("put", b"\x00\xff", ("deep", 2)))
+    assert meta_from_jsonable(meta_to_jsonable(meta)) == meta
+
+
+def test_outcome_jsonable_round_trip():
+    outcomes = [
+        ("ok", ("echo", 1), b"\x01\x02"),
+        ("error", "peer-died"),
+        ("queued",),
+        ("batch", (("ok", ("cnt", 3), counter_bytes(3)),
+                   ("error", "no-service"))),
+        ("ok",),
+    ]
+    for outcome in outcomes:
+        assert outcome_from_jsonable(
+            outcome_to_jsonable(outcome)) == outcome
+
+
+def test_without_removes_indices():
+    program = generate(3)
+    smaller = program.without([0, len(program) - 1])
+    assert len(smaller) == len(program) - 2
+    assert smaller.ops == program.ops[1:-1]
+
+
+def test_validity_is_closed_under_removal():
+    """Any subsequence of a valid program is valid — the property the
+    shrinker's soundness rests on."""
+    for seed in range(40):
+        program = generate(seed)
+        assert validate(program.without(range(0, len(program), 2))) == []
+        assert validate(program.without(range(1, len(program), 2))) == []
+
+
+def test_validate_flags_pending_overflow():
+    ops = tuple(SubmitOp("svc0", ("echo", i))
+                for i in range(MAX_PENDING + 1)) + (WaitOp(),)
+    problems = validate(Program(ops))
+    assert any("pending" in p for p in problems)
+
+
+def test_validate_flags_submit_to_thief():
+    ops = (RegisterOp("svc0", "thief"), SubmitOp("svc0", ("steal", 1)))
+    problems = validate(Program(ops))
+    assert any("thief" in p for p in problems)
+
+
+def test_validate_flags_unknown_kind():
+    problems = validate(Program((RegisterOp("svc0", "warlock"),)))
+    assert any("warlock" in p for p in problems)
+
+
+def test_xform_is_an_involution_modulo_reverse():
+    data = bytes(range(40))
+    assert xform_bytes(xform_bytes(data)) == data
+    assert xform_bytes(b"") == b""
+
+
+def test_grant_op_round_trip_defaults():
+    program = Program((GrantOp("svc2"),))
+    assert Program.from_json(program.to_json()).ops[0] == GrantOp("svc2")

@@ -1,0 +1,151 @@
+"""The oracle's reference semantics, pinned op by op."""
+
+from repro.proptest.grammar import (
+    CallOp, GrantOp, KillOp, PreemptOp, Program, RegisterOp, RevokeOp,
+    SubmitOp, WaitOp, counter_bytes, xform_bytes,
+)
+from repro.proptest.oracle import Oracle
+
+
+def expected(*ops):
+    return Oracle().expected(Program(tuple(ops)))
+
+
+def test_echo_round_trip():
+    out = expected(RegisterOp("s", "echo"), GrantOp("s"),
+                   CallOp("s", ("echo", 7), b"hi", 2))
+    assert out == [("ok",), ("ok",), ("ok", ("echo", 7), b"hi")]
+
+
+def test_xform_applies_the_specified_transform():
+    data = bytes(range(10))
+    out = expected(RegisterOp("s", "xform"), GrantOp("s"),
+                   CallOp("s", ("xf", 1), data, len(data)))
+    assert out[-1] == ("ok", ("xf", 1), xform_bytes(data))
+
+
+def test_counter_accumulates_within_a_generation():
+    out = expected(RegisterOp("s", "counter"), GrantOp("s"),
+                   CallOp("s", ("add", 3)), CallOp("s", ("add", 4)))
+    assert out[-2] == ("ok", ("cnt", 3), counter_bytes(3))
+    assert out[-1] == ("ok", ("cnt", 7), counter_bytes(7))
+
+
+def test_reregistration_starts_a_fresh_generation():
+    out = expected(RegisterOp("s", "counter"), GrantOp("s"),
+                   CallOp("s", ("add", 5)),
+                   RegisterOp("s", "counter"), GrantOp("s"),
+                   CallOp("s", ("add", 1)))
+    assert out[2] == ("ok", ("cnt", 5), counter_bytes(5))
+    assert out[5] == ("ok", ("cnt", 1), counter_bytes(1))
+
+
+def test_kv_put_get_and_miss():
+    out = expected(RegisterOp("s", "kv"), GrantOp("s"),
+                   CallOp("s", ("put", "alpha"), b"v", 8),
+                   CallOp("s", ("get", "alpha"), b"", 8),
+                   CallOp("s", ("get", "beta"), b"", 8))
+    assert out[2] == ("ok", ("put", "alpha", 1), b"")
+    assert out[3] == ("ok", ("get", "alpha", 1), b"v")
+    assert out[4] == ("error", "handler-error")
+
+
+def test_error_arm_ordering():
+    """no-service beats denied beats peer-died beats dispatch."""
+    assert expected(CallOp("ghost", ("echo", 0)))[0] == \
+        ("error", "no-service")
+    assert expected(RegisterOp("s", "echo"),
+                    CallOp("s", ("echo", 0)))[-1] == ("error", "denied")
+    # Revoked + killed: the cap test fires before the x-entry load.
+    out = expected(RegisterOp("s", "echo"), GrantOp("s"),
+                   RevokeOp("s"), KillOp("s"), CallOp("s", ("echo", 0)))
+    assert out[-1] == ("error", "denied")
+    out = expected(RegisterOp("s", "echo"), GrantOp("s"), KillOp("s"),
+                   CallOp("s", ("echo", 0)))
+    assert out[-1] == ("error", "peer-died")
+
+
+def test_control_ops_on_unknown_names():
+    out = expected(GrantOp("ghost"), RevokeOp("ghost"), KillOp("ghost"),
+                   PreemptOp())
+    assert out == [("error", "no-service")] * 3 + [("ok",)]
+
+
+def test_thief_surfaces_as_peer_death():
+    out = expected(RegisterOp("t", "thief"), GrantOp("t"),
+                   CallOp("t", ("steal", 1), b"", 8))
+    assert out[-1] == ("error", "peer-died")
+
+
+def test_chain_folds_inner_outcomes():
+    data = b"abcd"
+    out = expected(
+        RegisterOp("c", "chain"), GrantOp("c"),
+        RegisterOp("e", "echo"),
+        CallOp("c", ("fwd", "e", 1, ("echo", 2)), data, len(data)),
+        CallOp("c", ("fwd", "ghost", 0, ("echo", 2)), data, 512),
+        KillOp("e"),
+        CallOp("c", ("fwd", "e", 0, ("echo", 2)), data, 512))
+    # Inner echo succeeds even though "e" was never granted to the
+    # *client*: chains call with their own capability.
+    assert out[3] == ("ok", ("via", "echo", 2), data)
+    assert out[4] == ("ok", ("via-err", "no-service"), b"")
+    assert out[6] == ("ok", ("via-err", "peer-died"), b"")
+
+
+def test_chain_inner_side_effects_are_real():
+    out = expected(
+        RegisterOp("c", "chain"), GrantOp("c"),
+        RegisterOp("n", "counter"), GrantOp("n"),
+        CallOp("c", ("fwd", "n", 0, ("add", 2)), b"", 512),
+        CallOp("n", ("add", 1)))
+    assert out[4] == ("ok", ("via", "cnt", 2), counter_bytes(2))
+    assert out[5] == ("ok", ("cnt", 3), counter_bytes(3))
+
+
+def test_submit_binds_generation_but_reads_state_at_wait():
+    out = expected(
+        RegisterOp("s", "counter"), GrantOp("s"),
+        SubmitOp("s", ("add", 2)),
+        RegisterOp("s", "counter"), GrantOp("s"),
+        CallOp("s", ("add", 10)),
+        WaitOp())
+    assert out[2] == ("queued",)
+    # The submit bound to generation 1; its counter was still 0 at the
+    # wait, so the async add lands on 2 — not on the new gen's 12.
+    assert out[6] == ("batch", (("ok", ("cnt", 2), counter_bytes(2)),))
+
+
+def test_submit_to_killed_generation_dies_at_wait():
+    out = expected(
+        RegisterOp("s", "echo"), GrantOp("s"),
+        SubmitOp("s", ("echo", 1), b"x", 1),
+        KillOp("s"), WaitOp())
+    assert out[-1] == ("batch", (("error", "peer-died"),))
+
+
+def test_submits_ignore_sync_revocation():
+    """The async ring entry is the ring client's capability: revoking
+    the *client's* sync cap between submit and wait changes nothing."""
+    out = expected(
+        RegisterOp("s", "echo"), GrantOp("s"),
+        SubmitOp("s", ("echo", 1), b"x", 1),
+        RevokeOp("s"), WaitOp())
+    assert out[-1] == ("batch", (("ok", ("echo", 1), b"x"),))
+
+
+def test_submit_to_unknown_name():
+    out = expected(SubmitOp("ghost", ("echo", 0)), WaitOp())
+    assert out == [("queued",),
+                   ("batch", (("error", "no-service"),))]
+
+
+def test_wait_drains_in_submission_order():
+    out = expected(
+        RegisterOp("a", "echo"), RegisterOp("b", "xform"),
+        SubmitOp("b", ("xf", 1), b"z", 1),
+        SubmitOp("a", ("echo", 2), b"y", 1),
+        WaitOp(), WaitOp())
+    assert out[4] == ("batch", (("ok", ("xf", 1), xform_bytes(b"z")),
+                                ("ok", ("echo", 2), b"y")))
+    assert out[5] == ("batch", ())

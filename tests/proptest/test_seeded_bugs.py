@@ -1,0 +1,96 @@
+"""Bug-detection power: seed a real protocol bug, watch the harness
+catch it and shrink it to a replayable counterexample.
+
+The seeded bug disables the §3.3 return-time relay-seg integrity check
+(``XPCEngine.unsafe_skip_return_check``): a thief that parks the
+caller's window via ``swapseg`` then returns would normally trap at
+``xret`` and surface as a repaired peer death; with the check off the
+theft silently succeeds — exactly the class of protocol hole the
+differential harness exists to find.
+"""
+
+import pytest
+
+from repro.proptest.executors import SyncExecutor
+from repro.proptest.grammar import (CallOp, GrantOp, PreemptOp, Program,
+                                    RegisterOp)
+from repro.proptest.harness import run_differential
+from repro.proptest.shrink import (load_artifact, make_predicate,
+                                   minimize_failure, save_artifact,
+                                   shrink)
+from repro.sel4 import Sel4Kernel, Sel4XPCTransport
+from repro.xpc.engine import XPCEngine
+
+#: A thief buried in ten ops of noise.
+THEFT_PROGRAM = Program((
+    RegisterOp("e", "echo"), GrantOp("e"),
+    CallOp("e", ("echo", 1), b"x", 1),
+    RegisterOp("t", "thief"), GrantOp("t"),
+    PreemptOp(),
+    CallOp("e", ("echo", 2), b"y", 1),
+    CallOp("t", ("steal", 3), b"", 8),
+    GrantOp("e"),
+    CallOp("e", ("echo", 4), b"z", 1),
+), seed=1)
+
+#: One XPC executor is enough to demonstrate detection and keeps the
+#: shrinker's probes cheap.
+FACTORIES = [("seL4-XPC", lambda: SyncExecutor(
+    "seL4-XPC", Sel4Kernel, Sel4XPCTransport, is_xpc=True))]
+
+
+@pytest.fixture
+def broken_return_check():
+    XPCEngine.unsafe_skip_return_check = True
+    try:
+        yield
+    finally:
+        XPCEngine.unsafe_skip_return_check = False
+
+
+def test_intact_check_means_no_divergence():
+    result = run_differential(THEFT_PROGRAM, factories=FACTORIES)
+    assert result.ok
+
+
+def test_seeded_bug_is_caught(broken_return_check):
+    result = run_differential(THEFT_PROGRAM, factories=FACTORIES)
+    assert result.divergences, "harness missed the disabled §3.3 check"
+    div = result.divergences[0]
+    assert div.expected == ("error", "peer-died")
+    assert div.actual[0] == "ok" and div.actual[1][0] == "stolen"
+
+
+def test_seeded_bug_shrinks_to_a_minimal_counterexample(
+        broken_return_check, tmp_path):
+    result = run_differential(THEFT_PROGRAM, factories=FACTORIES)
+    small = minimize_failure(THEFT_PROGRAM, result, factories=FACTORIES)
+    assert len(small) <= 10
+    # The locally-minimal core: register the thief, grant it, call it.
+    assert sorted(op.op for op in small.ops) == \
+        ["call", "grant", "register"]
+    assert all(getattr(op, "name", "t") == "t" for op in small.ops)
+
+    # The artifact replays: same program, same divergence.
+    small_result = run_differential(small, factories=FACTORIES)
+    assert small_result.divergences
+    path = save_artifact(small, small_result, out_dir=str(tmp_path))
+    replayed = load_artifact(path)
+    assert replayed == small
+    assert run_differential(replayed, factories=FACTORIES).divergences
+
+
+def test_fixed_bug_makes_the_artifact_stale(broken_return_check,
+                                            tmp_path):
+    result = run_differential(THEFT_PROGRAM, factories=FACTORIES)
+    small = minimize_failure(THEFT_PROGRAM, result, factories=FACTORIES)
+    XPCEngine.unsafe_skip_return_check = False       # "fix" the bug
+    assert run_differential(small, factories=FACTORIES).ok
+
+
+def test_make_predicate_caches_probes(broken_return_check):
+    predicate = make_predicate(factories=FACTORIES)
+    assert predicate(THEFT_PROGRAM)
+    assert predicate(THEFT_PROGRAM)      # second probe hits the cache
+    small = shrink(THEFT_PROGRAM, predicate)
+    assert len(small) <= 3

@@ -1,0 +1,84 @@
+"""Shrinker mechanics and artifact round-trips (no machines)."""
+
+import os
+
+from repro.proptest.grammar import (CallOp, GrantOp, PreemptOp, Program,
+                                    RegisterOp)
+from repro.proptest.harness import DiffResult, Divergence
+from repro.proptest.shrink import (artifact_name, load_artifact,
+                                   load_artifact_expectations,
+                                   save_artifact, shrink)
+
+
+def noisy_program():
+    """Ten ops; only REGISTER t + CALL t matter to the predicate."""
+    return Program((
+        RegisterOp("a", "echo"), GrantOp("a"), PreemptOp(),
+        RegisterOp("t", "thief"), GrantOp("t"),
+        CallOp("a", ("echo", 1), b"x", 1), PreemptOp(),
+        CallOp("t", ("steal", 2), b"", 8),
+        GrantOp("a"), PreemptOp(),
+    ), seed=42)
+
+
+def trigger_predicate(program: Program) -> bool:
+    has_reg = any(isinstance(op, RegisterOp) and op.name == "t"
+                  for op in program.ops)
+    has_call = any(isinstance(op, CallOp) and op.name == "t"
+                   for op in program.ops)
+    return has_reg and has_call
+
+
+def test_shrink_reaches_the_minimal_core():
+    small = shrink(noisy_program(), trigger_predicate)
+    assert len(small) == 2
+    assert [op.op for op in small.ops] == ["register", "call"]
+    assert trigger_predicate(small)
+    assert small.seed == 42
+
+
+def test_shrink_is_deterministic():
+    assert shrink(noisy_program(), trigger_predicate) == \
+        shrink(noisy_program(), trigger_predicate)
+
+
+def test_shrink_leaves_non_failing_programs_alone():
+    program = noisy_program()
+    assert shrink(program, lambda p: False) == program
+
+
+def test_shrink_is_a_fixpoint():
+    small = shrink(noisy_program(), trigger_predicate)
+    assert shrink(small, trigger_predicate) == small
+
+
+def test_artifact_name_is_content_addressed():
+    program = noisy_program()
+    assert artifact_name(program) == artifact_name(program)
+    assert artifact_name(program) != artifact_name(program.without([0]))
+    assert artifact_name(program).endswith("10ops.json")
+
+
+def test_artifact_round_trip(tmp_path):
+    program = noisy_program()
+    expected = [("ok",)] * (len(program) - 1) + [("error", "peer-died")]
+    result = DiffResult(
+        program, expected, reports=[],
+        divergences=[Divergence("seL4-XPC", len(program) - 1,
+                                ("error", "peer-died"),
+                                ("ok", ("stolen", 2), b""))])
+    path = save_artifact(program, result, out_dir=str(tmp_path))
+    assert os.path.basename(path) == artifact_name(program)
+    assert load_artifact(path) == program
+    assert load_artifact_expectations(path) == expected
+
+
+def test_artifact_rejects_unknown_schema(tmp_path):
+    path = tmp_path / "bogus.json"
+    path.write_text('{"schema": "something/else", "program": {}}')
+    try:
+        load_artifact(str(path))
+    except ValueError as exc:
+        assert "schema" in str(exc)
+    else:
+        raise AssertionError("unknown schema accepted")
