@@ -150,3 +150,22 @@ def obs_session(request):
     path = os.path.join(OBS_DIR, f"{slug}.json")
     with open(path, "w") as fh:
         json.dump(session.report(title=request.node.name), fh)
+
+
+@pytest.fixture(autouse=True)
+def san_session(request):
+    """With ``REPRO_XPCSAN=1``: arm XPCSan around every benchmark.
+
+    The sanitizer is cycle-neutral (like obs), so the recorded numbers
+    are byte-identical either way — CI asserts that by diffing
+    ``results.json`` between a sanitized and a plain run.  Any
+    conflicting unsynchronized access fails the benchmark outright.
+    """
+    import repro.san as san
+    session = san.from_env()
+    if session is None:
+        yield None
+        return
+    with san.active(session):
+        yield session
+    assert not session.issues, san.format_issues(session.issues)

@@ -40,6 +40,7 @@ from typing import List, NamedTuple, Optional
 
 import repro.faults as faults
 import repro.obs as obs
+import repro.san as san
 from repro.hw.cpu import Core
 from repro.xpc.errors import XPCError
 from repro.xpc.relayseg import RelaySegment, SegReg
@@ -275,6 +276,9 @@ class XPCRing:
                       slot_len, len(payload)))
         self._store(1, tail + 1)
         self._store(5, seq + 1)
+        if san.ACTIVE is not None:
+            san.ACTIVE.access(core, self, "ring-sq",
+                              "aio.ring.push_sqe", "write")
         core.tick(core.params.aio_sqe_op
                   + int(fill * core.params.relay_fill_per_byte))
         return seq
@@ -288,6 +292,9 @@ class XPCRing:
             self.pa_base + self._cqe_off + (head % self.entries) * CQE_BYTES,
             _CQE.size)
         self._store(2, head + 1)
+        if san.ACTIVE is not None:
+            san.ACTIVE.access(core, self, "ring-cq",
+                              "aio.ring.pop_cqe", "write")
         core.tick(core.params.aio_cqe_op)
         return CQE(*_CQE.unpack(raw))
 
@@ -299,6 +306,11 @@ class XPCRing:
                 f"(sq {self.sq_head}/{self.sq_tail}, "
                 f"cq {self.cq_head}/{self.cq_tail})")
         self._store(4, self._arena_off)
+        if san.ACTIVE is not None:
+            san.ACTIVE.access(core, self, "ring-sq",
+                              "aio.ring.reset", "write")
+            san.ACTIVE.access(core, self, "ring-cq",
+                              "aio.ring.reset", "write")
         core.tick(core.params.aio_index_reload)
 
     # -- drain side (worker owns the segment after the xcall) ----------
@@ -322,6 +334,9 @@ class XPCRing:
             self.pa_base + self._sqe_off + (head % self.entries) * SQE_BYTES,
             _SQE.size)
         self._store(0, head + 1)
+        if san.ACTIVE is not None:
+            san.ACTIVE.access(core, self, "ring-sq",
+                              "aio.ring.pop_sqe", "write")
         core.tick(core.params.aio_sqe_op)
         return SQE(*_SQE.unpack(raw))
 
@@ -340,6 +355,9 @@ class XPCRing:
             _CQE.pack(seq, status, rmeta_off, len(rmeta_bytes),
                       rdata_off, rdata_len))
         self._store(3, tail + 1)
+        if san.ACTIVE is not None:
+            san.ACTIVE.access(core, self, "ring-cq",
+                              "aio.ring.push_cqe", "write")
         core.tick(core.params.aio_cqe_op
                   + int(len(rmeta_bytes) * core.params.relay_fill_per_byte))
 

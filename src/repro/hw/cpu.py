@@ -102,7 +102,9 @@ class Core:
         if self.xpc_engine is not None:
             seg_pa = self.xpc_engine.seg_translate(va, access)
             if seg_pa is not None:
-                return seg_pa
+                # Seg-reg window hit: a register compare, free by design
+                # (§3.3 — the relay segment bypasses the TLB entirely).
+                return seg_pa  # verify-ok: flow-charge
         if self.aspace is None:
             raise PageFault(va, access, "no address space installed")
         hit = self.tlb.lookup(va, self.aspace.asid)
@@ -132,7 +134,8 @@ class Core:
             out += self.mem.read(pa, chunk)
             va += chunk
             n -= chunk
-        return bytes(out)
+        # Every iteration charged above; the n == 0 load is a no-op.
+        return bytes(out)  # verify-ok: flow-charge
 
     def mem_write(self, va: int, data: bytes) -> None:
         """Timed store of *data* to the current context."""

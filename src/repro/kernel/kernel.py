@@ -24,6 +24,7 @@ import itertools
 from typing import Callable, Dict, List, Optional, Tuple
 
 import repro.obs as obs
+import repro.san as san
 from repro.hw.cpu import Core, TrapCause
 from repro.hw.machine import Machine
 from repro.hw.memory import PAGE_SIZE
@@ -104,6 +105,14 @@ class BaseKernel:
         engine = self._engine(core)
         if engine is not None:
             engine.bind(thread, thread.xpc)
+        if san.ACTIVE is not None:
+            # Scheduler dispatch synchronizes the thread's XPC state with
+            # the new core: open fresh epochs on its link stack and seg.
+            san.ACTIVE.handoff(thread.xpc.link_stack, "link-stack",
+                               via="run_thread")
+            if thread.xpc.seg_reg.valid:
+                san.ACTIVE.handoff(thread.xpc.seg_reg.segment,
+                                   "relay-seg", via="run_thread")
 
     def _engine(self, core: Core) -> Optional[XPCEngine]:
         return core.xpc_engine
@@ -237,6 +246,8 @@ class BaseKernel:
                 f"relay segment {seg.seg_id} is active on another thread")
         thread.xpc.seg_reg = SegReg.for_segment(seg)
         seg.active_owner = thread
+        if san.ACTIVE is not None:
+            san.ACTIVE.handoff(seg, "relay-seg", via="install_relay_seg")
 
     def deactivate_relay_seg(self, thread) -> Optional[RelaySegment]:
         """Control plane: invalidate *thread*'s seg-reg, releasing
@@ -248,6 +259,9 @@ class BaseKernel:
         if not window.valid:
             return None
         window.segment.active_owner = None
+        if san.ACTIVE is not None:
+            san.ACTIVE.handoff(window.segment, "relay-seg",
+                               via="deactivate_relay_seg")
         return window.segment
 
     def free_relay_seg(self, core: Core, seg: RelaySegment) -> None:

@@ -36,6 +36,7 @@ from dataclasses import dataclass, field
 from typing import Callable, List, Optional
 
 import repro.faults as faults
+import repro.san as san
 from repro.aio.batch import Batcher, XPCRequestError
 from repro.aio.server import RingService
 from repro.faults import FaultPlan
@@ -90,6 +91,9 @@ class ExecutionReport:
     op_ipc_cycles: List[int]
     #: The plan's replayable trace when run under a faulting wrapper.
     fault_trace: Optional[list] = None
+    #: XPCSan findings when run under a sanitizing wrapper (must stay
+    #: empty — any entry is an ownership/race invariant failure).
+    san_issues: Optional[List[str]] = None
 
 
 @dataclass
@@ -582,6 +586,40 @@ class FaultingExecutor:
         return report
 
 
+class SanExecutor:
+    """Run an inner executor with XPCSan armed.
+
+    XPCSan is a pure observer (cycle-neutral, like obs), so outcomes and
+    cycle counts match the unwrapped executor exactly; what it *adds* is
+    the per-core access log over relay-seg ownership, ring indices, and
+    link-stack entries.  Any conflicting unsynchronized access lands in
+    ``report.san_issues``, which the harness treats as an invariant
+    failure — the runtime analogue of the §3.3 single-owner proof.
+    """
+
+    def __init__(self, inner) -> None:
+        self.inner = inner
+        self.name = f"{inner.name}+xpcsan"
+
+    @property
+    def machine(self):
+        return self.inner.machine
+
+    @property
+    def comparable(self):
+        # Cycle-identical to the inner executor, but keep it out of the
+        # cross-mechanism ordering set like the other wrappers.
+        return False
+
+    def run(self, program: Program) -> ExecutionReport:
+        session = san.SanSession()
+        with san.active(session):
+            report = self.inner.run(program)
+        report.executor = self.name
+        report.san_issues = [issue.describe() for issue in session.issues]
+        return report
+
+
 # ---------------------------------------------------------------------------
 # The executor roster
 # ---------------------------------------------------------------------------
@@ -606,4 +644,6 @@ def default_executor_factories():
             fault_seed=17)),
         ("XPC-batched+faults", lambda: FaultingExecutor(
             BatchedExecutor(), fault_seed=23)),
+        ("seL4-XPC+xpcsan", lambda: SanExecutor(SyncExecutor(
+            "seL4-XPC", Sel4Kernel, Sel4XPCTransport, is_xpc=True))),
     ]

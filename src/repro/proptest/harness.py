@@ -27,6 +27,7 @@ from dataclasses import dataclass, field
 from typing import Callable, Dict, List, Optional, Tuple
 
 import repro.obs as obs
+import repro.san as san
 from repro.compare.mechanisms import by_name
 from repro.proptest.executors import (ExecutionReport,
                                       default_executor_factories)
@@ -83,14 +84,27 @@ def run_one(factory: Callable[[], object],
             program: Program) -> Tuple[ExecutionReport, object, int]:
     """Run *program* on a fresh executor under its own obs session.
 
+    With ``REPRO_XPCSAN=1`` in the environment, every executor (not
+    just the ``+xpcsan`` roster variant) also runs under a fresh XPCSan
+    session, and its findings land in ``report.san_issues``.
+
     Returns ``(report, pmu_snapshot, sim_cycles)``.
     """
     session = obs.ObsSession()
+    san_session = san.from_env()
     with obs.active(session):
-        executor = factory()
-        report = executor.run(program)
+        if san_session is not None:
+            with san.active(san_session):
+                executor = factory()
+                report = executor.run(program)
+        else:
+            executor = factory()
+            report = executor.run(program)
         snapshot = session.pmu.snapshot()
         sim_cycles = sum(core.cycles for core in executor.machine.cores)
+    if san_session is not None and report.san_issues is None:
+        report.san_issues = [issue.describe()
+                             for issue in san_session.issues]
     return report, snapshot, sim_cycles
 
 
@@ -160,6 +174,8 @@ def run_differential(program: Program,
         reports.append(report)
         sim_cycles += cycles
         invariant_failures.extend(_check_clock(report, snapshot))
+        for issue in report.san_issues or ():
+            invariant_failures.append(f"{report.executor}: {issue}")
         for i, (want, got) in enumerate(zip(expected, report.outcomes)):
             if want != got:
                 divergences.append(

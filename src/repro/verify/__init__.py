@@ -38,9 +38,14 @@ consciously chosen inversions.
 
 from repro.verify.lint import (
     LintViolation, Rule, collect_modules, format_violations, lint_paths,
-    lint_source, run_lint,
+    lint_source, run_lint, run_verify,
 )
 from repro.verify.rules import DEFAULT_RULES, default_rules
+from repro.verify.flow import (
+    FLOW_RULES, ProgramModel, default_flow_rules, flow_source, run_flow,
+)
+from repro.verify.sarif import to_sarif, write_sarif
+from repro.verify.stale import check_stale_pragmas, known_rule_names
 from repro.verify.invariants import InvariantViolation
 from repro.verify.live import (check_quiescent, check_recovery_invariants,
                                check_ring_invariants)
@@ -50,8 +55,11 @@ from repro.verify.model import (
 
 __all__ = [
     "LintViolation", "Rule", "collect_modules", "format_violations",
-    "lint_paths", "lint_source", "run_lint",
+    "lint_paths", "lint_source", "run_lint", "run_verify",
     "DEFAULT_RULES", "default_rules",
+    "FLOW_RULES", "ProgramModel", "default_flow_rules", "flow_source",
+    "run_flow", "to_sarif", "write_sarif", "check_stale_pragmas",
+    "known_rule_names",
     "InvariantViolation", "CounterExample", "ModelChecker", "ModelConfig",
     "ExploreResult", "check_quiescent", "check_recovery_invariants",
     "check_ring_invariants",

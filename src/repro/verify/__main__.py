@@ -12,7 +12,7 @@ import argparse
 import sys
 from pathlib import Path
 
-from repro.verify.lint import format_violations, lint_paths, run_lint
+from repro.verify.lint import format_violations, lint_paths, run_verify
 from repro.verify.model import ModelChecker, ModelConfig
 
 
@@ -20,17 +20,27 @@ def main(argv=None) -> int:
     parser = argparse.ArgumentParser(
         prog="repro-lint",
         description="Static invariant checker for the XPC reproduction: "
-                    "custom lint rules over src/repro, plus an optional "
-                    "bounded protocol model check.",
+                    "custom lint rules plus interprocedural dataflow "
+                    "analyses over src/repro, plus an optional bounded "
+                    "protocol model check.",
     )
     parser.add_argument(
         "paths", nargs="*", type=Path,
         help="specific .py files to lint (default: the whole repro "
-             "package)")
+             "package; explicit paths run the per-file lint rules only, "
+             "not the whole-program dataflow pass)")
     parser.add_argument(
         "--model", action="store_true",
         help="also run the bounded XPC protocol model checker "
              "(2 threads x 2 x-entries, exhaustive)")
+    parser.add_argument(
+        "--no-flow", action="store_true",
+        help="skip the interprocedural dataflow analyses "
+             "(flow-charge/flow-escape/flow-except)")
+    parser.add_argument(
+        "--sarif", type=Path, metavar="OUT.json",
+        help="also write the findings as SARIF 2.1.0 (for GitHub "
+             "code-scanning upload); text output stays on stdout")
     parser.add_argument(
         "--quiet", "-q", action="store_true",
         help="print only the final verdict")
@@ -38,10 +48,18 @@ def main(argv=None) -> int:
 
     try:
         violations = (lint_paths(args.paths) if args.paths
-                      else run_lint())
+                      else run_verify(with_flow=not args.no_flow))
     except (OSError, SyntaxError, ValueError) as exc:
         print(f"repro-lint: {exc}", file=sys.stderr)
         return 2
+    if args.sarif:
+        from repro.verify.sarif import write_sarif
+        try:
+            write_sarif(args.sarif, violations)
+        except OSError as exc:
+            print(f"repro-lint: cannot write SARIF: {exc}",
+                  file=sys.stderr)
+            return 2
     failed = bool(violations)
     if not args.quiet or failed:
         print(format_violations(violations))

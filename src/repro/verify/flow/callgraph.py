@@ -1,0 +1,85 @@
+"""A whole-``repro`` call graph, resolved by bare name.
+
+Python has no static dispatch, so the resolver is deliberately humble:
+a call site names a bare identifier (``tick`` for ``self.core.tick(..)``)
+and resolves to *every* function or method of that name anywhere in the
+analyzed module set.  Analyses choose the sound direction per query —
+*may* facts (escape) hold if **any** candidate has them, *must* facts
+(always-charges) only if **all** candidates do — so the imprecision of
+name resolution never produces an unsound verdict, only occasional
+pragma-worthy noise.
+"""
+
+from __future__ import annotations
+
+import ast
+from dataclasses import dataclass
+from typing import Dict, Iterator, List, Optional
+
+from repro.verify.lint import ModuleInfo
+
+from repro.verify.flow.cfg import call_name
+
+
+@dataclass(frozen=True)
+class FuncDef:
+    """One function or method definition in the analyzed program."""
+
+    module: ModuleInfo
+    node: ast.AST                   # FunctionDef | AsyncFunctionDef
+    cls: Optional[str]              # enclosing class name, if a method
+
+    @property
+    def name(self) -> str:
+        return self.node.name
+
+    @property
+    def qualname(self) -> str:
+        if self.cls:
+            return f"{self.module.modname}.{self.cls}.{self.name}"
+        return f"{self.module.modname}.{self.name}"
+
+    @property
+    def unit(self) -> str:
+        return self.module.unit
+
+
+def _walk_defs(module: ModuleInfo) -> Iterator[FuncDef]:
+    """Yield every def in *module* with its enclosing class (if any)."""
+    stack: List[tuple] = [(node, None) for node in module.tree.body]
+    while stack:
+        node, cls = stack.pop()
+        if isinstance(node, (ast.FunctionDef, ast.AsyncFunctionDef)):
+            yield FuncDef(module, node, cls)
+            # Nested defs belong to no class namespace of interest.
+            stack.extend((child, None) for child in node.body)
+        elif isinstance(node, ast.ClassDef):
+            stack.extend((child, node.name) for child in node.body)
+        elif isinstance(node, (ast.If, ast.Try, ast.With, ast.For,
+                               ast.While)):
+            for child in ast.iter_child_nodes(node):
+                if isinstance(child, ast.stmt):
+                    stack.append((child, cls))
+
+
+class CallGraph:
+    """Name-indexed view of every def across the analyzed modules."""
+
+    def __init__(self, modules: List[ModuleInfo]) -> None:
+        self.functions: List[FuncDef] = []
+        self.by_name: Dict[str, List[FuncDef]] = {}
+        for module in modules:
+            for func in _walk_defs(module):
+                self.functions.append(func)
+                self.by_name.setdefault(func.name, []).append(func)
+
+    def candidates(self, call: ast.Call) -> List[FuncDef]:
+        """Every definition a call site may target (empty if the name is
+        unknown — e.g. stdlib or builtins)."""
+        name = call_name(call)
+        if not name:
+            return []
+        return self.by_name.get(name, [])
+
+    def candidates_named(self, name: str) -> List[FuncDef]:
+        return self.by_name.get(name, [])

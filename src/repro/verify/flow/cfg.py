@@ -1,0 +1,301 @@
+"""Per-function control-flow graphs, including exception edges.
+
+The unit of the graph is the *statement*: each simple statement is one
+node, each compound statement contributes a *header* node (whose
+``effect`` is only the header expression — ``if``'s test, ``for``'s
+iterable, ``with``'s context managers) plus the nodes of its nested
+blocks.  Three synthetic nodes frame every function: ``ENTRY``, ``EXIT``
+(normal return / fall-off-the-end), and ``RAISE`` (exceptional exit).
+
+Exception edges are deliberately coarse: every statement inside a
+``try`` body gets an edge to the entry node of **each** handler of every
+enclosing ``try`` (and to ``RAISE``), because at this granularity we
+cannot know which statements raise which types.  That over-approximates
+*may* reach (sound for the escape and except audits) and keeps *must*
+analyses honest — a charge proven on every CFG path really is charged on
+every concrete path.
+
+The ``effect`` of a node is the AST fragment an analysis should scan for
+calls/loads at that node; bodies of nested ``def``/``class`` statements
+are *not* part of any effect (they execute at call time, not here).
+"""
+
+from __future__ import annotations
+
+import ast
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional, Set, Tuple
+
+ENTRY = 0
+EXIT = 1
+RAISE = 2
+
+
+@dataclass
+class CFGNode:
+    """One node: a statement, a compound header, or a synthetic frame."""
+
+    id: int
+    kind: str                       # "entry"|"exit"|"raise"|"stmt"|"handler"
+    stmt: Optional[ast.AST] = None
+    effect: Optional[ast.AST] = None
+
+    @property
+    def line(self) -> int:
+        return getattr(self.stmt, "lineno", 0)
+
+
+@dataclass
+class CFG:
+    """The control-flow graph of one function body."""
+
+    func: ast.AST
+    nodes: Dict[int, CFGNode] = field(default_factory=dict)
+    succ: Dict[int, Set[int]] = field(default_factory=dict)
+    pred: Dict[int, Set[int]] = field(default_factory=dict)
+    #: handler AST node -> its CFG entry node id.
+    handler_entry: Dict[ast.ExceptHandler, int] = field(default_factory=dict)
+
+    def add_node(self, kind: str, stmt: Optional[ast.AST] = None,
+                 effect: Optional[ast.AST] = None) -> int:
+        nid = len(self.nodes)
+        self.nodes[nid] = CFGNode(nid, kind, stmt, effect)
+        self.succ[nid] = set()
+        self.pred[nid] = set()
+        return nid
+
+    def add_edge(self, a: int, b: int) -> None:
+        self.succ[a].add(b)
+        self.pred[b].add(a)
+
+    def reachable_from(self, start: int) -> Set[int]:
+        seen = {start}
+        work = [start]
+        while work:
+            n = work.pop()
+            for s in self.succ[n]:
+                if s not in seen:
+                    seen.add(s)
+                    work.append(s)
+        return seen
+
+    def statements(self) -> List[CFGNode]:
+        return [n for n in self.nodes.values()
+                if n.kind in ("stmt", "handler")]
+
+
+def _loop_test_always_true(test: ast.expr) -> bool:
+    return isinstance(test, ast.Constant) and bool(test.value)
+
+
+class _Builder:
+    """Builds a :class:`CFG` by structural recursion over blocks.
+
+    ``_block`` threads a *frontier* — the set of nodes whose normal
+    fallthrough continues at the next statement — and a context of
+    break/continue targets plus the entry nodes of enclosing handlers
+    (for exception edges).
+    """
+
+    def __init__(self, func: ast.AST) -> None:
+        self.cfg = CFG(func)
+        assert self.cfg.add_node("entry") == ENTRY
+        assert self.cfg.add_node("exit") == EXIT
+        assert self.cfg.add_node("raise") == RAISE
+        # Innermost-last list of handler-entry-id lists of enclosing trys.
+        self.handler_stack: List[List[int]] = []
+
+    def build(self, body: List[ast.stmt]) -> CFG:
+        frontier = self._block(body, {ENTRY}, None, None)
+        for n in frontier:                  # fall off the end == return None
+            self.cfg.add_edge(n, EXIT)
+        return self.cfg
+
+    # -- helpers -------------------------------------------------------
+    def _link(self, frontier: Set[int], node: int) -> None:
+        for n in frontier:
+            self.cfg.add_edge(n, node)
+
+    def _raise_edges(self, node: int) -> None:
+        """*node* may raise: edges to every enclosing handler + RAISE."""
+        for handlers in self.handler_stack:
+            for h in handlers:
+                self.cfg.add_edge(node, h)
+        self.cfg.add_edge(node, RAISE)
+
+    # -- the recursion -------------------------------------------------
+    def _block(self, stmts: List[ast.stmt], frontier: Set[int],
+               break_to: Optional[Set[int]],
+               continue_to: Optional[int]) -> Set[int]:
+        for stmt in stmts:
+            if not frontier:
+                break                       # unreachable code: stop here
+            frontier = self._stmt(stmt, frontier, break_to, continue_to)
+        return frontier
+
+    def _stmt(self, stmt: ast.stmt, frontier: Set[int],
+              break_to: Optional[Set[int]],
+              continue_to: Optional[int]) -> Set[int]:
+        cfg = self.cfg
+        if isinstance(stmt, ast.Return):
+            node = cfg.add_node("stmt", stmt, stmt)
+            self._link(frontier, node)
+            self._raise_edges(node)
+            cfg.add_edge(node, EXIT)
+            return set()
+        if isinstance(stmt, ast.Raise):
+            node = cfg.add_node("stmt", stmt, stmt)
+            self._link(frontier, node)
+            self._raise_edges(node)
+            return set()
+        if isinstance(stmt, ast.Break):
+            node = cfg.add_node("stmt", stmt, None)
+            self._link(frontier, node)
+            if break_to is not None:
+                break_to.add(node)
+            return set()
+        if isinstance(stmt, ast.Continue):
+            node = cfg.add_node("stmt", stmt, None)
+            self._link(frontier, node)
+            if continue_to is not None:
+                cfg.add_edge(node, continue_to)
+            return set()
+        if isinstance(stmt, ast.If):
+            header = cfg.add_node("stmt", stmt, stmt.test)
+            self._link(frontier, header)
+            self._raise_edges(header)
+            then = self._block(stmt.body, {header}, break_to, continue_to)
+            if stmt.orelse:
+                other = self._block(stmt.orelse, {header}, break_to,
+                                    continue_to)
+            else:
+                other = {header}
+            return then | other
+        if isinstance(stmt, (ast.While, ast.For, ast.AsyncFor)):
+            return self._loop(stmt, frontier, break_to, continue_to)
+        if isinstance(stmt, (ast.With, ast.AsyncWith)):
+            header = cfg.add_node(
+                "stmt", stmt,
+                ast.Tuple(elts=[item.context_expr for item in stmt.items],
+                          ctx=ast.Load()))
+            self._link(frontier, header)
+            self._raise_edges(header)
+            return self._block(stmt.body, {header}, break_to, continue_to)
+        if isinstance(stmt, ast.Try):
+            return self._try(stmt, frontier, break_to, continue_to)
+        if isinstance(stmt, ast.Match):
+            header = cfg.add_node("stmt", stmt, stmt.subject)
+            self._link(frontier, header)
+            self._raise_edges(header)
+            out: Set[int] = set()
+            exhaustive = False
+            for case in stmt.cases:
+                out |= self._block(case.body, {header}, break_to,
+                                   continue_to)
+                if (isinstance(case.pattern, ast.MatchAs)
+                        and case.pattern.pattern is None
+                        and case.guard is None):
+                    exhaustive = True       # a bare `case _:` catches all
+            if not exhaustive:
+                out.add(header)
+            return out
+        if isinstance(stmt, (ast.FunctionDef, ast.AsyncFunctionDef,
+                             ast.ClassDef)):
+            # A nested definition executes only its decorators/bases now.
+            effect = ast.Tuple(elts=list(stmt.decorator_list),
+                               ctx=ast.Load())
+            node = cfg.add_node("stmt", stmt, effect)
+            self._link(frontier, node)
+            return {node}
+        # Simple statement: Assign/AugAssign/Expr/Assert/Delete/...
+        node = cfg.add_node("stmt", stmt, stmt)
+        self._link(frontier, node)
+        self._raise_edges(node)
+        if isinstance(stmt, ast.Assert):
+            pass                            # failure path == RAISE edge
+        return {node}
+
+    def _loop(self, stmt, frontier: Set[int], break_to: Optional[Set[int]],
+              continue_to: Optional[int]) -> Set[int]:
+        cfg = self.cfg
+        header_effect = stmt.test if isinstance(stmt, ast.While) \
+            else stmt.iter
+        header = cfg.add_node("stmt", stmt, header_effect)
+        self._link(frontier, header)
+        self._raise_edges(header)
+        breaks: Set[int] = set()
+        body_out = self._block(stmt.body, {header}, breaks, header)
+        for n in body_out:
+            cfg.add_edge(n, header)         # back edge
+        infinite = (isinstance(stmt, ast.While)
+                    and _loop_test_always_true(stmt.test))
+        exits = set() if infinite else {header}
+        if stmt.orelse:
+            exits = self._block(stmt.orelse, exits, break_to, continue_to) \
+                if exits else set()
+        return exits | breaks
+
+    def _try(self, stmt: ast.Try, frontier: Set[int],
+             break_to: Optional[Set[int]],
+             continue_to: Optional[int]) -> Set[int]:
+        cfg = self.cfg
+        # Handler entries exist before the body so body statements can
+        # grow exception edges to them.
+        entries: List[int] = []
+        for handler in stmt.handlers:
+            entry = cfg.add_node("handler", handler, handler.type)
+            cfg.handler_entry[handler] = entry
+            entries.append(entry)
+        self.handler_stack.append(entries)
+        try:
+            body_out = self._block(stmt.body, frontier, break_to,
+                                   continue_to)
+        finally:
+            self.handler_stack.pop()
+        out = self._block(stmt.orelse, body_out, break_to, continue_to) \
+            if stmt.orelse else body_out
+        for handler in stmt.handlers:
+            entry = cfg.handler_entry[handler]
+            self._raise_edges(entry)        # handler may itself raise
+            out |= self._block(handler.body, {entry}, break_to,
+                               continue_to)
+        if stmt.finalbody:
+            out = self._block(stmt.finalbody, out, break_to, continue_to)
+            # The finally block also runs on the exceptional path and
+            # re-raises afterwards.
+            for n in out:
+                cfg.add_edge(n, RAISE)
+        return out
+
+
+def build_cfg(func: ast.AST) -> CFG:
+    """Build the CFG of a ``FunctionDef``/``AsyncFunctionDef`` body."""
+    return _Builder(func).build(func.body)
+
+
+def effect_calls(node: CFGNode) -> List[ast.Call]:
+    """Every call expression evaluated *at* this node (nested defs and
+    lambdas excluded — their bodies run later, elsewhere)."""
+    if node.effect is None:
+        return []
+    out: List[ast.Call] = []
+    stack: List[ast.AST] = [node.effect]
+    while stack:
+        cur = stack.pop()
+        if isinstance(cur, (ast.FunctionDef, ast.AsyncFunctionDef,
+                            ast.Lambda, ast.ClassDef)):
+            continue
+        if isinstance(cur, ast.Call):
+            out.append(cur)
+        stack.extend(ast.iter_child_nodes(cur))
+    return out
+
+
+def call_name(call: ast.Call) -> str:
+    """The bare name a call targets ("tick" for ``self.core.tick(...)``)."""
+    func = call.func
+    if isinstance(func, ast.Attribute):
+        return func.attr
+    if isinstance(func, ast.Name):
+        return func.id
+    return ""

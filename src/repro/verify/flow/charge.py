@@ -1,0 +1,164 @@
+"""flow-charge: path-sensitive cycle-charge analysis.
+
+The syntactic :mod:`repro.verify.rules.cycles` rule asks "does a
+``tick`` appear *somewhere* in the method body?" — it cannot see the
+early return that skips the charge.  This analysis proves the stronger
+property on the CFG: **every path** through a public method of a
+charging class (``XPCEngine``, ``Core``, ``XPCRing``) reaches a charge
+before reaching a *valued* return.
+
+A node charges if its effect calls ``tick`` directly, or calls a
+function whose every resolution (by the humble name-resolver of
+:mod:`repro.verify.flow.callgraph`) *always charges* — a summary
+computed as an interprocedural greatest fixpoint, so charging via a
+helper (``self._charge_entry()``) counts.
+
+Declared-free exits, which do **not** need a charge on their path:
+
+* a bare ``return`` / ``return None`` — the guard-exit convention: a
+  rejected precondition costs nothing architectural;
+* ``return <something>_cycles(...)`` — the cost-provider convention of
+  the syntactic rule (the caller charges);
+* the exceptional exit (``RAISE``) — a raised typed error aborts the
+  operation; its cost, if any, is the trap path's to model.
+
+Everything else — a valued return reached by some uncharged path — is a
+violation at that return's line.  Methods exempt in
+``cycles.CHARGE_FREE``, listed in :data:`FLOW_CHARGE_FREE`, named
+``*_cycles``, underscore-private, or decorated as
+property/static/classmethod are skipped, matching the syntactic rule's
+scope.  Suppress a sanctioned site with ``# verify-ok: flow-charge`` on
+the return line.
+"""
+
+from __future__ import annotations
+
+import ast
+from typing import Dict, FrozenSet, Iterator, Set
+
+from repro.verify.lint import LintViolation
+from repro.verify.rules.cycles import CHARGE_FREE, _is_property
+
+from repro.verify.flow.cfg import CFG, ENTRY, EXIT, call_name, effect_calls
+from repro.verify.flow.engine import fixpoint, solve_forward
+
+#: modname -> class names whose public methods the path analysis covers.
+FLOW_CHARGE_TARGETS: Dict[str, Set[str]] = {
+    "repro.xpc.engine": {"XPCEngine"},
+    "repro.hw.cpu": {"Core"},
+    "repro.aio.ring": {"XPCRing"},
+}
+
+#: class -> methods exempt from the *flow* rule only: pure observers the
+#: syntactic rule never covered (XPCRing grew out of repro.aio after
+#: cycles.py was written; its read-side surface is free by design).
+FLOW_CHARGE_FREE: Dict[str, FrozenSet[str]] = {
+    "XPCRing": frozenset({
+        "peek_indices", "peek_cqes", "read_meta", "read_reply_meta",
+        "read_bytes", "payload_window", "space", "outstanding",
+        "next_seq", "attach",
+    }),
+}
+
+
+def _is_none_return(stmt: ast.Return) -> bool:
+    return stmt.value is None or (
+        isinstance(stmt.value, ast.Constant) and stmt.value.value is None)
+
+
+def _is_cost_return(stmt: ast.Return) -> bool:
+    if not isinstance(stmt.value, ast.Call):
+        return False
+    return call_name(stmt.value).endswith("_cycles")
+
+
+class ChargeAnalysis:
+    """The interprocedural pass; exposed via flow.FlowCharge rule."""
+
+    def __init__(self, program) -> None:
+        self.program = program
+        self.always_charges = self._summaries()
+
+    # -- interprocedural summaries -------------------------------------
+    def _summaries(self) -> Dict[str, bool]:
+        """qualname -> "every ENTRY→EXIT path charges".
+
+        Greatest fixpoint: start optimistic (everything charges) and
+        iterate downward, so mutual recursion converges soundly.
+        """
+        funcs = self.program.callgraph.functions
+        values = {f.qualname: True for f in funcs}
+
+        def step(cur: Dict[str, bool]) -> Dict[str, bool]:
+            nxt = {}
+            for func in funcs:
+                nxt[func.qualname] = self._always_charges(func, cur)
+            return nxt
+
+        return fixpoint(values, step)
+
+    def _node_charges(self, node, summaries: Dict[str, bool]) -> bool:
+        for call in effect_calls(node):
+            name = call_name(call)
+            if name == "tick":
+                return True
+            cands = self.program.callgraph.candidates_named(name)
+            if cands and all(summaries.get(c.qualname, False)
+                             for c in cands):
+                return True
+        return False
+
+    def _charged_in_facts(self, cfg: CFG,
+                          summaries: Dict[str, bool]) -> Dict[int, bool]:
+        def transfer(node: int, fact: bool) -> bool:
+            return fact or self._node_charges(cfg.nodes[node], summaries)
+
+        return solve_forward(cfg, entry_fact=False, bottom=True,
+                             join=lambda a, b: a and b, transfer=transfer)
+
+    def _always_charges(self, func, summaries: Dict[str, bool]) -> bool:
+        cfg = self.program.cfg_of(func)
+        facts = self._charged_in_facts(cfg, summaries)
+        if EXIT not in cfg.pred or not cfg.pred[EXIT]:
+            return False
+        return all(facts[p] or self._node_charges(cfg.nodes[p], summaries)
+                   for p in cfg.pred[EXIT])
+
+    # -- the reported check --------------------------------------------
+    def check(self, rule) -> Iterator[LintViolation]:
+        for func in self.program.callgraph.functions:
+            targets = FLOW_CHARGE_TARGETS.get(func.module.modname)
+            if not targets or func.cls not in targets:
+                continue
+            if func.name.startswith("_") or func.name.endswith("_cycles"):
+                continue
+            if func.name in CHARGE_FREE.get(func.module.modname,
+                                            {}).get(func.cls, frozenset()):
+                continue
+            if func.name in FLOW_CHARGE_FREE.get(func.cls, frozenset()):
+                continue
+            if _is_property(func.node):
+                continue
+            cfg = self.program.cfg_of(func)
+            facts = self._charged_in_facts(cfg, self.always_charges)
+            reach = cfg.reachable_from(ENTRY)
+            for node in cfg.statements():
+                stmt = node.stmt
+                if not isinstance(stmt, ast.Return):
+                    continue
+                if _is_none_return(stmt) or _is_cost_return(stmt):
+                    continue
+                if facts[node.id] or self._node_charges(
+                        node, self.always_charges):
+                    continue
+                if node.id not in reach:
+                    continue
+                v = rule.violation(
+                    func.module, stmt.lineno,
+                    f"{func.cls}.{func.name} has a path that reaches this "
+                    f"return without charging cycles (no tick() and no "
+                    f"always-charging callee on the path) — the "
+                    f"early-return-skips-the-charge bug class; charge "
+                    f"before returning or declare the exit free")
+                if v:
+                    yield v

@@ -1,0 +1,213 @@
+"""flow-escape: capability / relay-seg handle escape analysis.
+
+The §3.3 security argument needs relay-segment and x-entry-capability
+*handles* to stay inside the trusted layers: hardware (`hw`), the engine
+(`xpc`), and the kernel control plane.  Untrusted code — `services` and
+`apps` — may *use* the windows the protocol hands it (seg-reg views,
+ring payloads) but must never hold the underlying
+``RelaySegment``/``XCallCapBitmap`` objects, because holding the handle
+is exactly the both-sides-keep-the-mapping TOCTTOU the paper closes.
+
+This is a *may*-taint analysis over the call graph:
+
+* **origins** — calls to ``create_relay_seg`` / ``deactivate_relay_seg``
+  and direct constructions of :data:`HANDLE_CLASSES`;
+* **function summaries** — a function *returns a handle* if any of its
+  returns may return a tainted value (taint propagates through local
+  assignments and tuple unpacking; any-candidate resolution, so the
+  summary over-approximates);
+* **violations** — untrusted code that (a) calls an origin directly,
+  (b) calls a handle-returning function, or (c) is *passed* a handle by
+  trusted code calling down into an untrusted unit with a tainted
+  argument.
+
+The sanctioned surfaces in :data:`SANCTIONED_SINKS` (the kernel install/
+deactivate/grant control plane and the engine internals) may receive
+handles from anyone — that is the protocol.  Suppress a consciously
+chosen site with ``# verify-ok: flow-escape``.
+"""
+
+from __future__ import annotations
+
+import ast
+from typing import Dict, FrozenSet, Iterator, Set
+
+from repro.verify.lint import LintViolation
+
+from repro.verify.flow.cfg import call_name
+from repro.verify.flow.engine import fixpoint
+
+#: Constructing one of these *is* minting a handle.
+HANDLE_CLASSES: FrozenSet[str] = frozenset({
+    "RelaySegment", "XCallCapBitmap", "RadixCapTable",
+})
+
+#: Calls that hand a fresh or recovered handle to their caller.
+ORIGIN_CALLS: FrozenSet[str] = frozenset({
+    "create_relay_seg", "deactivate_relay_seg",
+}) | HANDLE_CLASSES
+
+#: Callee names allowed to *receive* a handle argument from anywhere —
+#: the sanctioned control-plane surface of §3.3/§4.1.
+SANCTIONED_SINKS: FrozenSet[str] = frozenset({
+    "install_relay_seg", "deactivate_relay_seg", "grant_xcall_cap",
+    "revoke_xcall_cap", "attach", "format",
+})
+
+#: Units that must never hold a raw handle.
+UNTRUSTED_UNITS: FrozenSet[str] = frozenset({"services", "apps"})
+
+
+def _is_origin(call: ast.Call) -> bool:
+    return call_name(call) in ORIGIN_CALLS
+
+
+class _FuncTaint(ast.NodeVisitor):
+    """Intraprocedural taint of local names inside one function.
+
+    A flow-insensitive transitive closure: names assigned from tainted
+    expressions are tainted (iterated to a local fixpoint so chains like
+    ``a = origin(); b = a`` converge regardless of statement order).
+    """
+
+    def __init__(self, func, returns_handle: Dict[str, bool],
+                 callgraph) -> None:
+        self.func = func
+        self.returns_handle = returns_handle
+        self.callgraph = callgraph
+        self.tainted: Set[str] = set()
+
+    def run(self) -> Set[str]:
+        while True:
+            before = len(self.tainted)
+            for stmt in ast.walk(self.func.node):
+                if isinstance(stmt, ast.Assign):
+                    if self.expr_tainted(stmt.value):
+                        for target in stmt.targets:
+                            self._taint_target(target)
+                elif isinstance(stmt, ast.AnnAssign) and stmt.value:
+                    if self.expr_tainted(stmt.value):
+                        self._taint_target(stmt.target)
+            if len(self.tainted) == before:
+                return self.tainted
+
+    def _taint_target(self, target: ast.AST) -> None:
+        if isinstance(target, ast.Name):
+            self.tainted.add(target.id)
+        elif isinstance(target, (ast.Tuple, ast.List)):
+            for elt in target.elts:
+                self._taint_target(elt)
+
+    def expr_tainted(self, expr: ast.AST) -> bool:
+        if isinstance(expr, ast.Name):
+            return expr.id in self.tainted
+        if isinstance(expr, ast.Call):
+            if _is_origin(expr):
+                return True
+            cands = self.callgraph.candidates(expr)
+            return any(self.returns_handle.get(c.qualname, False)
+                       for c in cands)
+        if isinstance(expr, (ast.Tuple, ast.List)):
+            return any(self.expr_tainted(e) for e in expr.elts)
+        if isinstance(expr, ast.Subscript):
+            return self.expr_tainted(expr.value)
+        if isinstance(expr, ast.IfExp):
+            return self.expr_tainted(expr.body) or \
+                self.expr_tainted(expr.orelse)
+        if isinstance(expr, ast.NamedExpr):
+            return self.expr_tainted(expr.value)
+        if isinstance(expr, ast.Starred):
+            return self.expr_tainted(expr.value)
+        return False
+
+
+class EscapeAnalysis:
+    """Interprocedural handle-escape pass; reported via FlowEscape."""
+
+    def __init__(self, program) -> None:
+        self.program = program
+        self.returns_handle = self._summaries()
+
+    def _summaries(self) -> Dict[str, bool]:
+        funcs = self.program.callgraph.functions
+        values = {f.qualname: False for f in funcs}      # least fixpoint
+
+        def step(cur: Dict[str, bool]) -> Dict[str, bool]:
+            nxt = {}
+            for func in funcs:
+                nxt[func.qualname] = cur[func.qualname] or \
+                    self._func_returns_handle(func, cur)
+            return nxt
+
+        return fixpoint(values, step)
+
+    def _func_returns_handle(self, func,
+                             summaries: Dict[str, bool]) -> bool:
+        taint = _FuncTaint(func, summaries, self.program.callgraph)
+        taint.run()
+        for stmt in ast.walk(func.node):
+            if isinstance(stmt, ast.Return) and stmt.value is not None:
+                if taint.expr_tainted(stmt.value):
+                    return True
+        return False
+
+    # -- the reported check --------------------------------------------
+    def check(self, rule) -> Iterator[LintViolation]:
+        callgraph = self.program.callgraph
+        for func in callgraph.functions:
+            taint = _FuncTaint(func, self.returns_handle, callgraph)
+            tainted_names = taint.run()
+            untrusted_here = func.unit in UNTRUSTED_UNITS
+            for stmt in ast.walk(func.node):
+                if not isinstance(stmt, ast.Call):
+                    continue
+                name = call_name(stmt)
+                if untrusted_here:
+                    v = self._check_untrusted_call(rule, func, stmt, name,
+                                                   taint)
+                else:
+                    v = self._check_trusted_call(rule, func, stmt, name,
+                                                 taint, tainted_names)
+                if v:
+                    yield v
+
+    def _check_untrusted_call(self, rule, func, call: ast.Call, name: str,
+                              taint: _FuncTaint):
+        if _is_origin(call):
+            return rule.violation(
+                func.module, call.lineno,
+                f"repro.{func.unit} obtains a raw relay-seg/capability "
+                f"handle via {name}() — handles stay in hw/xpc/kernel; "
+                f"untrusted code gets windows, not segments (§3.3)")
+        cands = self.program.callgraph.candidates(call)
+        # An all-untrusted callee set means any handle it returns was
+        # minted inside untrusted code — flagged there, at the origin.
+        if cands and name not in SANCTIONED_SINKS and \
+                not all(c.unit in UNTRUSTED_UNITS for c in cands) and \
+                any(self.returns_handle.get(c.qualname, False)
+                    for c in cands):
+            return rule.violation(
+                func.module, call.lineno,
+                f"repro.{func.unit} calls {name}(), which may return a "
+                f"relay-seg/capability handle — the handle would escape "
+                f"the trusted layers (§3.3); route through the sanctioned "
+                f"install/grant surface instead")
+        return None
+
+    def _check_trusted_call(self, rule, func, call: ast.Call, name: str,
+                            taint: _FuncTaint, tainted_names: Set[str]):
+        if name in SANCTIONED_SINKS:
+            return None
+        args = list(call.args) + [kw.value for kw in call.keywords]
+        if not any(taint.expr_tainted(a) for a in args):
+            return None
+        cands = self.program.callgraph.candidates(call)
+        if not cands or not all(c.unit in UNTRUSTED_UNITS for c in cands):
+            return None
+        return rule.violation(
+            func.module, call.lineno,
+            f"passes a relay-seg/capability handle into "
+            f"repro.{cands[0].unit} via {name}() — handles must not "
+            f"escape into untrusted layers (§3.3); pass a window or an "
+            f"id, or add the surface to "
+            f"repro.verify.flow.escape.SANCTIONED_SINKS")

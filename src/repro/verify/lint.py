@@ -14,7 +14,9 @@ named rules at that site only.
 from __future__ import annotations
 
 import ast
+import io
 import re
+import tokenize
 from dataclasses import dataclass, field
 from pathlib import Path
 from typing import Dict, Iterable, Iterator, List, Optional, Sequence, Set
@@ -44,6 +46,11 @@ class ModuleInfo:
     source: str
     tree: ast.Module
     suppressions: Dict[int, Set[str]] = field(default_factory=dict)
+    #: (line, rule) pairs whose pragma actually suppressed a violation;
+    #: filled in by Rule.violation, read by the stale-pragma pass.
+    used_suppressions: Set = field(default_factory=set)
+    _type_checking_lines: Optional[Set[int]] = field(
+        default=None, repr=False, compare=False)
 
     @property
     def unit(self) -> str:
@@ -60,6 +67,24 @@ class ModuleInfo:
     def suppressed(self, line: int, rule: str) -> bool:
         return rule in self.suppressions.get(line, set())
 
+    @property
+    def type_checking_lines(self) -> Set[int]:
+        """Line numbers guarded by ``if TYPE_CHECKING:`` (cached).
+
+        Computed in one walk of the tree, so per-node queries via
+        :meth:`in_type_checking` are O(1) instead of re-walking the
+        whole module per query.
+        """
+        if self._type_checking_lines is None:
+            self._type_checking_lines = _collect_type_checking_lines(
+                self.tree)
+        return self._type_checking_lines
+
+    def in_type_checking(self, node: ast.AST) -> bool:
+        """True if *node* sits under an ``if TYPE_CHECKING:`` guard."""
+        lineno = getattr(node, "lineno", None)
+        return lineno is not None and lineno in self.type_checking_lines
+
 
 class Rule:
     """Base class for lint rules."""
@@ -74,17 +99,37 @@ class Rule:
     def violation(self, module: ModuleInfo, line: int,
                   message: str) -> Optional[LintViolation]:
         if module.suppressed(line, self.name):
+            module.used_suppressions.add((line, self.name))
             return None
         return LintViolation(self.name, module.path, line, message)
 
 
 def _scan_pragmas(source: str) -> Dict[int, Set[str]]:
+    """Map line number -> rule names named in a ``verify-ok`` pragma.
+
+    Scans COMMENT tokens only (via :mod:`tokenize`), so a pragma quoted
+    inside a docstring or string literal neither suppresses anything nor
+    shows up as stale.  Falls back to a line-regex scan if the source
+    does not tokenize (the AST parse will surface the real error).
+    """
     out: Dict[int, Set[str]] = {}
-    for lineno, line in enumerate(source.splitlines(), start=1):
-        match = _PRAGMA_RE.search(line)
+
+    def record(lineno: int, text: str) -> None:
+        match = _PRAGMA_RE.search(text)
         if match:
             names = {n.strip() for n in match.group(1).split(",")}
             out[lineno] = {n for n in names if n}
+
+    try:
+        tokens = list(tokenize.generate_tokens(
+            io.StringIO(source).readline))
+    except (tokenize.TokenError, IndentationError, SyntaxError):
+        for lineno, line in enumerate(source.splitlines(), start=1):
+            record(lineno, line)
+        return out
+    for tok in tokens:
+        if tok.type == tokenize.COMMENT:
+            record(tok.start[0], tok.string)
     return out
 
 
@@ -188,8 +233,14 @@ def format_violations(violations: Sequence[LintViolation]) -> str:
     return "\n".join(lines)
 
 
-def in_type_checking_block(tree: ast.Module, node: ast.AST) -> bool:
-    """True if *node* sits under an ``if TYPE_CHECKING:`` guard."""
+def _collect_type_checking_lines(tree: ast.Module) -> Set[int]:
+    """Every line covered by the body of an ``if TYPE_CHECKING:`` guard.
+
+    One walk over the module; handles both the plain ``TYPE_CHECKING``
+    name and attribute guards like ``typing.TYPE_CHECKING``, including
+    nested guards.
+    """
+    lines: Set[int] = set()
     for guard in ast.walk(tree):
         if not isinstance(guard, ast.If):
             continue
@@ -197,7 +248,46 @@ def in_type_checking_block(tree: ast.Module, node: ast.AST) -> bool:
         is_tc = (isinstance(test, ast.Name) and test.id == "TYPE_CHECKING") \
             or (isinstance(test, ast.Attribute)
                 and test.attr == "TYPE_CHECKING")
-        if is_tc and any(node is child for body_node in guard.body
-                         for child in ast.walk(body_node)):
-            return True
-    return False
+        if not is_tc or not guard.body:
+            continue
+        start = guard.body[0].lineno
+        end = max(getattr(stmt, "end_lineno", stmt.lineno) or stmt.lineno
+                  for stmt in guard.body)
+        lines.update(range(start, end + 1))
+    return lines
+
+
+def in_type_checking_block(tree: ast.Module, node: ast.AST) -> bool:
+    """True if *node* sits under an ``if TYPE_CHECKING:`` guard.
+
+    Compatibility shim over :meth:`ModuleInfo.in_type_checking`; rules
+    holding a :class:`ModuleInfo` should prefer the cached method.
+    """
+    lineno = getattr(node, "lineno", None)
+    return (lineno is not None
+            and lineno in _collect_type_checking_lines(tree))
+
+
+def run_verify(src_root: Optional[Path] = None,
+               package: str = "repro",
+               with_flow: bool = True) -> List[LintViolation]:
+    """The full static pass CI runs: lint + dataflow + stale pragmas.
+
+    Runs the per-module lint rules, then the interprocedural analyses of
+    :mod:`repro.verify.flow`, and finally :mod:`repro.verify.stale` over
+    the same modules so any pragma that suppressed nothing in either
+    pass (or names an unknown rule) is itself reported.
+    """
+    # Imported here: flow and stale build on this module.
+    from repro.verify.flow import run_flow
+    from repro.verify.rules import default_rules
+    from repro.verify.stale import check_stale_pragmas, known_rule_names
+
+    modules = collect_modules(src_root, package)
+    violations = lint_modules(modules, default_rules())
+    if with_flow:
+        violations.extend(run_flow(modules))
+    violations.extend(
+        check_stale_pragmas(modules, known_rule_names(with_flow=with_flow)))
+    violations.sort(key=lambda v: (v.path, v.line, v.rule))
+    return violations

@@ -28,9 +28,7 @@ from __future__ import annotations
 import ast
 from typing import Iterator, Optional
 
-from repro.verify.lint import (
-    LintViolation, ModuleInfo, Rule, in_type_checking_block,
-)
+from repro.verify.lint import LintViolation, ModuleInfo, Rule
 
 #: unit -> units it may import (its own unit is always allowed).
 #: ``faults`` sits beside ``params`` at the bottom: it is pure policy
@@ -39,31 +37,36 @@ from repro.verify.lint import (
 ALLOWED_IMPORTS = {
     "params": set(),
     "faults": set(),
-    "hw": {"params", "faults", "obs"},
-    "xpc": {"hw", "params", "faults", "obs"},
-    "kernel": {"xpc", "hw", "params", "faults", "obs"},
-    "runtime": {"kernel", "xpc", "hw", "params", "faults", "obs"},
-    "ipc": {"runtime", "kernel", "xpc", "hw", "params", "faults", "obs"},
+    "hw": {"params", "faults", "obs", "san"},
+    "xpc": {"hw", "params", "faults", "obs", "san"},
+    "kernel": {"xpc", "hw", "params", "faults", "obs", "san"},
+    "runtime": {"kernel", "xpc", "hw", "params", "faults", "obs", "san"},
+    "ipc": {"runtime", "kernel", "xpc", "hw", "params", "faults", "obs",
+            "san"},
     "sel4": {"ipc", "runtime", "kernel", "xpc", "hw", "params", "faults",
-             "obs"},
+             "obs", "san"},
     "zircon": {"ipc", "runtime", "kernel", "xpc", "hw", "params", "faults",
-               "obs"},
+               "obs", "san"},
     "binder": {"ipc", "runtime", "kernel", "xpc", "hw", "params", "faults",
-               "obs"},
+               "obs", "san"},
     "services": {"aio", "ipc", "runtime", "kernel", "xpc", "hw", "params",
-                 "faults", "analysis", "obs"},
+                 "faults", "analysis", "obs", "san"},
     # Async/batched XPC sits between ipc and services: it builds on the
     # transport's payload surface and the runtime library, and the
     # service servers adopt it for their batched front-ends.
     "aio": {"ipc", "runtime", "kernel", "xpc", "hw", "params", "faults",
-            "obs"},
+            "obs", "san"},
     "apps": {"services", "ipc", "runtime", "kernel", "xpc", "hw", "params",
-             "faults", "obs"},
+             "faults", "obs", "san"},
     # Side packages: measurement and analysis tooling.
     # ``obs`` sits beside ``faults`` at the bottom: a pure observer
     # (counters, spans, PMU sampling) that never charges cycles, so
     # every layer may report into it at its instrumentation sites.
     "obs": {"params", "faults", "analysis"},
+    # ``san`` (XPCSan) is another bottom-layer pure observer: the
+    # instrumented layers report ownership handoffs and per-core
+    # accesses into it, and it depends on nothing.
+    "san": set(),
     "analysis": {"params"},
     "gem5": {"params", "hw"},
     "hwcost": {"params"},
@@ -75,7 +78,7 @@ ALLOWED_IMPORTS = {
     # model) from above, so it sits at the top of the stack alongside
     # apps; nothing may import *it*.
     "proptest": {"compare", "aio", "ipc", "sel4", "zircon", "runtime",
-                 "kernel", "xpc", "hw", "params", "faults", "obs"},
+                 "kernel", "xpc", "hw", "params", "faults", "obs", "san"},
 }
 
 #: Modules of repro.hw that form its public, architectural surface.
@@ -118,7 +121,7 @@ class LayeringRule(Rule):
         parts = target.split(".")
         if parts[0] != "repro":
             return None
-        if in_type_checking_block(module.tree, node):
+        if module.in_type_checking(node):
             return None
         unit = module.unit
         target_unit = parts[1] if len(parts) > 1 else ""

@@ -23,9 +23,7 @@ from __future__ import annotations
 import ast
 from typing import Iterator
 
-from repro.verify.lint import (
-    LintViolation, ModuleInfo, Rule, in_type_checking_block,
-)
+from repro.verify.lint import LintViolation, ModuleInfo, Rule
 
 #: Modules of repro.proptest that drive the real mechanisms and must
 #: stay blind to the reference model.
@@ -50,14 +48,16 @@ class ProptestDisciplineRule(Rule):
         for node in ast.walk(module.tree):
             if not isinstance(node, (ast.Import, ast.ImportFrom)):
                 continue
-            if in_type_checking_block(module.tree, node):
+            if module.in_type_checking(node):
                 continue
             if self._imports_oracle(node):
-                yield self.violation(
+                v = self.violation(
                     module, node.lineno,
                     f"repro.proptest.{parts[2]} imports the oracle — "
                     f"executors must earn outcomes through the real "
                     f"mechanisms, not the reference model")
+                if v:
+                    yield v
 
     @staticmethod
     def _imports_oracle(node: ast.AST) -> bool:

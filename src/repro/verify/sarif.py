@@ -1,0 +1,79 @@
+"""SARIF 2.1.0 export for lint/flow findings.
+
+GitHub code scanning (and most editors) ingest SARIF; emitting it from
+``python -m repro.verify --sarif out.json`` lets CI surface violations
+as inline annotations instead of buried job logs.  The emitter is
+deliberately minimal — one run, one tool, one result per violation,
+physical locations with start lines — and keeps the plain-text format
+as the default human surface.
+"""
+
+from __future__ import annotations
+
+import json
+from pathlib import Path
+from typing import Dict, List, Optional, Sequence
+
+from repro.verify.lint import LintViolation
+
+SARIF_VERSION = "2.1.0"
+SARIF_SCHEMA = ("https://raw.githubusercontent.com/oasis-tcs/sarif-spec/"
+                "master/Schemata/sarif-schema-2.1.0.json")
+TOOL_NAME = "repro-verify"
+
+
+def _rule_descriptions() -> Dict[str, str]:
+    from repro.verify.flow import default_flow_rules
+    from repro.verify.rules import default_rules
+    from repro.verify.stale import StalePragmaRule
+    out = {}
+    for rule in (*default_rules(), *default_flow_rules(),
+                 StalePragmaRule()):
+        out[rule.name] = rule.description
+    return out
+
+
+def to_sarif(violations: Sequence[LintViolation],
+             descriptions: Optional[Dict[str, str]] = None) -> dict:
+    """A SARIF ``log`` dict for *violations* (JSON-serializable)."""
+    if descriptions is None:
+        descriptions = _rule_descriptions()
+    # Every rule referenced by a result must appear in the driver.
+    rule_ids: List[str] = sorted(
+        set(descriptions) | {v.rule for v in violations})
+    index = {rid: i for i, rid in enumerate(rule_ids)}
+    rules = [{
+        "id": rid,
+        "shortDescription": {"text": descriptions.get(rid, rid)},
+    } for rid in rule_ids]
+    results = [{
+        "ruleId": v.rule,
+        "ruleIndex": index[v.rule],
+        "level": "error",
+        "message": {"text": v.message},
+        "locations": [{
+            "physicalLocation": {
+                "artifactLocation": {"uri": v.path.replace("\\", "/")},
+                "region": {"startLine": max(v.line, 1)},
+            },
+        }],
+    } for v in violations]
+    return {
+        "version": SARIF_VERSION,
+        "$schema": SARIF_SCHEMA,
+        "runs": [{
+            "tool": {"driver": {
+                "name": TOOL_NAME,
+                "informationUri":
+                    "https://github.com/xpc-repro/xpc-repro",
+                "rules": rules,
+            }},
+            "results": results,
+        }],
+    }
+
+
+def write_sarif(path: Path, violations: Sequence[LintViolation],
+                descriptions: Optional[Dict[str, str]] = None) -> None:
+    log = to_sarif(violations, descriptions)
+    Path(path).write_text(json.dumps(log, indent=2) + "\n")

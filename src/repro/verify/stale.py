@@ -1,0 +1,69 @@
+"""stale-pragma: suppressions must keep earning their keep.
+
+A ``# verify-ok: <rule>`` pragma is a standing exception to a verified
+invariant; the moment the code it excused changes shape, the pragma
+becomes a lie — it documents a violation that no longer exists, and it
+would silently excuse a *future* one at the same line.  After the lint
+and flow passes run (recording which suppressions actually fired via
+``ModuleInfo.used_suppressions``), this pass reports:
+
+* pragmas naming a rule that suppressed nothing on that line (stale);
+* pragmas naming a rule that does not exist (typo'd suppressions are
+  worse than stale ones — they never suppressed anything).
+
+The rule name ``stale-pragma`` is itself suppressible, which is the
+sanctioned way to keep a prophylactic pragma (e.g. on generated code).
+"""
+
+from __future__ import annotations
+
+from typing import Iterable, List, Set
+
+from repro.verify.lint import LintViolation, ModuleInfo, Rule
+
+
+class StalePragmaRule(Rule):
+    name = "stale-pragma"
+    description = ("verify-ok pragmas must suppress a live violation "
+                   "and name a known rule")
+
+
+def known_rule_names(with_flow: bool = True) -> Set[str]:
+    """Every rule name a pragma may legitimately reference."""
+    from repro.verify.rules import default_rules
+    names = {rule.name for rule in default_rules()}
+    if with_flow:
+        from repro.verify.flow import default_flow_rules
+        names.update(rule.name for rule in default_flow_rules())
+    names.add(StalePragmaRule.name)
+    return names
+
+
+def check_stale_pragmas(modules: Iterable[ModuleInfo],
+                        known_rules: Set[str]) -> List[LintViolation]:
+    """Run *after* every other pass over the same ModuleInfo objects —
+    staleness is defined against their recorded ``used_suppressions``.
+    """
+    rule = StalePragmaRule()
+    violations: List[LintViolation] = []
+    for module in modules:
+        for line in sorted(module.suppressions):
+            for name in sorted(module.suppressions[line]):
+                if name not in known_rules:
+                    v = rule.violation(
+                        module, line,
+                        f"pragma names unknown rule {name!r} — known "
+                        f"rules: {', '.join(sorted(known_rules))}")
+                elif name == StalePragmaRule.name:
+                    continue            # meta-suppression, checked above
+                elif (line, name) not in module.used_suppressions:
+                    v = rule.violation(
+                        module, line,
+                        f"stale pragma: 'verify-ok: {name}' suppresses "
+                        f"no violation on this line — the excused code "
+                        f"changed; delete the pragma")
+                else:
+                    continue
+                if v:
+                    violations.append(v)
+    return violations

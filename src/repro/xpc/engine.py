@@ -23,6 +23,7 @@ from dataclasses import dataclass, field
 from typing import Optional, Tuple
 
 import repro.obs as obs
+import repro.san as san
 from repro.hw.cpu import Core
 from repro.hw.paging import PagePerm
 from repro.xpc.capability import XCallCapBitmap
@@ -164,6 +165,9 @@ class XPCEngine:
         outgoing = state.seg_reg
         if outgoing.valid:
             outgoing.segment.active_owner = None
+            if san.ACTIVE is not None:
+                san.ACTIVE.handoff(outgoing.segment, "relay-seg",
+                                   via="swapseg-out")
         incoming = state.seg_list.swap(index, outgoing)
         if incoming.valid:
             seg = incoming.segment
@@ -177,6 +181,8 @@ class XPCEngine:
                     "relay segment is active on another thread/core"
                 )
             seg.active_owner = self.current_thread
+            if san.ACTIVE is not None:
+                san.ACTIVE.handoff(seg, "relay-seg", via="swapseg-in")
         state.seg_reg = incoming
         state.seg_mask = NO_MASK
         self.stats.swapsegs += 1
@@ -248,6 +254,9 @@ class XPCEngine:
             self._account_xcall(cycles, xentry_cycles, 0)
             self.core.tick(cycles)
             raise
+        if san.ACTIVE is not None:
+            san.ACTIVE.access(self.core, state.link_stack, "link-stack",
+                              "xpc.engine.xcall.push", "write")
         linkpush_cycles = (self.params.link_push_nonblocking
                            if self.config.nonblocking_linkstack
                            else self.params.link_push)
@@ -265,6 +274,8 @@ class XPCEngine:
             seg.active_owner = self.current_thread
             self.stats.seg_bytes_passed += passed_seg.length
             self.stats.seg_transfers += 1
+            if san.ACTIVE is not None:
+                san.ACTIVE.handoff(seg, "relay-seg", via="xcall")
         self.caller_id_reg = state.cap_bitmap
         state.seg_reg = passed_seg
         state.seg_mask = NO_MASK
@@ -299,6 +310,9 @@ class XPCEngine:
         except XPCError:
             self.stats.exceptions += 1
             raise
+        if san.ACTIVE is not None:
+            san.ACTIVE.access(self.core, state.link_stack, "link-stack",
+                              "xpc.engine.xret.pop", "write")
         # Relay-seg integrity: the callee must return exactly the window
         # it was handed (§3.3 "Return a relay-seg").  A window the kernel
         # revoked mid-call (§4.4) is exempt: revocation scrubs seg-reg
@@ -326,6 +340,14 @@ class XPCEngine:
             state.seg_list = record.caller_seg_list
         if restored.valid:
             restored.segment.active_owner = record.caller_thread
+            if san.ACTIVE is not None:
+                san.ACTIVE.handoff(restored.segment, "relay-seg",
+                                   via="xret")
+        if (san.ACTIVE is not None and record.passed_seg.valid
+                and record.passed_seg.segment is not
+                (restored.segment if restored.valid else None)):
+            san.ACTIVE.handoff(record.passed_seg.segment, "relay-seg",
+                               via="xret")
         self.core.set_address_space(record.caller_aspace)
         self.stats.xrets += 1
         if self.tracer is not None:

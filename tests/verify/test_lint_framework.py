@@ -1,0 +1,227 @@
+"""The lint framework itself: module naming, pragma scanning, the
+TYPE_CHECKING guard cache, stale-pragma detection, and SARIF export."""
+
+import json
+import textwrap
+from pathlib import Path
+
+from repro.verify import to_sarif, write_sarif
+from repro.verify.lint import (LintViolation, _scan_pragmas, find_src_root,
+                               lint_modules, lint_paths, module_name_for,
+                               parse_module, run_lint)
+from repro.verify.rules import default_rules
+from repro.verify.rules.layering import LayeringRule
+from repro.verify.stale import check_stale_pragmas, known_rule_names
+
+
+def module(source, modname="repro.hw.fixture"):
+    return parse_module(textwrap.dedent(source), f"{modname}.py", modname)
+
+
+# ----------------------------------------------------------------------
+# module naming
+# ----------------------------------------------------------------------
+class TestModuleNameFor:
+    def test_plain_module(self):
+        root = find_src_root()
+        path = root / "repro" / "hw" / "machine.py"
+        assert module_name_for(path, root) == "repro.hw.machine"
+
+    def test_package_init_maps_to_the_package(self):
+        root = find_src_root()
+        path = root / "repro" / "aio" / "__init__.py"
+        assert module_name_for(path, root) == "repro.aio"
+
+    def test_out_of_tree_file_gets_a_synthetic_name(self, tmp_path):
+        root = find_src_root()
+        path = tmp_path / "scratch.py"
+        assert module_name_for(path, root) == "scratch"
+
+    def test_out_of_tree_files_escape_package_scoped_rules(self, tmp_path):
+        # A scratch fixture handed to the CLI must not be mistaken for a
+        # repro.* module: its synthetic name has no unit, so the
+        # layering rule stays quiet on imports that would be violations
+        # inside the tree.
+        path = tmp_path / "scratch.py"
+        path.write_text("from repro.xpc.engine import XPCEngine\n")
+        assert lint_paths([path], [LayeringRule()]) == []
+
+
+# ----------------------------------------------------------------------
+# pragma scanning
+# ----------------------------------------------------------------------
+class TestPragmaScan:
+    def test_single_rule(self):
+        assert _scan_pragmas("x = 1  # verify-ok: layering\n") == {
+            1: {"layering"}}
+
+    def test_multiple_rules_one_pragma(self):
+        out = _scan_pragmas(
+            "x = 1  # verify-ok: layering, flow-charge,cycle-accounting\n")
+        assert out == {1: {"layering", "flow-charge", "cycle-accounting"}}
+
+    def test_docstring_pragma_is_not_a_suppression(self):
+        # The scanner walks COMMENT tokens, so a pragma *quoted* in a
+        # docstring neither suppresses anything nor reads as stale.
+        out = _scan_pragmas(textwrap.dedent('''\
+            def f():
+                """Suppress with ``# verify-ok: layering`` on the line."""
+                return 1  # verify-ok: flow-charge
+            '''))
+        assert out == {3: {"flow-charge"}}
+
+    def test_untokenizable_source_falls_back_to_line_scan(self):
+        # Unterminated string: tokenize raises, the regex fallback still
+        # sees the comment line (the AST parse reports the real error).
+        out = _scan_pragmas(
+            "x = 1  # verify-ok: layering\ny = '''\n")
+        assert out == {1: {"layering"}}
+
+
+# ----------------------------------------------------------------------
+# TYPE_CHECKING guard cache
+# ----------------------------------------------------------------------
+class TestTypeCheckingGuard:
+    SOURCE = """\
+        import typing
+        from typing import TYPE_CHECKING
+        if TYPE_CHECKING:
+            from repro.xpc.engine import XPCEngine
+        if typing.TYPE_CHECKING:
+            from repro.kernel.kernel import BaseKernel
+        import os
+        """
+
+    def test_guarded_lines_cover_both_guard_spellings(self):
+        mod = module(self.SOURCE)
+        assert mod.type_checking_lines == {4, 6}
+
+    def test_in_type_checking_per_node(self):
+        mod = module(self.SOURCE)
+        guarded = [n for n in mod.tree.body[2].body]
+        assert mod.in_type_checking(guarded[0])
+        assert not mod.in_type_checking(mod.tree.body[0])
+
+    def test_guard_set_is_computed_once(self):
+        # The quadratic-lint fix: one walk per module, cached, instead
+        # of a fresh whole-tree walk per queried node.
+        mod = module(self.SOURCE)
+        first = mod.type_checking_lines
+        assert mod.type_checking_lines is first
+
+    def test_layering_rule_honours_the_attribute_guard(self):
+        violations = lint_modules(
+            [module(self.SOURCE, "repro.hw.fixture")], [LayeringRule()])
+        assert violations == []
+
+
+# ----------------------------------------------------------------------
+# parity: explicit paths vs the tree walk
+# ----------------------------------------------------------------------
+class TestLintPathParity:
+    def test_lint_paths_matches_run_lint_per_file(self):
+        root = find_src_root()
+        paths = [root / "repro" / "xpc" / "engine.py",
+                 root / "repro" / "hw" / "cpu.py"]
+        by_walk = [v for v in run_lint()
+                   if Path(v.path).name in {p.name for p in paths}]
+        assert lint_paths(paths) == by_walk == []
+
+    def test_run_lint_drives_rules_through_the_tree_walk(self, tmp_path):
+        pkg = tmp_path / "repro" / "hw"
+        pkg.mkdir(parents=True)
+        (tmp_path / "repro" / "__init__.py").write_text("")
+        (pkg / "__init__.py").write_text("")
+        bad = pkg / "bad.py"
+        bad.write_text("from repro.xpc.engine import XPCEngine\n")
+        violations = run_lint(src_root=tmp_path, rules=[LayeringRule()])
+        assert [(Path(v.path).name, v.line, v.rule) for v in violations] \
+            == [("bad.py", 1, "layering")]
+
+
+# ----------------------------------------------------------------------
+# stale pragmas
+# ----------------------------------------------------------------------
+class TestStalePragmas:
+    def test_used_pragma_is_not_stale(self):
+        mod = module("from repro.xpc.engine import XPCEngine"
+                     "  # verify-ok: layering\n")
+        assert lint_modules([mod], [LayeringRule()]) == []
+        assert check_stale_pragmas([mod], known_rule_names()) == []
+
+    def test_unused_pragma_is_stale(self):
+        mod = module("import os  # verify-ok: layering\n")
+        lint_modules([mod], [LayeringRule()])
+        violations = check_stale_pragmas([mod], known_rule_names())
+        assert len(violations) == 1
+        assert violations[0].rule == "stale-pragma"
+        assert violations[0].line == 1
+        assert "stale pragma" in violations[0].message
+
+    def test_unknown_rule_name_is_reported(self):
+        mod = module("import os  # verify-ok: layerign\n")
+        violations = check_stale_pragmas([mod], known_rule_names())
+        assert len(violations) == 1
+        assert "unknown rule 'layerign'" in violations[0].message
+
+    def test_meta_suppression_keeps_a_prophylactic_pragma(self):
+        mod = module(
+            "import os  # verify-ok: layering, stale-pragma\n")
+        lint_modules([mod], [LayeringRule()])
+        assert check_stale_pragmas([mod], known_rule_names()) == []
+
+    def test_known_rule_names_cover_every_surface(self):
+        names = known_rule_names()
+        for rule in default_rules():
+            assert rule.name in names
+        for flow_name in ("flow-charge", "flow-escape", "flow-except"):
+            assert flow_name in names
+        assert "stale-pragma" in names
+        assert "flow-charge" not in known_rule_names(with_flow=False)
+
+
+# ----------------------------------------------------------------------
+# SARIF export
+# ----------------------------------------------------------------------
+class TestSarif:
+    VIOLATIONS = [
+        LintViolation("flow-charge", "src/repro/xpc/engine.py", 42,
+                      "path reaches return without charging"),
+        LintViolation("layering", "src/repro/hw/cpu.py", 7,
+                      "hw may not import xpc"),
+    ]
+
+    def test_log_structure(self):
+        log = to_sarif(self.VIOLATIONS)
+        assert log["version"] == "2.1.0"
+        run = log["runs"][0]
+        driver = run["tool"]["driver"]
+        rule_ids = [r["id"] for r in driver["rules"]]
+        assert "flow-charge" in rule_ids and "layering" in rule_ids
+        assert len(run["results"]) == 2
+        result = run["results"][0]
+        assert result["ruleId"] == "flow-charge"
+        assert driver["rules"][result["ruleIndex"]]["id"] == "flow-charge"
+        loc = result["locations"][0]["physicalLocation"]
+        assert loc["artifactLocation"]["uri"] == "src/repro/xpc/engine.py"
+        assert loc["region"]["startLine"] == 42
+
+    def test_every_result_rule_appears_in_the_driver(self):
+        log = to_sarif(self.VIOLATIONS, descriptions={})
+        driver = log["runs"][0]["tool"]["driver"]
+        ids = {r["id"] for r in driver["rules"]}
+        assert {res["ruleId"] for res in log["runs"][0]["results"]} <= ids
+
+    def test_write_sarif_round_trips(self, tmp_path):
+        out = tmp_path / "findings.sarif"
+        write_sarif(out, self.VIOLATIONS)
+        log = json.loads(out.read_text())
+        assert log["version"] == "2.1.0"
+        assert len(log["runs"][0]["results"]) == 2
+
+    def test_clean_run_is_valid_sarif(self, tmp_path):
+        out = tmp_path / "clean.sarif"
+        write_sarif(out, [])
+        log = json.loads(out.read_text())
+        assert log["runs"][0]["results"] == []
+        assert log["runs"][0]["tool"]["driver"]["rules"]  # still listed

@@ -1,16 +1,23 @@
-"""The shipped source tree must satisfy every lint rule.
+"""The shipped source tree must satisfy every lint rule, every dataflow
+analysis, and the stale-pragma audit.
 
 This is the pytest wiring for the verification layer: a clean
-``run_lint()`` here is the same check CI runs via
+``run_verify()`` here is the same check CI runs via
 ``python -m repro.verify``.
 """
 
 from repro.verify import format_violations, run_lint
-from repro.verify.lint import collect_modules, find_src_root
+from repro.verify.lint import collect_modules, find_src_root, run_verify
 
 
 def test_source_tree_is_lint_clean():
     violations = run_lint()
+    assert violations == [], "\n" + format_violations(violations)
+
+
+def test_source_tree_passes_the_full_verify_pass():
+    """Lint + flow-charge/escape/except + stale pragmas, repo-wide."""
+    violations = run_verify()
     assert violations == [], "\n" + format_violations(violations)
 
 
