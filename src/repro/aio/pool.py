@@ -37,7 +37,8 @@ import repro.obs as obs
 from repro.hw.cpu import Core
 from repro.ipc.transport import Handler
 from repro.kernel.kernel import BaseKernel
-from repro.runtime.supervisor import RestartPolicy, ServiceSupervisor
+from repro.runtime.supervisor import (ConstRef, EntryRef, RestartPolicy,
+                                      ServiceSupervisor)
 from repro.runtime.xpclib import ExhaustionPolicy
 from repro.aio.backpressure import AdmissionController
 from repro.aio.batch import Batcher, XPCFuture
@@ -58,6 +59,39 @@ class _Worker:
     @property
     def backlog(self) -> int:
         return self.batcher.backlog
+
+
+class _WorkerFactory:
+    """The supervised RingService factory for one worker.
+
+    An object, not a closure, so a snapshot's deepcopy re-points it at
+    the copied pool (whose config it reads at restart time) instead of
+    leaving cells aliasing the pre-snapshot world.
+    """
+
+    def __init__(self, pool: "WorkerPool", service_name: str) -> None:
+        self.pool = pool
+        self.service_name = service_name
+
+    def __call__(self, kernel, core, thread) -> RingService:
+        pool = self.pool
+        return RingService(
+            kernel, core, thread, pool.handler, name=self.service_name,
+            max_contexts=pool.max_contexts, policy=pool.exhaustion,
+            partial_context=pool.partial_context,
+            serve_context=pool.serve_context)
+
+
+class _PoolCompletion:
+    """Per-worker completion callback (class for the same snapshot
+    reason as :class:`_WorkerFactory`)."""
+
+    def __init__(self, pool: "WorkerPool", index: int) -> None:
+        self.pool = pool
+        self.index = index
+
+    def __call__(self, future: XPCFuture) -> None:
+        self.pool._completed(self.index, future)
 
 
 class WorkerPool:
@@ -86,6 +120,11 @@ class WorkerPool:
         self.name = name
         self.policy = policy
         self.admission = admission
+        self.handler = handler
+        self.max_contexts = max_contexts
+        self.partial_context = partial_context
+        self.exhaustion = exhaustion
+        self.serve_context = serve_context
         self.client_process = kernel.create_process(f"{name}-clients")
         self.workers: List[_Worker] = []
         self.submitted = 0
@@ -98,25 +137,16 @@ class WorkerPool:
             supervisor = ServiceSupervisor(kernel, core,
                                            policy=restart_policy)
             service_name = f"{name}-w{index}"
-
-            def factory(k, c, t, _sname=service_name):
-                return RingService(
-                    k, c, t, handler, name=_sname,
-                    max_contexts=max_contexts, policy=exhaustion,
-                    partial_context=partial_context,
-                    serve_context=serve_context)
-
             supervisor.supervise(
-                service_name, factory,
-                grants=[lambda _ct=client_thread: _ct])
+                service_name, _WorkerFactory(self, service_name),
+                grants=[ConstRef(client_thread)])
             batcher = Batcher(
                 kernel, core, client_thread,
-                entry_id=(lambda _s=supervisor, _n=service_name:
-                          _s.entry_id(_n)),
+                entry_id=EntryRef(supervisor, service_name),
                 entries=entries, seg_bytes=seg_bytes,
                 max_batch=max_batch, max_wait_cycles=max_wait_cycles,
                 admission=admission, name=service_name,
-                on_complete=(lambda fut, _i=index: self._completed(_i, fut)))
+                on_complete=_PoolCompletion(self, index))
             self.workers.append(_Worker(
                 index=index, core=core, client_thread=client_thread,
                 supervisor=supervisor, service_name=service_name,

@@ -93,6 +93,9 @@ class FaultPlan:
       decisions come solely from the trace's (point, hit) pairs.
     """
 
+    __snap_state__ = ("seed", "rng", "specs", "trace", "_hits",
+                      "_replay")
+
     def __init__(self, seed: int = 0):
         self.seed = seed
         self.rng = random.Random(seed)

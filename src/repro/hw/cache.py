@@ -10,8 +10,7 @@ never cached (data lives only in PhysicalMemory); the cache model supplies
 
 from __future__ import annotations
 
-from collections import OrderedDict
-from dataclasses import dataclass
+from dataclasses import dataclass, replace
 
 from repro.params import CycleParams
 
@@ -37,7 +36,11 @@ class _TagArray:
         self.line = line
         self.sets = size_bytes // (ways * line)
         self.ways = ways
-        self._sets = [OrderedDict() for _ in range(self.sets)]
+        # Plain dicts in LRU order (oldest first): cheaper to build and
+        # to snapshot-copy than OrderedDicts, and insertion order is
+        # guaranteed; pop-and-reinsert refreshes a line, deleting the
+        # first key evicts the LRU way.
+        self._sets = [{} for _ in range(self.sets)]
         self.stats = CacheStats()
 
     def access(self, pa: int) -> bool:
@@ -45,11 +48,11 @@ class _TagArray:
         tag = pa // self.line
         tset = self._sets[tag % self.sets]
         if tag in tset:
-            tset.move_to_end(tag)
+            tset[tag] = tset.pop(tag)
             self.stats.hits += 1
             return True
         if len(tset) >= self.ways:
-            tset.popitem(last=False)
+            del tset[next(iter(tset))]
         tset[tag] = True
         self.stats.misses += 1
         return False
@@ -57,6 +60,20 @@ class _TagArray:
     def flush(self) -> None:
         for tset in self._sets:
             tset.clear()
+
+    def __deepcopy__(self, memo: dict) -> "_TagArray":
+        """Tag sets hold only immutable ints, so a snapshot deepcopy
+        can rebuild them with shallow per-set copies instead of paying
+        the generic reduce path for a thousand dicts.  Goes through
+        *memo* so a shared L2 stays shared in the copy."""
+        dup = _TagArray.__new__(_TagArray)
+        memo[id(self)] = dup
+        dup.line = self.line
+        dup.sets = self.sets
+        dup.ways = self.ways
+        dup._sets = [dict(tset) for tset in self._sets]
+        dup.stats = replace(self.stats)
+        return dup
 
 
 class CacheModel:

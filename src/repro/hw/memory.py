@@ -4,14 +4,41 @@ The machine's DRAM is a single ``bytearray``.  A bitmap-free free-list frame
 allocator hands out 4 KB frames; relay segments additionally need physically
 *contiguous* ranges (paper §3.3: "a memory region backed with continuous
 physical memory"), served by :meth:`FrameAllocator.alloc_contiguous`.
+
+Snapshots (:mod:`repro.snap`) deepcopy the whole machine; copying 32–256 MB
+of DRAM per checkpoint would sink record/replay, so :class:`PhysicalMemory`
+implements its own copy-on-write protocol.  A *live* memory deepcopies into
+a *dormant* page table (``_data is None``): only the non-zero pages, and —
+after the first checkpoint — only the pages dirtied since, get re-extracted;
+clean pages are shared (same immutable ``bytes`` objects) with the previous
+checkpoint.  Deepcopying a dormant memory materializes a fresh live
+``bytearray`` — that is what restore does.
 """
 
 from __future__ import annotations
 
-from typing import List
+import copy
+import hashlib
+import mmap
+from typing import Dict, List, Optional, Set
 
 PAGE_SIZE = 4096
 PAGE_SHIFT = 12
+
+_ZERO_PAGE = bytes(PAGE_SIZE)
+
+
+def _fresh_dram(size: int) -> mmap.mmap:
+    """A zeroed *size*-byte buffer backed by anonymous mmap.
+
+    The kernel hands out lazily-zeroed pages, so this is O(1) instead
+    of the ~20 ms memset a ``bytearray(32 MB)`` costs — which matters
+    because every snapshot restore materializes a fresh DRAM buffer.
+    The mmap object supports the same slice reads/writes the simulator
+    uses, and slice assignment is stricter (length must match), never
+    looser, than a bytearray's.
+    """
+    return mmap.mmap(-1, size)
 
 
 class OutOfMemoryError(MemoryError):
@@ -25,6 +52,8 @@ class FrameAllocator:
     contiguous allocation (needed by relay segments) is first-fit over
     extents, and single-frame allocation just peels off the first extent.
     """
+
+    __snap_state__ = ("total_frames", "_extents", "allocated")
 
     def __init__(self, total_frames: int, reserved_frames: int = 0) -> None:
         if reserved_frames >= total_frames:
@@ -86,15 +115,26 @@ class FrameAllocator:
 class PhysicalMemory:
     """Byte-addressable DRAM plus its frame allocator."""
 
+    __snap_state__ = ("size", "_data", "allocator", "_snap_pages",
+                      "_snap_dirty")
+
     def __init__(self, size: int = 256 * 1024 * 1024,
                  reserved_bytes: int = PAGE_SIZE) -> None:
         if size % PAGE_SIZE:
             raise ValueError("memory size must be page aligned")
         self.size = size
-        self._data = bytearray(size)
+        self._data: Optional[mmap.mmap] = _fresh_dram(size)
         self.allocator = FrameAllocator(
             size // PAGE_SIZE, reserved_bytes // PAGE_SIZE
         )
+        #: COW page cache: frame -> immutable 4 KB ``bytes``, shared
+        #: with the snapshots taken off this memory.  Zero pages are
+        #: never cached (absence means all-zero).
+        self._snap_pages: Dict[int, bytes] = {}
+        #: Frames written since the last page sync.  ``None`` means no
+        #: snapshot was ever taken: tracking is off and writes cost
+        #: nothing extra; the first sync scans every frame once.
+        self._snap_dirty: Optional[Set[int]] = None
 
     # -- raw access (no timing; timing is charged by the Core) ----------
     def read(self, pa: int, n: int) -> bytes:
@@ -104,20 +144,96 @@ class PhysicalMemory:
     def write(self, pa: int, data: bytes) -> None:
         self._check(pa, len(data))
         self._data[pa:pa + len(data)] = data
+        if self._snap_dirty is not None and data:
+            self._touch(pa, len(data))
 
     def copy(self, dst_pa: int, src_pa: int, n: int) -> None:
         """Physical memmove (used by kernels and DMA models)."""
         self._check(src_pa, n)
         self._check(dst_pa, n)
         self._data[dst_pa:dst_pa + n] = self._data[src_pa:src_pa + n]
+        if self._snap_dirty is not None and n:
+            self._touch(dst_pa, n)
 
     def fill(self, pa: int, n: int, byte: int = 0) -> None:
         self._check(pa, n)
         self._data[pa:pa + n] = bytes([byte]) * n
+        if self._snap_dirty is not None and n:
+            self._touch(pa, n)
 
     def _check(self, pa: int, n: int) -> None:
+        if self._data is None:
+            raise RuntimeError(
+                "dormant snapshot memory is not accessible — deepcopy "
+                "the snapshot graph (repro.snap.restore) to revive it")
         if pa < 0 or n < 0 or pa + n > self.size:
             raise IndexError(f"physical access [{pa:#x}, +{n}) out of range")
+
+    def _touch(self, pa: int, n: int) -> None:
+        self._snap_dirty.update(
+            range(pa >> PAGE_SHIFT, ((pa + n - 1) >> PAGE_SHIFT) + 1))
+
+    # -- snapshot protocol (repro.snap) ---------------------------------
+    @property
+    def dormant(self) -> bool:
+        """True for the page-table form living inside a snapshot."""
+        return self._data is None
+
+    def _sync_pages(self) -> None:
+        """Fold dirty frames into the COW page cache (live side only)."""
+        dirty = (range(self.size >> PAGE_SHIFT)
+                 if self._snap_dirty is None else self._snap_dirty)
+        data = self._data
+        for frame in dirty:
+            off = frame << PAGE_SHIFT
+            page = bytes(data[off:off + PAGE_SIZE])
+            if page == _ZERO_PAGE:
+                self._snap_pages.pop(frame, None)
+            else:
+                self._snap_pages[frame] = page
+        self._snap_dirty = set()
+
+    def __deepcopy__(self, memo: dict) -> "PhysicalMemory":
+        dup = PhysicalMemory.__new__(PhysicalMemory)
+        memo[id(self)] = dup
+        dup.size = self.size
+        dup.allocator = copy.deepcopy(self.allocator, memo)
+        if self._data is None:
+            # Dormant -> live: materialize the pages (restore path).
+            data = _fresh_dram(self.size)
+            for frame, page in self._snap_pages.items():
+                off = frame << PAGE_SHIFT
+                data[off:off + PAGE_SIZE] = page
+            dup._data = data
+            # The revived memory starts with the snapshot's page cache,
+            # so its own next checkpoint shares the unchanged pages.
+            dup._snap_pages = dict(self._snap_pages)
+            dup._snap_dirty = set()
+        else:
+            # Live -> dormant: re-extract only the dirty frames; clean
+            # pages are the same bytes objects the last snapshot holds.
+            self._sync_pages()
+            dup._data = None
+            dup._snap_pages = dict(self._snap_pages)
+            dup._snap_dirty = None
+        return dup
+
+    def snap_page_table(self) -> Dict[int, bytes]:
+        """The COW page view (synced first when live): frame -> bytes."""
+        if self._data is not None:
+            self._sync_pages()
+        return dict(self._snap_pages)
+
+    def __snap_fingerprint__(self):
+        """Canonical content identity for :mod:`repro.snap.fingerprint`:
+        the sorted non-zero page digests plus allocator state, identical
+        whether the memory is live or dormant."""
+        pages = tuple(
+            (frame, hashlib.sha256(page).hexdigest())
+            for frame, page in sorted(self.snap_page_table().items()))
+        alloc = self.allocator
+        return ("PhysicalMemory", self.size, pages, alloc.total_frames,
+                alloc.allocated, tuple(tuple(e) for e in alloc._extents))
 
     # -- allocation ------------------------------------------------------
     def alloc_page(self) -> int:

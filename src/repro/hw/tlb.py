@@ -8,8 +8,7 @@ Figure 5 removes that.  Both modes are modeled here.
 
 from __future__ import annotations
 
-from collections import OrderedDict
-from dataclasses import dataclass, field
+from dataclasses import dataclass, field, replace
 from typing import Optional, Tuple
 
 import repro.faults as faults
@@ -47,7 +46,10 @@ class TLB:
         self.sets = entries // ways
         self.ways = ways
         self.tagged = tagged
-        self._sets = [OrderedDict() for _ in range(self.sets)]
+        # Plain dicts in LRU order (oldest first) — see the cache tag
+        # arrays for why: much cheaper to build and snapshot-copy than
+        # OrderedDicts, with identical ordering semantics.
+        self._sets = [{} for _ in range(self.sets)]
         self.stats = TLBStats()
 
     def _key(self, vpn: int, asid: int) -> Tuple[int, int]:
@@ -66,7 +68,7 @@ class TLB:
         if entry is None:
             self.stats.misses += 1
             return None
-        tset.move_to_end(key)
+        tset[key] = tset.pop(key)
         self.stats.hits += 1
         return entry
 
@@ -76,9 +78,9 @@ class TLB:
         tset = self._sets[vpn % self.sets]
         key = self._key(vpn, asid)
         if key in tset:
-            tset.move_to_end(key)
+            del tset[key]
         elif len(tset) >= self.ways:
-            tset.popitem(last=False)
+            del tset[next(iter(tset))]
         tset[key] = (pa_page, perm)
 
     def invalidate(self, va: int, asid: int) -> None:
@@ -91,6 +93,21 @@ class TLB:
         for tset in self._sets:
             tset.clear()
         self.stats.flushes += 1
+
+    def __deepcopy__(self, memo: dict) -> "TLB":
+        """Entries map immutable ``(asid, vpn)`` to immutable
+        ``(ppn, PagePerm)``, so snapshot deepcopies rebuild the sets
+        with shallow per-set copies — same trick as the cache tag
+        arrays, and for the same reason: 64 generic dict
+        reconstructions per TLB would dominate snapshot cost."""
+        dup = TLB.__new__(TLB)
+        memo[id(self)] = dup
+        dup.sets = self.sets
+        dup.ways = self.ways
+        dup.tagged = self.tagged
+        dup._sets = [dict(tset) for tset in self._sets]
+        dup.stats = replace(self.stats)
+        return dup
 
     def flush_asid(self, asid: int) -> None:
         if not self.tagged:

@@ -133,6 +133,13 @@ class Transport(abc.ABC):
     #: Human-readable system name ("seL4", "seL4-XPC", "Zircon", ...).
     name = "abstract"
 
+    #: The snapshot contract (repro.snap): the complete instance state
+    #: this class owns.  Subclasses extend the tuple; the snap-discipline
+    #: lint rule and the fingerprint walker both enforce totality, so a
+    #: restored transport can never silently miss an attribute.
+    __snap_state__ = ("_services", "_next_sid", "call_count",
+                      "bytes_moved", "ipc_cycles", "_serving_core")
+
     def __init__(self) -> None:
         self._services: Dict[int, ServerRegistration] = {}
         self._next_sid = 1

@@ -22,6 +22,36 @@ from repro.runtime.xpclib import XPCService, xpc_call
 from repro.xpc.relayseg import NO_MASK, SegMask
 
 
+class _RelayHandlerBridge:
+    """Adapts a registered ``(meta, payload)`` handler to the engine's
+    call convention.  An object rather than a closure on purpose:
+    snapshots (:mod:`repro.snap`) deepcopy the transport graph, and
+    instance attributes follow the copy, where a closure's cells would
+    keep aliasing the pre-snapshot machine's memory."""
+
+    def __init__(self, transport: "XPCTransport",
+                 reg: ServerRegistration) -> None:
+        self.transport = transport
+        self.reg = reg
+
+    def __call__(self, call):
+        transport = self.transport
+        mem = transport.kernel.machine.memory
+        used, meta = call.args
+        payload = RelayPayload(mem, call.window, used)
+        handler_start = call.core.cycles
+        reply_meta, reply = self.reg.handler(meta, payload)
+        transport._handler_acc += call.core.cycles - handler_start
+        if reply is None:
+            reply_len = 0
+        elif isinstance(reply, int):
+            reply_len = reply           # already written in place
+        else:
+            payload.write(reply, 0)     # reply goes into the segment
+            reply_len = len(reply)
+        return (reply_meta, reply_len)
+
+
 class XPCTransport(Transport):
     """xcall/xret + relay-seg request/response on any BaseKernel."""
 
@@ -29,6 +59,11 @@ class XPCTransport(Transport):
     #: Per-call user-library overhead beyond the XPC runtime itself
     #: (e.g. Zircon's FIDL-compatible wrapper), in cycles.
     lib_overhead = 0
+
+    __snap_state__ = Transport.__snap_state__ + (
+        "kernel", "core", "client_thread", "partial_context",
+        "max_contexts", "_xpc_services", "_seg", "_seg_bytes",
+        "_handler_acc", "_nested_segs")
 
     def __init__(self, kernel: BaseKernel, core: Core,
                  client_thread: Thread,
@@ -45,31 +80,19 @@ class XPCTransport(Transport):
         self._seg = None          # (RelaySegment, seg_list_slot)
         self._seg_bytes = default_seg_bytes
         self._handler_acc = 0     # cycles spent inside user handlers
+        #: Per-runtime-context scratch segments for nested onward calls,
+        #: keyed by the context's cap bitmap *object* (identity survives
+        #: a snapshot's deepcopy; a raw ``id()`` key would not).
+        self._nested_segs: Dict[object, tuple] = {}
 
     # -- server side -------------------------------------------------------
     def _bind(self, reg: ServerRegistration) -> None:
-        mem = self.kernel.machine.memory
-
-        def xpc_handler(call):
-            used, meta = call.args
-            payload = RelayPayload(mem, call.window, used)
-            handler_start = call.core.cycles
-            reply_meta, reply = reg.handler(meta, payload)
-            self._handler_acc += call.core.cycles - handler_start
-            if reply is None:
-                reply_len = 0
-            elif isinstance(reply, int):
-                reply_len = reply           # already written in place
-            else:
-                payload.write(reply, 0)     # reply goes into the segment
-                reply_len = len(reply)
-            return (reply_meta, reply_len)
-
         # Register while running a server thread so the x-entry lands in
         # the server's address space.
         self.kernel.run_thread(self.core, reg.server_thread)
         service = XPCService(
-            self.kernel, self.core, reg.server_thread, xpc_handler,
+            self.kernel, self.core, reg.server_thread,
+            _RelayHandlerBridge(self, reg),
             max_contexts=self.max_contexts,
             partial_context=self.partial_context, name=reg.name,
         )
@@ -257,11 +280,8 @@ class XPCTransport(Transport):
     def _nested_seg(self, core: Core, engine, nbytes: int):
         """Scratch relay segment for the current runtime state."""
         state = engine.state
-        key = id(state.cap_bitmap)
+        key = state.cap_bitmap
         needed = max(_round_page(max(nbytes, 1)), 4096)
-        entry = getattr(self, "_nested_segs", None)
-        if entry is None:
-            self._nested_segs = {}
         seg_slot = self._nested_segs.get(key)
         if seg_slot is not None and seg_slot[0].length >= needed:
             return seg_slot

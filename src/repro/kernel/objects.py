@@ -3,7 +3,6 @@
 from __future__ import annotations
 
 import enum
-import itertools
 
 
 class Right(enum.IntFlag):
@@ -19,12 +18,19 @@ class Right(enum.IntFlag):
 
 
 class KernelObject:
-    """Base class for anything a capability or handle can point at."""
+    """Base class for anything a capability or handle can point at.
 
-    _ids = itertools.count(1)
+    The koid counter is a plain class int (not ``itertools.count``) so
+    :mod:`repro.snap` can read and restore it: replaying from a snapshot
+    must mint the same koids (and thus the same default names) the
+    original run did.
+    """
+
+    _next_koid = 1
 
     def __init__(self, name: str = "") -> None:
-        self.koid = next(KernelObject._ids)
+        self.koid = KernelObject._next_koid
+        KernelObject._next_koid += 1
         self.name = name or f"{type(self).__name__}-{self.koid}"
 
     def __repr__(self) -> str:

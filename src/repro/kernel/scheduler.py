@@ -24,6 +24,9 @@ from repro.params import CycleParams
 class Scheduler:
     """Per-machine run queue (one logical queue keeps the model simple)."""
 
+    __snap_state__ = ("params", "_queue", "_cell", "enqueues", "blocks",
+                      "switches", "tombstones")
+
     def __init__(self, params: CycleParams) -> None:
         self.params = params
         # Each cell is [thread, live].  A thread has at most one live

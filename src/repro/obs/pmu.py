@@ -23,6 +23,7 @@ record-and-replay methodology relies on.
 
 from __future__ import annotations
 
+import copy
 from typing import Dict, List, Optional
 
 #: Counter names reported as *levels* (sampled raw, never
@@ -162,11 +163,39 @@ class PMU:
     lazily on the first :meth:`add` for an unknown core.
     """
 
+    __snap_state__ = ("_core_banks", "_kernel_banks", "_machines",
+                      "_kernels")
+
     def __init__(self) -> None:
         self._core_banks: Dict[int, _CoreBank] = {}   # id(core) -> bank
         self._kernel_banks: Dict[int, _KernelBank] = {}
         self._machines = 0
         self._kernels = 0
+
+    def __deepcopy__(self, memo: dict) -> "PMU":
+        """Banks are keyed by ``id(core)``/``id(kernel)``; a snapshot
+        copy must re-key by the *copied* objects' ids or the restored
+        PMU would sample the pre-snapshot machine."""
+        dup = PMU.__new__(PMU)
+        memo[id(self)] = dup
+        dup._machines = self._machines
+        dup._kernels = self._kernels
+        dup._core_banks = {}
+        for bank in self._core_banks.values():
+            new_bank = copy.deepcopy(bank, memo)
+            dup._core_banks[id(new_bank.core)] = new_bank
+        dup._kernel_banks = {}
+        for kbank in self._kernel_banks.values():
+            new_kbank = copy.deepcopy(kbank, memo)
+            dup._kernel_banks[id(new_kbank.kernel)] = new_kbank
+        return dup
+
+    def __snap_fingerprint__(self):
+        """Canonical identity: banks in registration order, without the
+        raw ``id()`` keys (which differ across restores by design)."""
+        return ("PMU", self._machines, self._kernels,
+                list(self._core_banks.values()),
+                list(self._kernel_banks.values()))
 
     # -- registration --------------------------------------------------
     def attach_machine(self, machine) -> None:

@@ -66,6 +66,8 @@ def _fuzz(args) -> int:
 
 def _replay(args) -> int:
     program = load_artifact(args.replay)
+    if args.at_op is not None:
+        return _replay_at_op(args, program)
     result = run_differential(program)
     print(f"replay {args.replay}: {len(program)} op(s)")
     for failure in result.invariant_failures:
@@ -76,6 +78,43 @@ def _replay(args) -> int:
         print("  no divergence (bug fixed, or artifact is stale)")
         return 0
     return 1
+
+
+def _replay_at_op(args, program) -> int:
+    """Position one executor at op boundary N via record/replay and
+    report the state there: outcomes so far vs the oracle, the
+    snapshot fingerprint, and the op about to run."""
+    from repro.proptest.executors import default_executor_factories
+    from repro.proptest.harness import expected_outcomes
+    from repro.snap import (ExecutorWorld, Recorder,  # verify-ok: layering
+                            live_fingerprint)
+
+    table = dict(default_executor_factories())
+    if args.executor not in table:
+        print(f"unknown executor {args.executor!r}; one of: "
+              f"{', '.join(table)}")
+        return 2
+    if not 0 <= args.at_op <= len(program):
+        print(f"--at-op {args.at_op} out of range 0..{len(program)}")
+        return 2
+    world = ExecutorWorld.build(table[args.executor], observe=True)
+    recorder = Recorder(world, every_ops=1)
+    recorder.run(list(program.ops))
+    positioned = recorder.resume(args.at_op)
+    expected = expected_outcomes(program)
+    print(f"replay {args.replay} on {args.executor}: positioned at "
+          f"op {args.at_op}/{len(program)} "
+          f"(cycle {positioned.clock()})")
+    for i, outcome in enumerate(positioned.outcomes):
+        marker = "  " if outcome == expected[i] else "!="
+        print(f"  {marker} op {i}: {program.ops[i]!r}")
+        print(f"       got      {outcome!r}")
+        if outcome != expected[i]:
+            print(f"       expected {expected[i]!r}")
+    if args.at_op < len(program):
+        print(f"  next op: {program.ops[args.at_op]!r}")
+    print(f"  fingerprint={live_fingerprint(positioned)}")
+    return 0
 
 
 def main(argv=None) -> int:
@@ -93,6 +132,13 @@ def main(argv=None) -> int:
                         help="artifact directory for counterexamples")
     parser.add_argument("--replay", metavar="ARTIFACT",
                         help="replay one saved counterexample and exit")
+    parser.add_argument("--at-op", type=int, default=None,
+                        help="with --replay: stop at op boundary N "
+                             "(record/replay positioning) and report "
+                             "the state there instead of diffing the "
+                             "whole roster")
+    parser.add_argument("--executor", default="seL4-XPC",
+                        help="executor used with --at-op")
     parser.add_argument("--cycle-budget", type=int, default=None,
                         help="stop fuzzing once this many simulated "
                              "cycles have been burned")

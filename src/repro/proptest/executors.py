@@ -114,6 +114,63 @@ class _GenRec:
     kv: dict = field(default_factory=dict)
 
 
+def _run_steps(executor, program: Program) -> ExecutionReport:
+    """The shared program loop: drive *executor* one op at a time.
+
+    Works on anything exposing ``step``/``core``/``_ipc_total`` — the
+    bare executors, the faulting/sanitizing wrappers, and (via
+    ``repro.snap``'s worlds) a restored mid-program executor resuming
+    from an op-boundary snapshot.
+    """
+    outcomes, op_cycles, op_ipc = [], [], []
+    for op in program.ops:
+        cycles0 = executor.core.cycles
+        ipc0 = executor._ipc_total()
+        outcomes.append(executor.step(op))
+        op_cycles.append(executor.core.cycles - cycles0)
+        op_ipc.append(executor._ipc_total() - ipc0)
+    return ExecutionReport(executor.name, outcomes, op_cycles, op_ipc)
+
+
+class _ServiceHandler:
+    """The per-registration service behaviour as a callable object.
+
+    Deliberately not a closure: snapshots deepcopy the executor graph
+    and these attributes follow the copy, where closure cells would
+    keep pointing at the pre-snapshot generation record.
+    """
+
+    def __init__(self, executor: "_ExecutorBase", rec: "_GenRec") -> None:
+        self.executor = executor
+        self.rec = rec
+
+    def __call__(self, meta: tuple, payload):
+        rec = self.rec
+        kind = rec.kind
+        if kind == "echo":
+            return ("echo",) + meta[1:], payload.read()
+        if kind == "xform":
+            return ("xf",) + meta[1:], xform_bytes(payload.read())
+        if kind == "counter":
+            rec.counter += meta[1]
+            return (("cnt", rec.counter), counter_bytes(rec.counter))
+        if kind == "kv":
+            verb, key = meta[0], meta[1]
+            if verb == "put":
+                data = payload.read()
+                rec.kv[key] = data
+                return ("put", key, len(data)), None
+            value = rec.kv.get(key)
+            if value is None:
+                raise KeyError(key)
+            return ("get", key, len(value)), value
+        if kind == "chain":
+            return self.executor._chain_hop(meta, payload)
+        if kind == "thief":
+            return self.executor._thief_action(rec, meta)
+        raise ValueError(f"unknown kind {kind!r}")
+
+
 class _ExecutorBase:
     """Shared program loop, service registry and handler factory."""
 
@@ -135,20 +192,16 @@ class _ExecutorBase:
 
     # -- the program loop ---------------------------------------------
     def run(self, program: Program) -> ExecutionReport:
-        outcomes, op_cycles, op_ipc = [], [], []
-        for op in program.ops:
-            cycles0 = self.core.cycles
-            ipc0 = self._ipc_total()
-            try:
-                outcome = self._step(op)
-            except Exception as exc:     # a mechanism bug escaped its op:
-                # surface it as a typed outcome the oracle can never
-                # produce, so the diff (and the shrinker) still work.
-                outcome = ("crash", type(exc).__name__)
-            outcomes.append(outcome)
-            op_cycles.append(self.core.cycles - cycles0)
-            op_ipc.append(self._ipc_total() - ipc0)
-        return ExecutionReport(self.name, outcomes, op_cycles, op_ipc)
+        return _run_steps(self, program)
+
+    def step(self, op) -> tuple:
+        """Execute one op; mechanism bugs become typed outcomes."""
+        try:
+            return self._step(op)
+        except Exception as exc:     # a mechanism bug escaped its op:
+            # surface it as a typed outcome the oracle can never
+            # produce, so the diff (and the shrinker) still work.
+            return ("crash", type(exc).__name__)
 
     def _step(self, op) -> tuple:
         if isinstance(op, RegisterOp):
@@ -242,31 +295,7 @@ class _ExecutorBase:
 
     # -- the service handlers -------------------------------------------
     def _make_handler(self, rec: _GenRec) -> Callable:
-        def handler(meta: tuple, payload):
-            kind = rec.kind
-            if kind == "echo":
-                return ("echo",) + meta[1:], payload.read()
-            if kind == "xform":
-                return ("xf",) + meta[1:], xform_bytes(payload.read())
-            if kind == "counter":
-                rec.counter += meta[1]
-                return (("cnt", rec.counter), counter_bytes(rec.counter))
-            if kind == "kv":
-                verb, key = meta[0], meta[1]
-                if verb == "put":
-                    data = payload.read()
-                    rec.kv[key] = data
-                    return ("put", key, len(data)), None
-                value = rec.kv.get(key)
-                if value is None:
-                    raise KeyError(key)
-                return ("get", key, len(value)), value
-            if kind == "chain":
-                return self._chain_hop(meta, payload)
-            if kind == "thief":
-                return self._thief_action(rec, meta)
-            raise ValueError(f"unknown kind {kind!r}")
-        return handler
+        return _ServiceHandler(self, rec)
 
     def _chain_hop(self, meta: tuple, payload) -> tuple:
         """One onward hop (§4.4): fold the inner outcome into the reply."""
@@ -575,13 +604,30 @@ class FaultingExecutor:
         return self.inner.machine
 
     @property
+    def kernel(self):
+        return self.inner.kernel
+
+    @property
+    def core(self):
+        return self.inner.core
+
+    @property
     def comparable(self):
         return False        # fault overhead skews mechanism cycles
 
-    def run(self, program: Program) -> ExecutionReport:
+    def _ipc_total(self) -> int:
+        return self.inner._ipc_total()
+
+    def step(self, op) -> tuple:
+        """One op with the plan armed.  Nothing fires between ops (the
+        fire sites all sit inside op machinery), so per-op arming is
+        trace-identical to arming around the whole run — and it lets a
+        snapshot restored at an op boundary resume mid-plan."""
         with faults.active(self.plan):
-            report = self.inner.run(program)
-        report.executor = self.name
+            return self.inner.step(op)
+
+    def run(self, program: Program) -> ExecutionReport:
+        report = _run_steps(self, program)
         report.fault_trace = [ev.as_dict() for ev in self.plan.trace]
         return report
 
@@ -600,10 +646,21 @@ class SanExecutor:
     def __init__(self, inner) -> None:
         self.inner = inner
         self.name = f"{inner.name}+xpcsan"
+        #: One session for the executor's whole life (executors are
+        #: single-use), owned here so snapshots capture its log.
+        self.session = san.SanSession()
 
     @property
     def machine(self):
         return self.inner.machine
+
+    @property
+    def kernel(self):
+        return self.inner.kernel
+
+    @property
+    def core(self):
+        return self.inner.core
 
     @property
     def comparable(self):
@@ -611,12 +668,17 @@ class SanExecutor:
         # cross-mechanism ordering set like the other wrappers.
         return False
 
+    def _ipc_total(self) -> int:
+        return self.inner._ipc_total()
+
+    def step(self, op) -> tuple:
+        with san.active(self.session):
+            return self.inner.step(op)
+
     def run(self, program: Program) -> ExecutionReport:
-        session = san.SanSession()
-        with san.active(session):
-            report = self.inner.run(program)
-        report.executor = self.name
-        report.san_issues = [issue.describe() for issue in session.issues]
+        report = _run_steps(self, program)
+        report.san_issues = [issue.describe()
+                             for issue in self.session.issues]
         return report
 
 

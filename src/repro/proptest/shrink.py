@@ -11,6 +11,15 @@ The result is saved as a JSON artifact under ``proptest-failures/``
 that replays exactly: the program, the expected and observed outcomes,
 and the executors that disagreed.  Artifact names are derived from the
 program's content hash — deterministic across machines and reruns.
+
+Shrinking is snapshot-accelerated by default: every ddmin/greedy probe
+shares a prefix with some already-executed candidate, so instead of
+replaying each candidate from op 0 the predicate restores the longest
+cached :mod:`repro.snap` checkpoint and runs only the suffix.  The
+verdicts are identical to the replay-from-scratch predicate (the
+deterministic-resume contract CI enforces); only the work changes —
+``tests/snap`` asserts a ≥3× reduction in executed ops on the
+checked-in §3.3 counterexample.
 """
 
 from __future__ import annotations
@@ -22,7 +31,8 @@ from typing import Callable, List, Optional
 
 from repro.proptest.grammar import (Program, SCHEMA, outcome_from_jsonable,
                                     outcome_to_jsonable)
-from repro.proptest.harness import DiffResult, run_differential
+from repro.proptest.harness import (DiffResult, expected_outcomes,
+                                    run_differential)
 
 #: Default artifact directory (git-ignored; CI uploads it on failure).
 ARTIFACT_DIR = "proptest-failures"
@@ -39,17 +49,109 @@ def make_predicate(factories: Optional[list] = None,
     full roster per ddmin probe.
     """
     cache = {}
+    pool = _filtered(factories, executors)
 
     def diverges(program: Program) -> bool:
         key = program.ops
         if key in cache:
             return cache[key]
-        result = run_differential(program, factories=_filtered(
-            factories, executors))
+        result = run_differential(program, factories=pool)
+        diverges.probes += 1
+        diverges.ops_executed += len(program.ops) * len(result.reports)
         verdict = bool(result.divergences)
         cache[key] = verdict
         return verdict
 
+    diverges.probes = 0
+    diverges.ops_executed = 0
+    return diverges
+
+
+def make_snapshot_predicate(factories: Optional[list] = None,
+                            executors: Optional[List[str]] = None,
+                            max_cached: int = 128
+                            ) -> Callable[[Program], bool]:
+    """Divergence predicate with snapshot-resumed probes.
+
+    Verdicts match :func:`make_predicate` exactly (outcome-vs-oracle
+    divergence on the same executor pool); the difference is cost:
+
+    * each probe restores the longest cached checkpoint matching the
+      candidate's prefix and runs only the suffix — sound because
+      resume is byte-identical to straight-line execution, including
+      mid-plan fault state (the checkpoint's op sequence *is* the
+      candidate's prefix, so nothing downstream can tell);
+    * each probe stops at the first divergent outcome — the oracle is
+      sequential, so ``expected[i]`` depends only on ``ops[:i+1]`` and
+      the verdict ("*some* op diverges") never needs the tail.
+
+    The index of the divergence that decided the last ``True`` verdict
+    is published as ``predicate.last_divergence``; since outcomes
+    depend only on preceding ops, truncating a diverging program right
+    after that index always preserves divergence —
+    :func:`minimize_failure` uses it to drop the tail in one step
+    before ddmin starts.
+    """
+    from repro.snap import capture, restore  # verify-ok: layering
+    from repro.snap.world import ExecutorWorld  # verify-ok: layering
+
+    pool = _filtered(factories, executors)
+    if pool is None:
+        from repro.proptest.executors import default_executor_factories
+        pool = default_executor_factories()
+    verdicts = {}
+    #: ops-prefix tuple -> {executor name: Snapshot at that boundary};
+    #: insertion order doubles as FIFO eviction order.
+    checkpoints = {}
+
+    def _evict() -> None:
+        while len(checkpoints) > max_cached:
+            del checkpoints[next(iter(checkpoints))]
+
+    def _probe_one(name: str, factory, ops: tuple,
+                   expected: List[tuple]) -> Optional[int]:
+        """Index of the first divergent op on this executor, or None."""
+        prefix = ops
+        while prefix and not (prefix in checkpoints
+                              and name in checkpoints[prefix]):
+            prefix = prefix[:-1]
+        if prefix:
+            world = restore(checkpoints[prefix][name])
+        else:
+            world = ExecutorWorld(factory())
+        # The cached prefix was healthy when captured (a probe stops
+        # stepping at its first divergence and never checkpoints past
+        # it), so only the freshly-run suffix needs comparing.
+        for i in range(len(prefix), len(ops)):
+            got = world.step(ops[i])
+            diverges.ops_executed += 1
+            if got != expected[i]:
+                return i
+            per_exec = checkpoints.setdefault(ops[:i + 1], {})
+            if name not in per_exec:
+                per_exec[name] = capture(world, op_index=i + 1)
+        _evict()
+        return None
+
+    def diverges(program: Program) -> bool:
+        key = program.ops
+        if key in verdicts:
+            return verdicts[key]
+        diverges.probes += 1
+        expected = expected_outcomes(program)
+        verdict = False
+        for name, factory in pool:
+            where = _probe_one(name, factory, key, expected)
+            if where is not None:
+                verdict = True
+                diverges.last_divergence = where
+                break
+        verdicts[key] = verdict
+        return verdict
+
+    diverges.probes = 0
+    diverges.ops_executed = 0
+    diverges.last_divergence = None
     return diverges
 
 
@@ -161,8 +263,17 @@ def load_artifact_expectations(path: str) -> List[tuple]:
 
 
 def minimize_failure(program: Program, result: DiffResult,
-                     factories: Optional[list] = None) -> Program:
+                     factories: Optional[list] = None,
+                     use_snapshots: bool = True) -> Program:
     """Shrink against exactly the executors that originally failed."""
     failing = sorted({d.executor for d in result.divergences})
-    predicate = make_predicate(factories, failing or None)
+    if not use_snapshots:
+        return shrink(program, make_predicate(factories, failing or None))
+    predicate = make_snapshot_predicate(factories, failing or None)
+    if predicate(program) and predicate.last_divergence is not None:
+        # Outcomes depend only on preceding ops, so everything past the
+        # first divergence is dead weight: truncate before ddmin.  The
+        # truncated program provably still diverges (at its last op).
+        program = Program(program.ops[:predicate.last_divergence + 1],
+                          seed=program.seed)
     return shrink(program, predicate)

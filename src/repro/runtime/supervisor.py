@@ -185,6 +185,64 @@ class ServiceSupervisor:
         return sup
 
 
+class ConstRef:
+    """Callable returning a fixed object — the degenerate grant
+    supplier for grantees that are never restarted (plain clients).
+
+    These reference classes exist so supervisor wiring survives a
+    snapshot: :mod:`repro.snap` deepcopies the object graph, and an
+    instance attribute follows the copy where a lambda's default-arg or
+    closure cell would keep aliasing the pre-snapshot object.
+    """
+
+    def __init__(self, value) -> None:
+        self.value = value
+
+    def __call__(self):
+        return self.value
+
+
+class ThreadRef:
+    """Callable resolving a supervised service's *current* thread —
+    a grant supplier that tracks restarts (see :class:`ConstRef` for
+    why this is a class)."""
+
+    def __init__(self, supervisor: "ServiceSupervisor", name: str) -> None:
+        self.supervisor = supervisor
+        self.name = name
+
+    def __call__(self):
+        return self.supervisor.thread(self.name)
+
+
+class EntryRef:
+    """Callable resolving a supervised service's *current* entry id —
+    the batcher-side half of drain-and-restart recovery."""
+
+    def __init__(self, supervisor: "ServiceSupervisor", name: str) -> None:
+        self.supervisor = supervisor
+        self.name = name
+
+    def __call__(self) -> int:
+        return self.supervisor.entry_id(self.name)
+
+
+class GrantOnRestart:
+    """``on_restart`` listener re-granting an onward xcall-cap to every
+    restarted generation of a supervised worker (FS workers need the
+    block device's cap, net workers the loopback device's)."""
+
+    def __init__(self, transport, sid: int,
+                 supervisor: "ServiceSupervisor") -> None:
+        self.transport = transport
+        self.sid = sid
+        self.supervisor = supervisor
+
+    def __call__(self, name: str, service) -> None:
+        self.transport.grant_to_thread(self.sid,
+                                       self.supervisor.thread(name))
+
+
 #: Transient failures a caller may reasonably retry.
 RETRYABLE = (XPCBusyError, XPCTimeoutError, XPCPeerDiedError)
 

@@ -121,6 +121,9 @@ def _identity(obj: object):
 class SanSession:
     """One run's worth of XPCSan state: access logs and found issues."""
 
+    __snap_state__ = ("issues", "max_issues", "accesses", "handoffs",
+                     "_epochs", "_labels", "_identity_keys", "_reported")
+
     def __init__(self, max_issues: int = 256) -> None:
         self.issues: List[SanIssue] = []
         self.max_issues = max_issues
@@ -132,6 +135,26 @@ class SanSession:
         #: so a segment handoff reaches the ring labels inside it.
         self._identity_keys: Dict[tuple, List[tuple]] = {}
         self._reported: set = set()
+
+    def __deepcopy__(self, memo: dict) -> "SanSession":
+        """Snapshot copy: keep the findings and counters, drop the
+        per-resource logs.  Resource keys embed ``id(obj)`` of live
+        simulator objects, which a deepcopy invalidates; forgetting an
+        epoch is always sound (it only forgets *potential* conflicts,
+        exactly like a handoff does) so a restored run re-learns its
+        resources from scratch."""
+        dup = SanSession(self.max_issues)
+        memo[id(self)] = dup
+        dup.issues = list(self.issues)      # SanAccess/SanIssue: frozen
+        dup.accesses = self.accesses
+        dup.handoffs = self.handoffs
+        return dup
+
+    def __snap_fingerprint__(self):
+        """Only the deterministic totals: the epoch logs are id-keyed
+        bookkeeping a restore legitimately resets."""
+        return ("SanSession", self.accesses, self.handoffs,
+                len(self.issues))
 
     # -- resource identity --------------------------------------------
     def _key(self, obj: object, label: str) -> tuple:

@@ -21,6 +21,10 @@ from repro.sel4.kernel import Sel4Kernel
 class Sel4Transport(Transport):
     """Baseline seL4 endpoint IPC (copies = 1 → seL4-onecopy, 2 → two)."""
 
+    __snap_state__ = Transport.__snap_state__ + (
+        "kernel", "core", "client_thread", "copies", "name",
+        "_client_slots")
+
     def __init__(self, kernel: Sel4Kernel, core: Core,
                  client_thread: Thread, copies: int = 2) -> None:
         super().__init__()

@@ -16,6 +16,7 @@ from typing import Optional, Sequence, Tuple
 import repro.obs as obs
 from repro.aio.pool import WorkerPool
 from repro.ipc.transport import Payload, RelayPayload, Transport
+from repro.runtime.supervisor import GrantOnRestart
 from repro.services.fs.blockdev import (BlockClient, BlockDeviceError,
                                         BlockServer, RamDisk)
 from repro.services.fs.cache import BufferCache
@@ -80,9 +81,8 @@ class FSServer:
             self.transport.grant_to_thread(
                 blk_sid, worker.supervisor.thread(worker.service_name))
             worker.supervisor.on_restart.append(
-                lambda sname, _svc, _sup=worker.supervisor:
-                self.transport.grant_to_thread(blk_sid,
-                                               _sup.thread(sname)))
+                GrantOnRestart(self.transport, blk_sid,
+                               worker.supervisor))
         return pool
 
     # ------------------------------------------------------------------

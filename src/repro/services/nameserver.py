@@ -37,6 +37,12 @@ class ServiceUnavailableError(Exception):
             f"{failures} consecutive failures)")
 
 
+def _zero_clock() -> int:
+    """Default breaker clock (module-level so snapshots can pickle a
+    breaker that never got a real cycle source)."""
+    return 0
+
+
 class BreakerState(enum.Enum):
     CLOSED = "closed"          # healthy: calls flow
     OPEN = "open"              # tripped: fail fast
@@ -52,7 +58,7 @@ class CircuitBreaker:
             raise ValueError("breaker threshold must be >= 1")
         self.threshold = threshold
         self.cooldown = cooldown
-        self.clock = clock or (lambda: 0)
+        self.clock = clock or _zero_clock
         self.state = BreakerState.CLOSED
         self.failures = 0
         self.opened_at = 0

@@ -13,6 +13,7 @@ from typing import Optional, Sequence, Tuple
 import repro.obs as obs
 from repro.aio.pool import WorkerPool
 from repro.ipc.transport import Payload, RelayPayload, Transport
+from repro.runtime.supervisor import GrantOnRestart
 from repro.services.net.loopback import LoopbackServer
 from repro.services.net.stack import NetStack
 from repro.services.net.tcp import TCPError
@@ -53,9 +54,8 @@ class NetServer:
             self.transport.grant_to_thread(
                 dev_sid, worker.supervisor.thread(worker.service_name))
             worker.supervisor.on_restart.append(
-                lambda sname, _svc, _sup=worker.supervisor:
-                self.transport.grant_to_thread(dev_sid,
-                                               _sup.thread(sname)))
+                GrantOnRestart(self.transport, dev_sid,
+                               worker.supervisor))
         return pool
 
     def _handle(self, meta: tuple, payload: Payload):

@@ -1,0 +1,62 @@
+"""Pre-fault snapshots for the chaos harness.
+
+:class:`PreFaultSnapper` chains itself onto ``repro.faults.OBSERVER``,
+the hook :func:`repro.faults.fire` calls the moment a plan decides to
+inject.  The observer runs *after* the plan has recorded the event in
+its trace but *before* the fire site applies the action, so each
+snapshot captures the world on the brink of the fault: the event is
+already in the plan's trace (restoring and re-running the op replays
+the decision without re-rolling it), the damage is not yet done.
+
+Chaining composes with observability: enter ``obs.active(session)``
+first (it installs the session's own fault observer), then the
+snapper; injected faults are then both annotated on the span timeline
+and snapshotted.  World ``step`` methods leave an already-installed
+obs session in place for exactly this reason.
+"""
+
+from __future__ import annotations
+
+from typing import List, Optional, Tuple
+
+import repro.faults as faults
+from repro.snap.core import Snapshot, capture
+
+
+class PreFaultSnapper:
+    """Snapshot *world* immediately before every injected fault."""
+
+    def __init__(self, world, keep: Optional[int] = 8) -> None:
+        self.world = world
+        self.keep = keep
+        #: ``(point, action, snapshot)`` per injection, oldest first
+        #: (trimmed to the last *keep* when bounded).
+        self.snapshots: List[Tuple[str, dict, Snapshot]] = []
+        self.injections = 0
+        self._prev = None
+        self._armed = False
+
+    def __enter__(self) -> "PreFaultSnapper":
+        self._prev = faults.OBSERVER
+        faults.OBSERVER = self._observe
+        self._armed = True
+        return self
+
+    def __exit__(self, *exc) -> bool:
+        faults.OBSERVER = self._prev
+        self._armed = False
+        return False
+
+    def _observe(self, point: str, action: dict) -> None:
+        self.injections += 1
+        snapshot = capture(self.world,
+                           op_index=getattr(self.world, "op_index",
+                                            None))
+        self.snapshots.append((point, dict(action), snapshot))
+        if self.keep is not None and len(self.snapshots) > self.keep:
+            del self.snapshots[:-self.keep]
+        if self._prev is not None:
+            self._prev(point, action)
+
+    def last(self) -> Optional[Tuple[str, dict, Snapshot]]:
+        return self.snapshots[-1] if self.snapshots else None

@@ -1,0 +1,89 @@
+"""Record/replay: checkpointed execution over a world.
+
+A :class:`Recorder` drives a world through its ops while taking
+snapshots at op boundaries — always ``S_0`` before the first op, then
+whenever *every_ops* ops or *every_cycles* simulated cycles have
+elapsed since the last checkpoint.  Because the simulation is
+deterministic and snapshots capture the complete state (including any
+:class:`~repro.faults.FaultPlan` mid-plan: hit counters, PRNG, trace),
+``restore(nearest checkpoint) + replay the suffix`` lands on exactly
+the state — cycles, traces, PMU deltas — a straight-line run reaches.
+That byte-identity is the contract the CI ``snap`` job enforces.
+
+Checkpoints are cheap: physical memory pages are shared copy-on-write
+with the previous checkpoint, so a checkpoint pays for the pages
+dirtied since the last one, not for the whole address space.
+"""
+
+from __future__ import annotations
+
+from typing import List, Optional, Sequence
+
+from repro.snap.core import Snapshot, capture, restore, world_clock
+
+
+class Recorder:
+    """Step a world, keeping op-boundary checkpoints and the op log."""
+
+    def __init__(self, world, every_ops: Optional[int] = 1,
+                 every_cycles: Optional[int] = None) -> None:
+        if every_ops is None and every_cycles is None:
+            raise ValueError(
+                "Recorder needs every_ops and/or every_cycles")
+        self.world = world
+        self.every_ops = every_ops
+        self.every_cycles = every_cycles
+        self.ops: List[object] = []
+        base = getattr(world, "op_index", 0)
+        if base:
+            raise ValueError(
+                "Recorder must start at a fresh world (op_index 0) so "
+                "checkpoint op indices line up with its op log")
+        self.checkpoints: List[Snapshot] = [capture(world, op_index=0)]
+        self._last_ck_op = 0
+        self._last_ck_cycle = world_clock(world)
+
+    # -- recording -----------------------------------------------------
+
+    def step(self, op) -> object:
+        outcome = self.world.step(op)
+        self.ops.append(op)
+        done = len(self.ops)
+        cycle = world_clock(self.world)
+        due = (self.every_ops is not None
+               and done - self._last_ck_op >= self.every_ops)
+        if (self.every_cycles is not None
+                and cycle - self._last_ck_cycle >= self.every_cycles):
+            due = True
+        if due:
+            self.checkpoints.append(capture(self.world, op_index=done))
+            self._last_ck_op = done
+            self._last_ck_cycle = cycle
+        return outcome
+
+    def run(self, ops: Sequence) -> List[object]:
+        return [self.step(op) for op in ops]
+
+    # -- replay --------------------------------------------------------
+
+    def nearest(self, op_index: int) -> Snapshot:
+        """The latest checkpoint at or before the boundary *before* op
+        *op_index*."""
+        best = self.checkpoints[0]
+        for snapshot in self.checkpoints:
+            if snapshot.op_index <= op_index:
+                best = snapshot
+        return best
+
+    def resume(self, op_index: int):
+        """A fresh live world positioned at the boundary just before op
+        *op_index*: restore the nearest checkpoint, replay the gap."""
+        if not 0 <= op_index <= len(self.ops):
+            raise IndexError(
+                f"op index {op_index} outside recorded range "
+                f"0..{len(self.ops)}")
+        snapshot = self.nearest(op_index)
+        world = restore(snapshot)
+        for op in self.ops[snapshot.op_index:op_index]:
+            world.step(op)
+        return world

@@ -1,0 +1,175 @@
+"""Canonical snapshot scenarios: fig5- and fig7-shaped worlds.
+
+These are the deterministic workloads the byte-identity contract is
+checked against in CI (alongside the generated proptest programs):
+
+* :func:`fig5_world` — the paper's Figure 5 shape: a client hammering
+  one XPC echo service with small synchronous xcalls (the per-call
+  breakdown microbenchmark, as a steppable world);
+* :func:`fig7_world` — the Figure 7 shape: the two-server filesystem
+  chain (fs server → block device) plus the two-server network chain
+  (net server → loopback device) under mixed read/write and
+  send/recv traffic.
+
+Each builder returns ``(world, ops)`` where *world* is a
+:class:`~repro.snap.world.SimWorld` and *ops* are module-level
+callables, so the pair feeds straight into a
+:class:`~repro.snap.record.Recorder` and every op replays against any
+restored copy of the world.
+"""
+
+from __future__ import annotations
+
+from typing import List, Optional, Tuple
+
+from repro.hw.machine import Machine
+from repro.kernel.kernel import BaseKernel
+from repro.ipc.xpc_transport import XPCTransport
+from repro.sel4 import Sel4Kernel, Sel4XPCTransport
+from repro.services.fs import build_fs_stack
+from repro.services.net.server import build_net_stack
+from repro.snap.world import SimWorld
+from repro.xpc.engine import XPCConfig
+
+
+def _pattern(size: int, seed: int) -> bytes:
+    """Deterministic, content-varied payload bytes."""
+    return bytes((seed * 131 + i * 7) % 256 for i in range(size))
+
+
+class EchoHandler:
+    """Server side of the fig5 microbench: echo the request back."""
+
+    def __call__(self, meta, payload):
+        data = payload.read(meta[1])
+        return ("ok", len(data)), data
+
+
+class EchoCall:
+    """One synchronous xcall of *size* bytes to the echo service."""
+
+    def __init__(self, size: int, seed: int) -> None:
+        self.size = size
+        self.seed = seed
+
+    def __call__(self, world):
+        data = _pattern(self.size, self.seed)
+        meta, reply = world.transport.call(
+            world.echo_sid, ("echo", self.size), data,
+            reply_capacity=self.size)
+        return (meta[0], len(reply), reply == data)
+
+
+class FsWrite:
+    def __init__(self, path: str, size: int, seed: int,
+                 offset: int = 0) -> None:
+        self.path = path
+        self.size = size
+        self.seed = seed
+        self.offset = offset
+
+    def __call__(self, world):
+        data = _pattern(self.size, self.seed)
+        world.fs.write(self.path, data, self.offset)
+        return ("wrote", self.path, self.size)
+
+
+class FsRead:
+    def __init__(self, path: str, offset: int, size: int) -> None:
+        self.path = path
+        self.offset = offset
+        self.size = size
+
+    def __call__(self, world):
+        data = world.fs.read(self.path, self.offset, self.size)
+        return ("read", self.path, len(data))
+
+
+class FsCreate:
+    def __init__(self, path: str) -> None:
+        self.path = path
+
+    def __call__(self, world):
+        world.fs.create(self.path)
+        return ("created", self.path)
+
+
+class NetPingPong:
+    """Send *size* bytes client→server over loopback, read them back
+    out of the accepted socket."""
+
+    def __init__(self, size: int, seed: int) -> None:
+        self.size = size
+        self.seed = seed
+
+    def __call__(self, world):
+        data = _pattern(self.size, self.seed)
+        sent = world.net.send(world.cli_sock, data)
+        got = world.net.recv(world.srv_sock, self.size)
+        return ("net", sent, len(got), got == data[:len(got)])
+
+
+def fig5_world(partial_context: bool = True,
+               xpc_config: Optional[XPCConfig] = None
+               ) -> Tuple[SimWorld, List[object]]:
+    """The Figure 5 shape: repeated small xcalls to one echo server.
+
+    *xpc_config* passes through to the machine so variants (e.g. the
+    engine cache enabled) reuse the same workload; the default is the
+    canonical CI-pinned configuration.
+    """
+    machine = Machine(cores=1, mem_bytes=64 * 1024 * 1024,
+                      xpc_config=xpc_config)
+    kernel = BaseKernel(machine)
+    core = machine.core0
+    client_proc = kernel.create_process("client")
+    client = kernel.create_thread(client_proc)
+    kernel.run_thread(core, client)
+    transport = XPCTransport(kernel, core, client,
+                             partial_context=partial_context)
+    server_proc = kernel.create_process("echo")
+    server = kernel.create_thread(server_proc)
+    sid = transport.register("echo", EchoHandler(), server_proc, server)
+    transport.grant_to_thread(sid, client)
+    world = SimWorld(machine=machine, kernel=kernel, core=core,
+                     transport=transport, echo_sid=sid)
+    ops = [EchoCall(size, seed=i)
+           for i, size in enumerate([16, 64, 256, 64, 1024, 16,
+                                     4096, 256, 64, 512])]
+    return world, ops
+
+
+def fig7_world(disk_blocks: int = 1024
+               ) -> Tuple[SimWorld, List[object]]:
+    """The Figure 7 shape: fs and net two-server chains under mixed
+    traffic on one seL4-XPC system."""
+    machine = Machine(cores=2, mem_bytes=128 * 1024 * 1024)
+    kernel = Sel4Kernel(machine)
+    app_proc = kernel.create_process("app")
+    app = kernel.create_thread(app_proc)
+    kernel.run_thread(machine.core0, app)
+    transport = Sel4XPCTransport(kernel, machine.core0, app)
+    fs_server, fs_client, disk = build_fs_stack(
+        transport, kernel, disk_blocks=disk_blocks)
+    net_server, net_client, dev = build_net_stack(transport, kernel)
+
+    srv_sock = net_client.socket()
+    net_client.listen(srv_sock, 80)
+    cli_sock = net_client.socket()
+    net_client.connect(cli_sock, 80)
+    accepted = net_client.accept(srv_sock)
+
+    world = SimWorld(machine=machine, kernel=kernel,
+                     core=machine.core0, transport=transport,
+                     fs_server=fs_server, fs=fs_client, disk=disk,
+                     net_server=net_server, net=net_client, dev=dev,
+                     cli_sock=cli_sock, srv_sock=accepted)
+    ops: List[object] = [FsCreate("/data")]
+    for i, size in enumerate([4096, 512, 8192, 2048]):
+        ops.append(FsWrite("/data", size, seed=i, offset=i * 512))
+        ops.append(FsRead("/data", offset=i * 512, size=size))
+        ops.append(NetPingPong(size=min(size, 1400), seed=i))
+    return world, ops
+
+
+SCENARIOS = {"fig5": fig5_world, "fig7": fig7_world}

@@ -10,6 +10,7 @@ from repro.verify.rules.errors import ErrorDisciplineRule
 from repro.verify.rules.obs import ObsDisciplineRule
 from repro.verify.rules.aio import AioDisciplineRule
 from repro.verify.rules.proptest import ProptestDisciplineRule
+from repro.verify.rules.snap import SnapDisciplineRule
 from repro.verify.rules.state import StateMutationRule
 
 
@@ -17,15 +18,15 @@ def default_rules():
     """One fresh instance of every rule in the suite."""
     return [LayeringRule(), CycleAccountingRule(), ErrorDisciplineRule(),
             StateMutationRule(), ObsDisciplineRule(), AioDisciplineRule(),
-            ProptestDisciplineRule()]
+            ProptestDisciplineRule(), SnapDisciplineRule()]
 
 
 #: The rule classes, for introspection / selective runs.
 DEFAULT_RULES = (LayeringRule, CycleAccountingRule, ErrorDisciplineRule,
                  StateMutationRule, ObsDisciplineRule, AioDisciplineRule,
-                 ProptestDisciplineRule)
+                 ProptestDisciplineRule, SnapDisciplineRule)
 
 __all__ = ["AioDisciplineRule", "LayeringRule", "CycleAccountingRule",
            "ErrorDisciplineRule", "ObsDisciplineRule",
-           "ProptestDisciplineRule", "StateMutationRule",
-           "default_rules", "DEFAULT_RULES"]
+           "ProptestDisciplineRule", "SnapDisciplineRule",
+           "StateMutationRule", "default_rules", "DEFAULT_RULES"]

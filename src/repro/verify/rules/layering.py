@@ -79,6 +79,16 @@ ALLOWED_IMPORTS = {
     # apps; nothing may import *it*.
     "proptest": {"compare", "aio", "ipc", "sel4", "zircon", "runtime",
                  "kernel", "xpc", "hw", "params", "faults", "obs", "san"},
+    # Snapshot/record-replay/time-travel sits at the very top: it
+    # deepcopies whole worlds built from any layer (including proptest
+    # executors and verify's live invariants), so everything below is
+    # fair game and nothing below may import *it*.  The two proptest
+    # integration points (snapshot-accelerated shrink, replay --at-op)
+    # late-import repro.snap behind a pragma rather than inverting the
+    # layer.
+    "snap": {"proptest", "verify", "compare", "aio", "ipc", "sel4",
+             "zircon", "services", "runtime", "kernel", "xpc", "hw",
+             "params", "faults", "obs", "san", "analysis"},
 }
 
 #: Modules of repro.hw that form its public, architectural surface.

@@ -15,6 +15,8 @@ class ZirconTransport(Transport):
     """Baseline Zircon: FIDL-style synchronous calls over channels."""
 
     name = "Zircon"
+    __snap_state__ = Transport.__snap_state__ + (
+        "kernel", "core", "client_thread", "_channels")
 
     def __init__(self, kernel: ZirconKernel, core: Core,
                  client_thread: Thread) -> None:

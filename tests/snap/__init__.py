@@ -1,0 +1,1 @@
+"""Snapshot/record-replay/time-travel suite (:mod:`repro.snap`)."""

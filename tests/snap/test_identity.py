@@ -1,0 +1,53 @@
+"""The byte-identity contract, as CI enforces it.
+
+``python -m repro.snap identity`` is the authoritative tier; here we
+run its code path in-process on the fig5/fig7 scenario worlds plus a
+couple of generated differential programs, and check the
+``PYTHONHASHSEED`` half of the contract by running the canonical probe
+in subprocesses under different hash seeds.
+"""
+
+import os
+import subprocess
+import sys
+
+import pytest
+
+from repro.snap.__main__ import main as snap_main
+
+REPO_ROOT = os.path.dirname(os.path.dirname(
+    os.path.dirname(os.path.abspath(__file__))))
+
+
+def test_identity_tier_holds(capsys):
+    # Scenario worlds + 3 generated programs, straight-line vs
+    # restore-S0 vs resume-at-midpoint, outcomes and fingerprints.
+    rc = snap_main(["identity", "--programs", "3", "--seed", "0",
+                    "--every-ops", "4"])
+    out = capsys.readouterr().out
+    assert rc == 0, out
+    assert "byte-identity holds everywhere" in out
+    assert "DIVERGED" not in out
+
+
+def _probe(hashseed: str) -> str:
+    env = dict(os.environ,
+               PYTHONPATH=os.path.join(REPO_ROOT, "src"),
+               PYTHONHASHSEED=hashseed)
+    proc = subprocess.run(
+        [sys.executable, "-m", "repro.snap", "probe"],
+        capture_output=True, text=True, env=env, cwd=REPO_ROOT,
+        timeout=120)
+    assert proc.returncode == 0, proc.stderr
+    return proc.stdout
+
+
+def test_fingerprint_survives_pythonhashseed():
+    """The canonical fig5 fingerprint must not move with the hash salt
+    — fresh interpreter per seed, so set/dict salting really varies."""
+    out1 = _probe("1")
+    out2 = _probe("31337")
+    assert out1 == out2
+    lines = dict(line.split("=", 1) for line in out1.strip().splitlines())
+    assert lines["cycles"].isdigit() and int(lines["cycles"]) > 0
+    assert len(lines["fingerprint"]) == 64

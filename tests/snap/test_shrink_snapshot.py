@@ -1,0 +1,99 @@
+"""Snapshot-accelerated shrinking: same verdicts, same minimal
+counterexample, ≥3× fewer executed ops.
+
+The workload is the §3.3 seeded bug buried early in a longer run: the
+thief's steal call sits at ~30% of a 24-op program, so most of every
+replay-from-scratch probe is spent re-executing a shared prefix — the
+work the checkpoint cache and the truncate-to-first-divergence step
+eliminate.  The minimal program must be byte-equal to the checked-in
+``examples/proptest_counterexample.json``.
+"""
+
+import os
+
+import pytest
+
+from repro.proptest.grammar import CallOp, Program
+from repro.proptest.harness import run_differential
+from repro.proptest.shrink import (load_artifact, make_predicate,
+                                   make_snapshot_predicate,
+                                   minimize_failure, shrink)
+from repro.xpc.engine import XPCEngine
+from tests.proptest.test_seeded_bugs import FACTORIES, THEFT_PROGRAM
+
+ARTIFACT = os.path.join(
+    os.path.dirname(os.path.dirname(os.path.dirname(
+        os.path.abspath(__file__)))),
+    "examples", "proptest_counterexample.json")
+
+#: THEFT_PROGRAM's head (steal at index 7) padded with echo noise to
+#: 24 ops: theft at ~30%, the shape the speedup target is stated for.
+BIG_THEFT = Program(
+    THEFT_PROGRAM.ops[:8] + tuple(
+        CallOp("e", ("echo", 10 + i), b"n", 1) for i in range(16)),
+    seed=1)
+
+
+@pytest.fixture
+def broken_return_check():
+    XPCEngine.unsafe_skip_return_check = True
+    try:
+        yield
+    finally:
+        XPCEngine.unsafe_skip_return_check = False
+
+
+def test_snapshot_predicate_matches_plain_verdicts(broken_return_check):
+    plain = make_predicate(factories=FACTORIES)
+    snap = make_snapshot_predicate(factories=FACTORIES)
+    candidates = [
+        BIG_THEFT,
+        BIG_THEFT.without(range(8, 24)),        # head only
+        BIG_THEFT.without([7]),                 # steal removed: healthy
+        BIG_THEFT.without(range(0, 4)),
+        BIG_THEFT.without([0, 1]),              # thief never registered
+        Program((), seed=1),
+        THEFT_PROGRAM,
+    ]
+    for candidate in candidates:
+        assert snap(candidate) == plain(candidate), candidate
+
+
+def test_snapshot_predicate_reports_first_divergence(
+        broken_return_check):
+    snap = make_snapshot_predicate(factories=FACTORIES)
+    assert snap(BIG_THEFT)
+    assert snap.last_divergence == 7            # the steal call
+
+
+def test_snapshot_shrink_is_3x_cheaper_and_agrees(broken_return_check):
+    expected_minimal = load_artifact(ARTIFACT)
+
+    plain = make_predicate(factories=FACTORIES)
+    small_plain = shrink(BIG_THEFT, plain)
+    assert small_plain == expected_minimal
+
+    snap = make_snapshot_predicate(factories=FACTORIES)
+    program = BIG_THEFT
+    if snap(program) and snap.last_divergence is not None:
+        program = Program(program.ops[:snap.last_divergence + 1],
+                          seed=program.seed)
+    small_snap = shrink(program, snap)
+    assert small_snap == expected_minimal
+
+    assert snap.ops_executed > 0
+    ratio = plain.ops_executed / snap.ops_executed
+    assert ratio >= 3.0, (
+        f"snapshot shrink only {ratio:.2f}x cheaper "
+        f"({plain.ops_executed} vs {snap.ops_executed} ops)")
+
+
+def test_minimize_failure_end_to_end(broken_return_check):
+    result = run_differential(BIG_THEFT, factories=FACTORIES)
+    assert result.divergences
+    small = minimize_failure(BIG_THEFT, result, factories=FACTORIES)
+    assert small == load_artifact(ARTIFACT)
+    # The default (snapshot) path and the plain path agree exactly.
+    assert small == minimize_failure(BIG_THEFT, result,
+                                     factories=FACTORIES,
+                                     use_snapshots=False)

@@ -1,0 +1,109 @@
+"""reverse_until pins the §3.3 seeded bug to its exact op.
+
+The seeded bug (``XPCEngine.unsafe_skip_return_check``) makes the
+thief's ``swapseg``-theft call silently succeed where the oracle
+expects the §3.3 return-time trap.  Recording the ten-op theft program
+and bisecting with an outcome-divergence predicate must land on the
+steal call itself — index 7 — with a pre-violation snapshot that
+reproduces the violation in one step.
+"""
+
+import pytest
+
+from repro.proptest.harness import expected_outcomes
+from repro.snap import (ExecutorWorld, Recorder, capture, kernel_of,
+                        recovery_predicate, restore, reverse_until)
+from repro.snap.scenarios import fig5_world
+from repro.xpc.engine import XPCEngine
+from tests.proptest.test_seeded_bugs import FACTORIES, THEFT_PROGRAM
+
+#: Index of the thief's steal call inside THEFT_PROGRAM.
+STEAL_INDEX = 7
+
+
+@pytest.fixture
+def broken_return_check():
+    XPCEngine.unsafe_skip_return_check = True
+    try:
+        yield
+    finally:
+        XPCEngine.unsafe_skip_return_check = False
+
+
+def _divergence_predicate(program):
+    expected = expected_outcomes(program)
+
+    def violated(world) -> bool:
+        return any(outcome != expected[i]
+                   for i, outcome in enumerate(world.outcomes))
+
+    return violated
+
+
+def _record_theft(every_ops: int) -> Recorder:
+    _, factory = FACTORIES[0]
+    world = ExecutorWorld.build(factory, observe=False)
+    recorder = Recorder(world, every_ops=every_ops)
+    recorder.run(list(THEFT_PROGRAM.ops))
+    return recorder
+
+
+def test_reverse_until_pins_the_steal_op(broken_return_check):
+    recorder = _record_theft(every_ops=2)
+    result = reverse_until(recorder,
+                           _divergence_predicate(THEFT_PROGRAM))
+    assert result is not None
+    assert result.op_index == STEAL_INDEX
+    assert result.op is recorder.ops[STEAL_INDEX]
+    assert result.op.op == "call" and result.op.name == "t"
+    # The window runs from the last healthy checkpoint (op 6 with a
+    # 2-op cadence) through the culprit inclusive.
+    assert result.window == list(THEFT_PROGRAM.ops[6:STEAL_INDEX + 1])
+    assert result.before.op_index == STEAL_INDEX
+
+    # The ready-made reproducer: restore the boundary snapshot, apply
+    # the culprit, observe the stolen reply where the §3.3 trap should
+    # have fired.
+    expected = expected_outcomes(THEFT_PROGRAM)
+    revived = restore(result.before)
+    outcome = revived.step(result.op)
+    assert outcome != expected[STEAL_INDEX]
+    assert outcome[0] == "ok" and outcome[1][0] == "stolen"
+    assert expected[STEAL_INDEX] == ("error", "peer-died")
+
+
+def test_bisection_beats_linear_replay(broken_return_check):
+    recorder = _record_theft(every_ops=1)
+    result = reverse_until(recorder,
+                           _divergence_predicate(THEFT_PROGRAM))
+    assert result is not None and result.op_index == STEAL_INDEX
+    # 11 checkpoints: one initial probe plus a log2 bisection, far
+    # below the 11 restores a linear scan would spend.
+    assert result.probes <= 6
+    # Fine-stepping from checkpoint 7 reaches the culprit immediately.
+    assert result.window == [THEFT_PROGRAM.ops[STEAL_INDEX]]
+
+
+def test_healthy_timeline_returns_none():
+    recorder = _record_theft(every_ops=2)       # check intact: no bug
+    assert reverse_until(
+        recorder, _divergence_predicate(THEFT_PROGRAM)) is None
+
+
+def test_broken_builder_is_op_minus_one(broken_return_check):
+    recorder = _record_theft(every_ops=2)
+    result = reverse_until(recorder, lambda world: True)
+    assert result.op_index == -1
+    assert result.op is None and result.window == []
+
+
+def test_kernel_of_and_recovery_predicate_shapes():
+    _, factory = FACTORIES[0]
+    world = ExecutorWorld.build(factory, observe=False)
+    assert kernel_of(world) is world.executor.kernel
+    assert not recovery_predicate(world)
+
+    sim, ops = fig5_world()
+    sim.run(ops[:2])
+    assert kernel_of(sim) is sim.kernel
+    assert not recovery_predicate(sim)
