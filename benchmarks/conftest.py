@@ -143,7 +143,9 @@ def obs_session(request):
         return
     import repro.obs as obs
     capacity = int(os.environ.get("REPRO_OBS_SPANS", "20000"))
-    with obs.active(obs.ObsSession(span_capacity=capacity)) as session:
+    profile = os.environ.get("REPRO_PROFILE") == "1"
+    with obs.active(obs.ObsSession(span_capacity=capacity,
+                                   profile=profile)) as session:
         yield session
     os.makedirs(OBS_DIR, exist_ok=True)
     slug = re.sub(r"[^\w.-]+", "_", request.node.name).strip("_")

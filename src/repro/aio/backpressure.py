@@ -44,7 +44,8 @@ class AdmissionController:
                  max_parks: int = 4,
                  name: str = "aio",
                  health=None,
-                 service_name: Optional[str] = None) -> None:
+                 service_name: Optional[str] = None,
+                 slo=None) -> None:
         if limit <= 0:
             raise ValueError("admission limit must be positive")
         self.limit = limit
@@ -54,10 +55,16 @@ class AdmissionController:
         self.name = name
         self.health = health
         self.service_name = service_name or name
+        #: Duck-typed load-shedding source (``should_shed(now_cycles)
+        #: -> bool``, e.g. a ``repro.prof.slo.SLOEngine``): while the
+        #: error budget is burning at the shed rate, new admissions are
+        #: rejected outright so the backlog can drain.
+        self.slo = slo
         self.inflight = 0
         self.admitted = 0
         self.rejected = 0
         self.parked = 0
+        self.shed = 0
 
     def admit(self, core: Core,
               drain_hook: Optional[Callable[[], object]] = None) -> None:
@@ -66,6 +73,17 @@ class AdmissionController:
         Under ``PARK`` the caller blocks in bounded slices: each park
         charges ``park_cycles`` and runs *drain_hook* (typically the
         batcher's ``flush``) so completions can free slots."""
+        if self.slo is not None and self.slo.should_shed(core.cycles):
+            self.shed += 1
+            self.rejected += 1
+            if obs.ACTIVE is not None:
+                obs.ACTIVE.registry.counter(
+                    f"aio.slo_shed.{self.name}").inc(cycle=core.cycles)
+            if self.health is not None:
+                self.health.report_failure(self.service_name)
+            raise XPCRingFullError(
+                self.name, "SLO burn rate at shed threshold — "
+                "admission closed to drain the backlog")
         parks = 0
         while self.inflight >= self.limit:
             if self.policy is AdmissionPolicy.REJECT or parks >= self.max_parks:

@@ -110,7 +110,8 @@ class WorkerPool:
                  exhaustion: ExhaustionPolicy = ExhaustionPolicy.FAIL,
                  admission: Optional[AdmissionController] = None,
                  restart_policy: Optional[RestartPolicy] = None,
-                 serve_context: Optional[Callable] = None) -> None:
+                 serve_context: Optional[Callable] = None,
+                 slo=None) -> None:
         if policy not in POLICIES:
             raise ValueError(f"unknown pool policy {policy!r} "
                              f"(choose from {POLICIES})")
@@ -120,6 +121,11 @@ class WorkerPool:
         self.name = name
         self.policy = policy
         self.admission = admission
+        #: Duck-typed SLO signal source (``signal(now_cycles) ->
+        #: {"scale_up": ..., "scale_down": ...}``, e.g. a
+        #: ``repro.prof.slo.SLOEngine``) consulted by :meth:`autoscale`.
+        #: Duck typing keeps the layering pointing prof -> aio.
+        self.slo = slo
         self.handler = handler
         self.max_contexts = max_contexts
         self.partial_context = partial_context
@@ -130,7 +136,9 @@ class WorkerPool:
         self.submitted = 0
         self.completed = 0
         self.stolen = 0
+        self.scale_events = 0
         self._rr = 0
+        self.active_workers = len(cores)
         for index, core in enumerate(cores):
             client_thread = kernel.create_thread(self.client_process)
             kernel.run_thread(core, client_thread)
@@ -154,13 +162,14 @@ class WorkerPool:
 
     # -- dispatch ------------------------------------------------------
     def _pick(self) -> _Worker:
-        home = self.workers[self._rr % len(self.workers)]
+        active = self.workers[:self.active_workers]
+        home = active[self._rr % len(active)]
         self._rr += 1
         if self.policy == "sharded":
             return home
         # "steal": the request goes to the earliest-available core;
         # leaving the home shard bounces the ring's cache line.
-        chosen = min(self.workers, key=lambda w: w.core.cycles)
+        chosen = min(active, key=lambda w: w.core.cycles)
         if chosen is not home:
             self.stolen += 1
             chosen.core.tick(
@@ -227,6 +236,50 @@ class WorkerPool:
                 f"aio.migrated.{self.name}").inc(
                     moved, cycle=thief.core.cycles)
         return moved
+
+    # -- SLO-driven autoscaling ----------------------------------------
+    def scale_to(self, n: int) -> int:
+        """Set the active worker count to *n* (clamped to the pool).
+
+        Workers past the new watermark stop receiving dispatches;
+        their queued-but-unflushed backlog migrates to active workers
+        through :meth:`migrate_backlog` (real ring-pop + copy costs),
+        so nothing queued is stranded.  Scaling up simply widens the
+        dispatch set — the cores were provisioned at construction.
+        """
+        n = max(1, min(n, len(self.workers)))
+        if n == self.active_workers:
+            return n
+        if n < self.active_workers:
+            for idx in range(n, self.active_workers):
+                dst = idx % n
+                while self.workers[idx].batcher.backlog > 0:
+                    if not self.migrate_backlog(idx, dst):
+                        break
+        self.active_workers = n
+        self.scale_events += 1
+        if obs.ACTIVE is not None:
+            obs.ACTIVE.registry.gauge(
+                f"aio.active_workers.{self.name}").set(
+                    n, cycle=self.wall_cycles)
+        return n
+
+    def autoscale(self, now_cycles: Optional[int] = None) -> int:
+        """One autoscaling step driven by the pool's SLO signal.
+
+        Consults ``self.slo.signal(now)`` (duck-typed; see ``slo`` in
+        the constructor): a breaching objective adds a worker, a fully
+        clean burn window retires one.  Returns the active count.
+        """
+        if self.slo is None:
+            return self.active_workers
+        now = self.wall_cycles if now_cycles is None else now_cycles
+        signal = self.slo.signal(now)
+        if signal.get("scale_up"):
+            return self.scale_to(self.active_workers + 1)
+        if signal.get("scale_down"):
+            return self.scale_to(self.active_workers - 1)
+        return self.active_workers
 
     # -- instrumentation ----------------------------------------------
     def _completed(self, index: int, future: XPCFuture) -> None:

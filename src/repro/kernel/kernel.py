@@ -310,11 +310,12 @@ class BaseKernel:
         e.g. capacity so small nothing is resident, and the caller must
         give up).
         """
-        core.trap(TrapCause.XPC_EXCEPTION)
-        stack = thread.xpc.link_stack
-        spilled = stack.spill(max(1, stack.capacity // 2))
-        core.tick(spilled * _LINK_SPILL_PER_RECORD)
-        core.trap_return()
+        with obs.prof_frame(core, "kernel:link_spill"):
+            core.trap(TrapCause.XPC_EXCEPTION)
+            stack = thread.xpc.link_stack
+            spilled = stack.spill(max(1, stack.capacity // 2))
+            core.tick(spilled * _LINK_SPILL_PER_RECORD)
+            core.trap_return()
         if obs.ACTIVE is not None:
             obs.ACTIVE.registry.counter("kernel.link_spills").inc(
                 cycle=core.cycles)
@@ -326,11 +327,12 @@ class BaseKernel:
         """Trap handler for :class:`LinkStackUnderflowError`: refill the
         SRAM stack from the kernel spill area so the faulting ``xret``
         can retry.  Returns the number of records refilled."""
-        core.trap(TrapCause.XPC_EXCEPTION)
-        stack = thread.xpc.link_stack
-        refilled = stack.unspill()
-        core.tick(refilled * _LINK_SPILL_PER_RECORD)
-        core.trap_return()
+        with obs.prof_frame(core, "kernel:link_refill"):
+            core.trap(TrapCause.XPC_EXCEPTION)
+            stack = thread.xpc.link_stack
+            refilled = stack.unspill()
+            core.tick(refilled * _LINK_SPILL_PER_RECORD)
+            core.trap_return()
         if obs.ACTIVE is not None:
             obs.ACTIVE.registry.counter("kernel.link_refills").inc(
                 cycle=core.cycles)
@@ -344,9 +346,10 @@ class BaseKernel:
         is just a normal timer trap in the callee's context — nothing
         XPC-specific needs saving beyond what the trap already saves.
         """
-        core.trap(TrapCause.TIMER)
-        core.tick(self.params.sched_pick)
-        core.trap_return()
+        with obs.prof_frame(core, "kernel:preempt"):
+            core.trap(TrapCause.TIMER)
+            core.tick(self.params.sched_pick)
+            core.trap_return()
         if obs.ACTIVE is not None:
             obs.ACTIVE.registry.counter("kernel.preemptions").inc(
                 cycle=core.cycles)
@@ -372,18 +375,21 @@ class BaseKernel:
         for thread in process.threads:
             thread.alive = False
             thread.sched.runnable = False
+        mode = "lazy" if lazy else "eager"
         if lazy:
             process.aspace.page_table.zap()
             if core is not None:
-                core.tick(_KILL_ZAP_CYCLES)
+                with obs.prof_frame(core, f"kernel:kill_{mode}"):
+                    core.tick(_KILL_ZAP_CYCLES)
         else:
             scanned = 0
             for thread in self.threads:
                 scanned += thread.xpc.link_stack.depth
                 thread.xpc.link_stack.invalidate_records_of(process.aspace)
             if core is not None:
-                core.tick(_KILL_ZAP_CYCLES
-                          + scanned * _LINK_SCAN_PER_RECORD)
+                with obs.prof_frame(core, f"kernel:kill_{mode}"):
+                    core.tick(_KILL_ZAP_CYCLES
+                              + scanned * _LINK_SCAN_PER_RECORD)
         # Revoke the entries it served.
         for entry_id in list(process.xentries):
             entry = self.machine.xentry_table.peek(entry_id)
@@ -400,7 +406,6 @@ class BaseKernel:
                     is process):
                 self.revoke_relay_seg(seg)
         if obs.ACTIVE is not None:
-            mode = "lazy" if lazy else "eager"
             obs.ACTIVE.registry.counter(f"kernel.kills.{mode}").inc(
                 cycle=core.cycles if core is not None else None)
         for hook in self.death_hooks:
@@ -414,6 +419,10 @@ class BaseKernel:
         exactly the A→B→C recovery of §4.2.  Returns the restored record,
         or None if the whole chain is gone.
         """
+        with obs.prof_frame(core, "kernel:repair_return"):
+            return self._repair_return_body(core, thread)
+
+    def _repair_return_body(self, core: Core, thread: Thread):
         core.trap(TrapCause.XPC_EXCEPTION)
         stack = thread.xpc.link_stack
         restored = None

@@ -39,14 +39,17 @@ from typing import Optional
 import repro.faults as faults
 from repro.analysis.trace import TraceEvent, Tracer
 from repro.obs.pmu import PMU, PMUSnapshot
+from repro.obs.profiler import (CycleProfiler, ProfileNode,
+                                diff_collapsed)
 from repro.obs.registry import (Counter, Gauge, Histogram,
                                 MetricsRegistry)
 from repro.obs.span import Span, SpanTracer
 
 __all__ = [
-    "ACTIVE", "Counter", "Gauge", "Histogram", "MetricsRegistry",
-    "ObsSession", "PMU", "PMUSnapshot", "Span", "SpanTracer",
-    "TraceEvent", "Tracer", "active", "install", "uninstall",
+    "ACTIVE", "Counter", "CycleProfiler", "Gauge", "Histogram",
+    "MetricsRegistry", "ObsSession", "PMU", "PMUSnapshot",
+    "ProfileNode", "Span", "SpanTracer", "TraceEvent", "Tracer",
+    "active", "diff_collapsed", "install", "prof_frame", "uninstall",
 ]
 
 #: The installed session, or None.  Instrumented hot paths check this
@@ -62,10 +65,16 @@ class ObsSession:
     """
 
     def __init__(self, span_capacity: int = 100_000,
-                 legacy: Optional[Tracer] = None) -> None:
+                 legacy: Optional[Tracer] = None,
+                 profile: bool = False) -> None:
         self.registry = MetricsRegistry()
         self.pmu = PMU()
         self.spans = SpanTracer(capacity=span_capacity, legacy=legacy)
+        #: Cycle-attribution profiler, or None (the default: profiling
+        #: off adds nothing beyond the existing ACTIVE check).
+        self.profiler: Optional[CycleProfiler] = (
+            CycleProfiler() if profile else None)
+        self.spans.profiler = self.profiler
 
     # -- wiring (called by Machine/BaseKernel constructors) ------------
     def on_machine(self, machine) -> None:
@@ -94,15 +103,38 @@ class ObsSession:
         the full Chrome trace (what ``python -m repro.obs`` renders)."""
         from repro.obs.report import aggregate_spans
         snapshot = self.pmu.snapshot()
-        return {
+        legacy = self.spans.legacy
+        artifact = {
             "title": title,
             "metrics": self.registry.as_dict(),
             "pmu": snapshot.as_dict(),
             "span_summary": aggregate_spans(self.spans.spans),
             "spans": {"finished": len(self.spans),
-                      "dropped": self.spans.dropped},
+                      "dropped": self.spans.dropped,
+                      "truncated": self.spans.truncated_total,
+                      "repaired": self.spans.repaired_total,
+                      "legacy_dropped": (legacy.dropped
+                                         if legacy is not None else 0)},
             "trace_events": self.spans.chrome_events(pid=title),
         }
+        if self.profiler is not None:
+            artifact["profile"] = self.profiler.as_dict()
+        return artifact
+
+
+@contextmanager
+def prof_frame(core, label: str):
+    """Open a profiler attribution frame around the block, iff the
+    installed session is profiling; free otherwise.  Instrumented
+    layers call this *after* the usual ``if obs.ACTIVE is not None``
+    guard, so the disarmed fast path never pays the generator."""
+    session = ACTIVE
+    profiler = session.profiler if session is not None else None
+    if profiler is None:
+        yield None
+        return
+    with profiler.frame(core, label):
+        yield profiler
 
 
 def install(session: Optional[ObsSession]) -> None:

@@ -72,6 +72,19 @@ def main(argv=None) -> int:
 
     report = "\n\n".join(
         render_report(artifact, top=opts.top) for artifact in artifacts)
+
+    # Cross-artifact loss summary: silent data loss in any run makes
+    # every aggregate above it suspect, so it gets the closing line.
+    def _total(key: str) -> int:
+        return sum(a.get("spans", {}).get(key, 0) for a in artifacts)
+
+    summary = (f"summary: {len(artifacts)} artifacts, "
+               f"{_total('finished')} spans finished, "
+               f"{_total('dropped')} dropped, "
+               f"{_total('legacy_dropped')} legacy events dropped, "
+               f"{_total('truncated')} truncated, "
+               f"{_total('repaired')} repaired")
+    report += "\n\n" + summary
     if opts.report == "-":
         print(report)
     else:

@@ -94,8 +94,28 @@ def render_report(artifact: dict, top: int = 20) -> str:
     spans = artifact.get("spans", {})
     header = (f"perf report: {title}\n"
               f"spans: {spans.get('finished', 0)} finished, "
-              f"{spans.get('dropped', 0)} dropped")
+              f"{spans.get('dropped', 0)} dropped, "
+              f"{spans.get('truncated', 0)} truncated, "
+              f"{spans.get('repaired', 0)} repaired")
+    loss = (spans.get("dropped", 0)
+            + spans.get("legacy_dropped", 0))
+    if loss:
+        # Data loss is a report headline, not a buried field: a ring
+        # that overflowed means the hot-path table under-counts.
+        header += (f"\nWARNING: {loss} events lost "
+                   f"({spans.get('dropped', 0)} spans past ring "
+                   f"capacity, {spans.get('legacy_dropped', 0)} legacy "
+                   f"trace events) — raise REPRO_OBS_SPANS")
     sections = [header]
+    profile = artifact.get("profile")
+    if profile:
+        flag = ("complete" if profile.get("complete")
+                else "INCOMPLETE")
+        header = (f"cycle profile: {profile.get('attributed_cycles', 0)}"
+                  f" of {profile.get('clock_cycles', 0)} clock cycles "
+                  f"attributed ({flag}), "
+                  f"{len(profile.get('collapsed', {}))} stacks")
+        sections.append(header)
     summary = artifact.get("span_summary") or []
     if summary:
         sections.append(render_hot_paths(summary, top))

@@ -88,7 +88,17 @@ class SpanTracer:
         self.capacity = capacity
         self.finished: deque = deque(maxlen=capacity)
         self.dropped = 0
+        #: Spans force-closed because an outer span ended around them
+        #: (kernel repair abandoning nested frames).
+        self.truncated_total = 0
+        #: Spans closed by the kernel's §4.2 repair path rather than a
+        #: matching ``xret``.
+        self.repaired_total = 0
         self.legacy = legacy
+        #: Optional :class:`repro.obs.profiler.CycleProfiler` bridge —
+        #: every span begin/end also pushes/pops an attribution frame,
+        #: so span instrumentation shapes the flame tree for free.
+        self.profiler = None
         self._open: Dict[int, List[Span]] = {}    # core_id -> stack
         self._cores: Dict[int, object] = {}       # core_id -> last core
         self._next_span_id = 1
@@ -117,6 +127,9 @@ class SpanTracer:
         self._next_span_id += 1
         stack.append(span)
         self.current = span
+        if self.profiler is not None:
+            self.profiler.push(core, f"{cat}:{name}",
+                               span_id=span.span_id)
         if self.legacy is not None:
             self.legacy.emit(core, "span-begin", f"{cat}:{name}")
         return span
@@ -141,11 +154,16 @@ class SpanTracer:
                 break
             top.end = core.cycles
             top.args["truncated"] = True
+            self.truncated_total += 1
             self._finish(top)
         span.end = core.cycles
         if args:
             span.args.update(args)
+        if span.args.get("repaired"):
+            self.repaired_total += 1
         self._finish(span)
+        if self.profiler is not None:
+            self.profiler.pop(core.core_id, span_id=span.span_id)
         self.current = None
         for frames in self._open.values():
             for open_span in frames:

@@ -1,0 +1,140 @@
+"""Host-side profiling: where the *wall-clock* time of the pure-Python
+engine goes, attributed per subsystem.
+
+The cycle profiler answers "where do simulated cycles go"; this module
+answers the other question ROADMAP item 2 (the fast-path core rewrite)
+needs: which repro packages burn the host CPU that runs the simulation.
+It wraps :mod:`cProfile` (stdlib, deterministic enough for ranking) and
+folds the per-function stats into per-subsystem totals by mapping each
+code object's filename back to its ``repro.<unit>`` package.
+
+The stock workload is the differential-fuzz campaign (the same shape
+as ``benchmarks/test_fuzz_throughput.py``), giving the fuzz_throughput
+wall-clock breakdown alongside its simulated-cycle numbers.
+"""
+
+from __future__ import annotations
+
+import cProfile
+import pstats
+import time
+from typing import Callable, Dict, List, Optional
+
+#: Path fragment that marks a frame as ours and names its unit.
+_MARKER = "repro/"
+
+
+def subsystem_of(filename: str) -> str:
+    """Map a code filename to its owning subsystem.
+
+    ``.../src/repro/xpc/engine.py`` → ``repro.xpc``; top-level modules
+    map to ``repro``; everything else (stdlib, test harness, pytest)
+    is ``host``.
+    """
+    path = filename.replace("\\", "/")
+    idx = path.rfind(_MARKER)
+    if idx < 0:
+        return "host"
+    rest = path[idx + len(_MARKER):]
+    if "/" in rest:
+        return "repro." + rest.split("/", 1)[0]
+    return "repro"
+
+
+class HostProfile:
+    """One profiled run: result + wall time + per-subsystem split."""
+
+    def __init__(self, result, wall_seconds: float,
+                 breakdown: Dict[str, float],
+                 top: List[dict]) -> None:
+        self.result = result
+        self.wall_seconds = wall_seconds
+        self.breakdown = breakdown      # subsystem -> tottime seconds
+        self.top = top                  # hottest functions
+
+    @property
+    def profiled_seconds(self) -> float:
+        return sum(self.breakdown.values())
+
+    def fractions(self) -> Dict[str, float]:
+        """Breakdown normalized to the profiled total."""
+        total = self.profiled_seconds or 1.0
+        return {unit: seconds / total
+                for unit, seconds in self.breakdown.items()}
+
+    def as_dict(self) -> dict:
+        return {
+            "wall_seconds": round(self.wall_seconds, 6),
+            "breakdown_seconds": {u: round(s, 6)
+                                  for u, s in self.breakdown.items()},
+            "fractions": {u: round(f, 4)
+                          for u, f in self.fractions().items()},
+            "top": self.top,
+        }
+
+    def render(self, top_n: int = 10) -> str:
+        lines = [f"host profile: {self.wall_seconds:.3f}s wall"]
+        total = self.profiled_seconds or 1.0
+        for unit, seconds in sorted(self.breakdown.items(),
+                                    key=lambda kv: -kv[1]):
+            lines.append(f"  {unit:<16} {seconds:8.3f}s  "
+                         f"{100 * seconds / total:5.1f}%")
+        lines.append("hottest functions:")
+        for row in self.top[:top_n]:
+            lines.append(
+                f"  {row['tottime']:8.3f}s  {row['ncalls']:>9} calls  "
+                f"{row['subsystem']:<14} {row['function']}")
+        return "\n".join(lines)
+
+
+def profile_host(fn: Callable, *args, top_n: int = 25,
+                 **kwargs) -> HostProfile:
+    """Run ``fn(*args, **kwargs)`` under cProfile; attribute tottime
+    per subsystem."""
+    profiler = cProfile.Profile()
+    start = time.perf_counter()
+    profiler.enable()
+    try:
+        result = fn(*args, **kwargs)
+    finally:
+        profiler.disable()
+    wall = time.perf_counter() - start
+
+    stats = pstats.Stats(profiler)
+    breakdown: Dict[str, float] = {}
+    rows = []
+    for (filename, lineno, funcname), (cc, nc, tottime, cumtime,
+                                       callers) in stats.stats.items():
+        unit = subsystem_of(filename)
+        breakdown[unit] = breakdown.get(unit, 0.0) + tottime
+        rows.append({
+            "subsystem": unit,
+            "function": f"{funcname} ({filename.rsplit('/', 1)[-1]}:"
+                        f"{lineno})",
+            "ncalls": nc,
+            "tottime": round(tottime, 6),
+            "cumtime": round(cumtime, 6),
+        })
+    rows.sort(key=lambda r: -r["tottime"])
+    return HostProfile(result, wall, breakdown, rows[:top_n])
+
+
+def fuzz_host_breakdown(seed: int = 0, programs: int = 2,
+                        top_n: int = 25,
+                        run_differential: Optional[Callable] = None,
+                        ) -> HostProfile:
+    """Host-profile a differential-fuzz campaign (the fuzz_throughput
+    workload): which subsystems the interpreter spends its time in
+    while executing generated programs across the executor fleet."""
+    from repro.proptest.gen import generate
+    if run_differential is None:
+        from repro.proptest.harness import run_differential
+
+    def campaign():
+        total_cycles = 0
+        for i in range(programs):
+            result = run_differential(generate(seed + i))
+            total_cycles += result.sim_cycles
+        return total_cycles
+
+    return profile_host(campaign, top_n=top_n)

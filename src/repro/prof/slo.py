@@ -1,0 +1,267 @@
+"""Declarative SLOs over the metrics registry, on the simulated clock.
+
+A spec is one line of a tiny grammar::
+
+    p99(xpc.call_cycles) < 500
+    mean(fs.op_cycles.read) <= 9000
+    value(aio.inflight.aio) < 64
+    count(xpc.peer_died) == 0
+    rate(xpc.timeouts, xpc.call_cycles) < 0.01
+
+``pNN``/``mean``/``min``/``max`` read a histogram; ``value`` reads a
+counter or gauge; ``count`` reads a counter value or a histogram's
+observation count; ``rate(a, b)`` divides two counts — the error-rate
+form (*b* may be a histogram, in which case its ``count`` is the
+denominator, so "timeouts per call" works against the latency
+histogram itself).
+
+The engine evaluates its rules against a live
+:class:`~repro.obs.registry.MetricsRegistry` at cycle-clock instants,
+bucketing evaluations into fixed *windows* of simulated cycles.  The
+**burn rate** of a rule is the violated fraction of its last
+``burn_windows`` evaluation windows — the standard error-budget view,
+just on simulated time.  Crossing ``alert_burn`` emits an
+:class:`Alert` (recorded on the engine, counted in the registry as
+``slo.alerts.<metric>``) once per window.
+
+:meth:`SLOEngine.signal` condenses the state into the duck-typed
+autoscaling signal the aio layer consumes (``scale_up`` / ``scale_down``
+/ ``shed``) — :class:`~repro.aio.pool.WorkerPool` and
+:class:`~repro.aio.backpressure.AdmissionController` accept any object
+with this method, so the dependency points prof → aio, never back.
+
+Evaluation is a pure read of the registry: nothing here ticks a core
+or mutates simulator state.
+"""
+
+from __future__ import annotations
+
+import re
+from typing import Dict, List, Optional, Sequence
+
+from repro.obs.registry import Histogram, MetricsRegistry
+
+_SPEC_RE = re.compile(
+    r"^\s*(?P<agg>p\d{1,3}(?:\.\d+)?|mean|min|max|count|value|rate)"
+    r"\(\s*(?P<metric>[\w.\-]+)\s*(?:,\s*(?P<denom>[\w.\-]+)\s*)?\)\s*"
+    r"(?P<op>==|<=|>=|<|>)\s*(?P<threshold>-?\d+(?:\.\d+)?)\s*$")
+
+_OPS = {
+    "<": lambda a, b: a < b,
+    "<=": lambda a, b: a <= b,
+    ">": lambda a, b: a > b,
+    ">=": lambda a, b: a >= b,
+    "==": lambda a, b: a == b,
+}
+
+
+class SLOParseError(ValueError):
+    pass
+
+
+class SLOSpec:
+    """One parsed objective."""
+
+    def __init__(self, raw: str, agg: str, metric: str,
+                 denom: Optional[str], op: str,
+                 threshold: float) -> None:
+        self.raw = raw.strip()
+        self.agg = agg
+        self.metric = metric
+        self.denom = denom
+        self.op = op
+        self.threshold = threshold
+
+    @classmethod
+    def parse(cls, raw: str) -> "SLOSpec":
+        m = _SPEC_RE.match(raw)
+        if m is None:
+            raise SLOParseError(
+                f"bad SLO spec {raw!r} (expected "
+                f"'agg(metric[, denom]) op value', e.g. "
+                f"'p99(xpc.call_cycles) < 500')")
+        agg = m.group("agg")
+        denom = m.group("denom")
+        if denom is not None and agg != "rate":
+            raise SLOParseError(
+                f"bad SLO spec {raw!r}: only rate() takes two metrics")
+        if denom is None and agg == "rate":
+            raise SLOParseError(
+                f"bad SLO spec {raw!r}: rate() needs a denominator "
+                f"metric")
+        return cls(raw, agg, m.group("metric"), denom,
+                   m.group("op"), float(m.group("threshold")))
+
+    # -- measurement ----------------------------------------------------
+    def _count_of(self, metric) -> Optional[float]:
+        if metric is None:
+            return None
+        if isinstance(metric, Histogram):
+            return float(metric.count)
+        return float(metric.value)
+
+    def measure(self, registry: MetricsRegistry) -> Optional[float]:
+        """The spec's current value, or None when there is no data."""
+        metric = registry.get(self.metric)
+        if metric is None:
+            return None
+        if self.agg == "rate":
+            num = self._count_of(metric)
+            den = self._count_of(registry.get(self.denom))
+            if num is None or not den:
+                return None
+            return num / den
+        if self.agg in ("count", "value"):
+            return self._count_of(metric)
+        if not isinstance(metric, Histogram) or not metric.count:
+            return None
+        if self.agg == "mean":
+            return metric.mean
+        if self.agg == "min":
+            return float(metric.min)
+        if self.agg == "max":
+            return float(metric.max)
+        return float(metric.percentile(float(self.agg[1:])))
+
+    def check(self, value: float) -> bool:
+        """True when *value* satisfies the objective."""
+        return _OPS[self.op](value, self.threshold)
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return f"SLOSpec({self.raw!r})"
+
+
+class SLOStatus:
+    """One rule's state at one evaluation."""
+
+    def __init__(self, spec: SLOSpec, value: Optional[float],
+                 violated: bool, burn_rate: float, cycle: int) -> None:
+        self.spec = spec
+        self.value = value
+        self.violated = violated
+        self.burn_rate = burn_rate
+        self.cycle = cycle
+
+    @property
+    def no_data(self) -> bool:
+        return self.value is None
+
+    def as_dict(self) -> dict:
+        return {"spec": self.spec.raw, "value": self.value,
+                "violated": self.violated,
+                "burn_rate": round(self.burn_rate, 4),
+                "cycle": self.cycle}
+
+
+class Alert:
+    """A burn-rate threshold crossing."""
+
+    def __init__(self, spec: SLOSpec, cycle: int, burn_rate: float,
+                 value: Optional[float]) -> None:
+        self.spec = spec
+        self.cycle = cycle
+        self.burn_rate = burn_rate
+        self.value = value
+
+    def as_dict(self) -> dict:
+        return {"spec": self.spec.raw, "cycle": self.cycle,
+                "burn_rate": round(self.burn_rate, 4),
+                "value": self.value}
+
+
+class SLOEngine:
+    """Evaluate a rule set over a registry; track burn; emit alerts."""
+
+    def __init__(self, registry: MetricsRegistry,
+                 specs: Sequence[str],
+                 window_cycles: int = 50_000,
+                 burn_windows: int = 6,
+                 alert_burn: float = 0.5,
+                 shed_burn: float = 1.0) -> None:
+        if window_cycles <= 0:
+            raise ValueError("window_cycles must be positive")
+        self.registry = registry
+        self.specs = [SLOSpec.parse(s) for s in specs]
+        self.window_cycles = window_cycles
+        self.burn_windows = burn_windows
+        self.alert_burn = alert_burn
+        self.shed_burn = shed_burn
+        self.alerts: List[Alert] = []
+        #: spec index -> {window -> violated-at-any-eval-in-window}
+        self._windows: List[Dict[int, bool]] = [
+            {} for _ in self.specs]
+        self._alerted_window: List[Optional[int]] = [
+            None for _ in self.specs]
+        self._last: List[SLOStatus] = []
+        self._last_cycle: Optional[int] = None
+
+    # -- evaluation -----------------------------------------------------
+    def burn_rate(self, index: int, window: int) -> float:
+        """Violated fraction of the last ``burn_windows`` windows up to
+        and including *window* (windows never evaluated count clean)."""
+        history = self._windows[index]
+        first = window - self.burn_windows + 1
+        bad = sum(1 for w in range(first, window + 1)
+                  if history.get(w, False))
+        return bad / self.burn_windows
+
+    def evaluate(self, now_cycles: int) -> List[SLOStatus]:
+        """Measure every rule at cycle *now_cycles*."""
+        window = now_cycles // self.window_cycles
+        statuses = []
+        for i, spec in enumerate(self.specs):
+            value = spec.measure(self.registry)
+            violated = (value is not None
+                        and not spec.check(value))
+            history = self._windows[i]
+            history[window] = history.get(window, False) or violated
+            # Drop windows that can no longer contribute to the burn.
+            for old in [w for w in history
+                        if w < window - self.burn_windows]:
+                del history[old]
+            burn = self.burn_rate(i, window)
+            if (violated and burn >= self.alert_burn
+                    and self._alerted_window[i] != window):
+                self._alerted_window[i] = window
+                self.alerts.append(Alert(spec, now_cycles, burn, value))
+                self.registry.counter(
+                    f"slo.alerts.{spec.metric}").inc(cycle=now_cycles)
+            statuses.append(SLOStatus(spec, value, violated, burn,
+                                      now_cycles))
+        self._last = statuses
+        self._last_cycle = now_cycles
+        return statuses
+
+    # -- the autoscaling signal ----------------------------------------
+    def signal(self, now_cycles: int) -> dict:
+        """The condensed autoscaling view at *now_cycles*.
+
+        Re-evaluates at most once per evaluation window, so hot paths
+        (admission checks) can call this per request for free.
+        """
+        if (self._last_cycle is None
+                or now_cycles // self.window_cycles
+                != self._last_cycle // self.window_cycles):
+            self.evaluate(now_cycles)
+        breaching = [s for s in self._last if s.violated]
+        max_burn = max((s.burn_rate for s in self._last), default=0.0)
+        return {
+            "healthy": not breaching,
+            "breaching": [s.spec.raw for s in breaching],
+            "burn_rate": max_burn,
+            "scale_up": bool(breaching),
+            "scale_down": not breaching and max_burn == 0.0,
+            "shed": bool(breaching) and max_burn >= self.shed_burn,
+        }
+
+    def should_shed(self, now_cycles: int) -> bool:
+        """Load-shedding predicate for admission control."""
+        return self.signal(now_cycles)["shed"]
+
+    def as_dict(self) -> dict:
+        return {
+            "specs": [s.raw for s in self.specs],
+            "window_cycles": self.window_cycles,
+            "statuses": [s.as_dict() for s in self._last],
+            "alerts": [a.as_dict() for a in self.alerts],
+        }

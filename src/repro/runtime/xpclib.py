@@ -195,9 +195,15 @@ class XPCService:
         trampoline_cycles = (params.trampoline_partial_ctx
                              if self.partial_context
                              else params.trampoline_full_ctx)
+        if obs.ACTIVE is not None and obs.ACTIVE.profiler is not None:
+            obs.ACTIVE.profiler.phase_split(
+                core, (("phase:trampoline", trampoline_cycles),))
         core.tick(trampoline_cycles)
         caller_id = engine.caller_id_reg
         ctx = self._acquire_context(core, caller_id)
+        if obs.ACTIVE is not None and obs.ACTIVE.profiler is not None:
+            obs.ACTIVE.profiler.phase_split(
+                core, (("phase:cstack", params.cstack_switch),))
         core.tick(params.cstack_switch)
         if obs.ACTIVE is not None:
             obs.ACTIVE.pmu.add(core, "cycles.trampoline",
@@ -333,6 +339,20 @@ def xpc_call(core: Core, entry_id: int, *args,
     systems usually set this to 0 or infinite; it exists for fault
     isolation).
     """
+    session = obs.ACTIVE
+    profiler = session.profiler if session is not None else None
+    if profiler is None:
+        return _xpc_call_body(core, entry_id, args, mask, kernel,
+                              timeout_cycles)
+    with profiler.frame(core, f"xpclib:call#{entry_id}"):
+        return _xpc_call_body(core, entry_id, args, mask, kernel,
+                              timeout_cycles)
+
+
+def _xpc_call_body(core: Core, entry_id: int, args,
+                   mask: Optional[SegMask],
+                   kernel: Optional[BaseKernel],
+                   timeout_cycles: Optional[int]):
     engine = core.xpc_engine
     if engine is None:
         raise XPCError("core has no XPC engine")

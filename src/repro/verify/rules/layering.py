@@ -89,6 +89,15 @@ ALLOWED_IMPORTS = {
     "snap": {"proptest", "verify", "compare", "aio", "ipc", "sel4",
              "zircon", "services", "runtime", "kernel", "xpc", "hw",
              "params", "faults", "obs", "san", "analysis"},
+    # Profiling/SLO/sentry tooling sits above snap: the sentry drives
+    # recorders and time travel, host profiling drives the proptest
+    # fleet, and the flame CLI runs snap scenarios.  The in-simulation
+    # CycleProfiler itself lives in repro.obs (the hw layer must reach
+    # it from Core.tick); aio consumes the SLO engine duck-typed, so
+    # nothing below imports repro.prof.
+    "prof": {"snap", "proptest", "verify", "compare", "aio", "ipc",
+             "sel4", "zircon", "services", "runtime", "kernel", "xpc",
+             "hw", "params", "faults", "obs", "san", "analysis"},
 }
 
 #: Modules of repro.hw that form its public, architectural surface.

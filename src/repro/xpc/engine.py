@@ -94,6 +94,17 @@ class XPCEngine:
     #: sets it.
     unsafe_skip_return_check = False
 
+    #: TEST HOOK — seeded perf regression for the repro.prof sentry.
+    #: When ``regress_captest_extra`` is nonzero (set per instance),
+    #: every xcall after the first ``regress_captest_after`` charges
+    #: that many extra captest cycles, modelling a silent cap-test
+    #: slowdown landing mid-trace.  The sentry's job
+    #: (``repro.prof.sentry``) is to bisect a recorded run to the exact
+    #: op where this fires and name the phase in a flame-tree diff;
+    #: production code never sets it.
+    regress_captest_extra = 0
+    regress_captest_after = 0
+
     def __init__(self, core: Core, table: XEntryTable,
                  config: Optional[XPCConfig] = None) -> None:
         self.core = core
@@ -213,6 +224,10 @@ class XPCEngine:
             self.prefetch(-entry_id)
             raise XPCError("prefetch pseudo-call does not transfer control")
         cycles = 6  # cap bit test + pipeline redirect (Fig. 5 floor)
+        if self.regress_captest_extra:
+            self._regress_seq = getattr(self, "_regress_seq", 0) + 1
+            if self._regress_seq > self.regress_captest_after:
+                cycles += self.regress_captest_extra
         xentry_cycles = 0
         try:
             # 1. capability check
@@ -304,6 +319,9 @@ class XPCEngine:
         """Execute ``xret``: pop, validate, restore the caller."""
         state = self._require_state()
         self.stats.xret_cycles += self.params.xret_base
+        if obs.ACTIVE is not None and obs.ACTIVE.profiler is not None:
+            obs.ACTIVE.profiler.phase_split(self.core, (
+                ("phase:xret", self.params.xret_base),))
         self.core.tick(self.params.xret_base)
         try:
             record = state.link_stack.pop()
@@ -390,10 +408,17 @@ class XPCEngine:
         self.stats.xcall_cycles += cycles
         if obs.ACTIVE is not None:
             pmu = obs.ACTIVE.pmu
-            pmu.add(self.core, "cycles.xcall.captest",
-                    cycles - xentry_cycles - linkpush_cycles)
+            captest_cycles = cycles - xentry_cycles - linkpush_cycles
+            pmu.add(self.core, "cycles.xcall.captest", captest_cycles)
             pmu.add(self.core, "cycles.xcall.xentry", xentry_cycles)
             pmu.add(self.core, "cycles.xcall.linkpush", linkpush_cycles)
+            if obs.ACTIVE.profiler is not None:
+                # The caller's next tick is this xcall's lump charge;
+                # decompose it into the Fig. 5 phases in the flame tree.
+                obs.ACTIVE.profiler.phase_split(self.core, (
+                    ("phase:captest", captest_cycles),
+                    ("phase:xentry", xentry_cycles),
+                    ("phase:linkpush", linkpush_cycles)))
 
     # ------------------------------------------------------------------
     def _require_state(self) -> XPCThreadState:

@@ -1,0 +1,157 @@
+"""PMU semantics under the messy cases: preemption interleaved with
+calls on several cores, and worker-pool stealing/backlog migration.
+
+The single-core PMU tests pin the happy-path bank math; these pin the
+properties that actually matter for multicore attribution — per-core
+isolation of counts, snapshot/delta correctness while other cores keep
+running, and reset re-baselining every bank at once.
+"""
+
+import pytest
+
+import repro.obs as obs
+from repro.aio import WorkerPool
+from repro.hw.machine import Machine
+from repro.kernel.kernel import BaseKernel
+from repro.runtime.xpclib import XPCService, xpc_call
+from tests.aio.conftest import echo
+
+MEM = 128 * 1024 * 1024
+
+
+def build_world(cores=3):
+    machine = Machine(cores=cores, mem_bytes=MEM)
+    kernel = BaseKernel(machine)
+    server = kernel.create_process("server")
+    st = kernel.create_thread(server)
+    kernel.run_thread(machine.core0, st)
+    svc = XPCService(kernel, machine.core0, st, lambda call: "ok")
+    clients = []
+    for core in machine.cores:
+        proc = kernel.create_process(f"client{core.core_id}")
+        thread = kernel.create_thread(proc)
+        kernel.grant_xcall_cap(core, server, thread, svc.entry_id)
+        kernel.run_thread(core, thread)
+        clients.append(thread)
+    return machine, kernel, svc, clients
+
+
+def test_preemption_counts_stay_on_the_preempted_core():
+    with obs.active(obs.ObsSession()) as session:
+        machine, kernel, svc, clients = build_world(cores=3)
+        for core in machine.cores:
+            xpc_call(core, svc.entry_id)
+        kernel.preempt(machine.cores[1])
+        kernel.preempt(machine.cores[1])
+        kernel.preempt(machine.cores[2])
+        snap = session.pmu.snapshot()
+    # core1 and core2 ran identical work (one xcall each) except for
+    # the timer interrupts: two on core1, one on core2.  The trap
+    # counts differ by exactly that — preemptions land on the core
+    # that took them, never on a neighbor.
+    assert (snap.get("core1", "traps")
+            == snap.get("core2", "traps") + 1)
+    assert snap.get("core1", "traps") >= 2
+    assert snap.total("xcall.count") == 3
+    assert session.registry.counter("kernel.preemptions").value == 3
+
+
+def test_delta_window_isolates_one_core_while_others_run():
+    with obs.active(obs.ObsSession()) as session:
+        machine, kernel, svc, clients = build_world(cores=2)
+        xpc_call(machine.core0, svc.entry_id)
+        before = session.pmu.snapshot()
+        # Window: only core1 works, and gets preempted mid-stream.
+        xpc_call(machine.cores[1], svc.entry_id)
+        kernel.preempt(machine.cores[1])
+        xpc_call(machine.cores[1], svc.entry_id)
+        after = session.pmu.snapshot()
+    delta = after - before
+    assert delta.get("core0", "xcall.count") == 0
+    assert delta.get("core0", "cycles") == 0
+    assert delta.get("core1", "xcall.count") == 2
+    assert delta.get("core1", "cycles") > 0
+    # xcalls don't trap (the paper's point); the one trap in the
+    # window is the timer preemption, on core1.
+    assert delta.get("core1", "traps") == 1
+
+
+def test_reset_rebaselines_every_core_bank_at_once():
+    with obs.active(obs.ObsSession()) as session:
+        machine, kernel, svc, clients = build_world(cores=3)
+        for core in machine.cores:
+            xpc_call(core, svc.entry_id)
+        kernel.preempt(machine.core0)
+        session.pmu.reset()
+        zeroed = session.pmu.snapshot()
+        for label in ("core0", "core1", "core2"):
+            assert zeroed.get(label, "xcall.count") == 0
+            assert zeroed.get(label, "cycles") == 0
+            assert zeroed.get(label, "traps") == 0
+        # Post-reset activity counts from the new baseline only.
+        xpc_call(machine.cores[2], svc.entry_id)
+        snap = session.pmu.snapshot()
+    assert snap.get("core2", "xcall.count") == 1
+    assert snap.get("core0", "xcall.count") == 0
+
+
+# -- worker-pool stealing ----------------------------------------------
+
+def _make_pool(session, cores=2, **kwargs):
+    machine = Machine(cores=cores, mem_bytes=256 * 1024 * 1024)
+    kernel = BaseKernel(machine)
+    kwargs.setdefault("max_batch", 64)
+    pool = WorkerPool(kernel, echo, machine.cores, **kwargs)
+    return machine, kernel, pool
+
+
+def test_steal_dispatch_charges_the_thief_core_bank():
+    with obs.active(obs.ObsSession()) as session:
+        machine, kernel, pool = _make_pool(session, cores=2,
+                                           policy="steal")
+        before = session.pmu.snapshot()
+        # Convoy worker 0 so every request runs (and is counted) on
+        # worker 1's core.
+        pool.workers[0].core.tick(1_000_000)
+        futures = [pool.submit(("echo", i), b"ab") for i in range(6)]
+        pool.wait_all(futures)
+        after = session.pmu.snapshot()
+    delta = after - before
+    assert pool.stolen == 3
+    assert delta.get("core0", "xcall.count") == 0
+    assert delta.get("core1", "xcall.count") > 0
+    assert delta.get("core1", "aio.completions") == 6
+    assert delta.get("core0", "aio.completions") == 0
+
+
+def test_migrated_backlog_completions_count_on_the_destination():
+    with obs.active(obs.ObsSession()) as session:
+        machine, kernel, pool = _make_pool(session, cores=2)
+        futures = [pool.submit(("echo", i), b"abcd") for i in range(6)]
+        assert pool.workers[1].batcher.backlog == 3
+        before = session.pmu.snapshot()
+        moved = pool.migrate_backlog(1, 0)
+        pool.wait_all(futures)
+        after = session.pmu.snapshot()
+    assert moved == 3
+    delta = after - before
+    # All six requests drain on worker 0's core after the migration.
+    assert delta.get("core0", "aio.completions") == 6
+    assert delta.get("core1", "aio.completions") == 0
+    assert session.registry.counter("aio.migrated.aio").value == 3
+    # The migration's copy cost landed on the thief, inside the window.
+    assert delta.get("core0", "cycles") > 0
+
+
+def test_preemption_mid_drain_keeps_pool_counts_consistent():
+    """A timer preemption between flushes must not perturb completion
+    attribution — only add trap/sched cycles on the preempted core."""
+    with obs.active(obs.ObsSession()) as session:
+        machine, kernel, pool = _make_pool(session, cores=2)
+        futures = [pool.submit(("echo", i), b"xy") for i in range(4)]
+        kernel.preempt(pool.workers[0].core)
+        pool.wait_all(futures)
+        snap = session.pmu.snapshot()
+    assert snap.total("aio.completions") == 4
+    assert snap.get("core0", "aio.completions") == 2
+    assert snap.get("core1", "aio.completions") == 2

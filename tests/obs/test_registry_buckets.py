@@ -1,0 +1,134 @@
+"""Bucketed histograms: percentile estimates vs the sorted-list oracle.
+
+Satellite of the profiler PR: the old interpolation could bleed an
+estimate past a bucket's upper boundary into the next bucket.  The
+fixed convention is right-closed buckets with the bucket-top rank
+mapping to the upper boundary *exactly*; these properties pin it
+against :func:`repro.analysis.stats.percentile` as the ground truth.
+"""
+
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.analysis.stats import percentile as oracle
+from repro.obs.registry import Histogram, MetricsRegistry
+
+BOUNDS = [10.0, 50.0, 100.0, 500.0]
+
+samples_strategy = st.lists(
+    st.floats(min_value=0, max_value=1000, allow_nan=False,
+              allow_infinity=False, width=32),
+    min_size=1, max_size=120)
+
+percentile_strategy = st.floats(min_value=0, max_value=100,
+                                allow_nan=False)
+
+
+def _overflowed(samples, capacity=8):
+    """A histogram whose ring forgot most samples but whose buckets
+    saw them all — the estimation regime."""
+    hist = Histogram("lat", capacity=capacity, buckets=BOUNDS)
+    for v in samples:
+        hist.observe(v)
+    return hist
+
+
+def _bucket_index(value):
+    """Which right-closed bucket the value falls in (len(BOUNDS) =
+    the overflow bucket)."""
+    for i, bound in enumerate(BOUNDS):
+        if value <= bound:
+            return i
+    return len(BOUNDS)
+
+
+# -- exact regime -------------------------------------------------------
+
+@given(samples=samples_strategy, p=percentile_strategy)
+@settings(max_examples=80, deadline=None)
+def test_unevicted_histogram_matches_the_oracle_exactly(samples, p):
+    hist = Histogram("lat", capacity=len(samples) + 1, buckets=BOUNDS)
+    for v in samples:
+        hist.observe(v)
+    assert hist.percentile(p) == oracle(samples, p)
+
+
+# -- estimation regime --------------------------------------------------
+
+@given(samples=samples_strategy.filter(lambda s: len(s) > 8),
+       p=percentile_strategy)
+@settings(max_examples=80, deadline=None)
+def test_estimate_lands_in_the_oracles_bucket(samples, p):
+    """The bracket property: an integer-rank estimate never leaves the
+    bucket the true rank value lives in, so the error is bounded by
+    one bucket width."""
+    hist = _overflowed(samples)
+    estimate = hist.percentile(p)
+    rank = (p / 100) * (len(samples) - 1)
+    ordered = sorted(samples)
+    lo_true, hi_true = ordered[int(rank)], ordered[min(
+        int(rank) + 1, len(samples) - 1)]
+    lo_b = min(_bucket_index(lo_true), _bucket_index(hi_true))
+    hi_b = max(_bucket_index(lo_true), _bucket_index(hi_true))
+    est_b = _bucket_index(estimate)
+    assert lo_b <= est_b <= hi_b, (
+        f"estimate {estimate} (bucket {est_b}) escaped the true "
+        f"bucket range [{lo_b}, {hi_b}] for p{p}")
+
+
+@given(samples=samples_strategy.filter(lambda s: len(s) > 8))
+@settings(max_examples=60, deadline=None)
+def test_extremes_are_exact_and_estimates_stay_in_range(samples):
+    hist = _overflowed(samples)
+    assert hist.percentile(0) == min(samples)
+    assert hist.percentile(100) == max(samples)
+    for p in (10, 25, 50, 75, 90, 99):
+        assert min(samples) <= hist.percentile(p) <= max(samples)
+
+
+@given(samples=samples_strategy.filter(lambda s: len(s) > 8),
+       p1=percentile_strategy, p2=percentile_strategy)
+@settings(max_examples=60, deadline=None)
+def test_estimates_are_monotone_in_p(samples, p1, p2):
+    hist = _overflowed(samples)
+    lo, hi = sorted((p1, p2))
+    assert hist.percentile(lo) <= hist.percentile(hi)
+
+
+def test_boundary_rank_maps_to_the_boundary_not_past_it():
+    """The regression this satellite fixes: with 4 samples filling one
+    bucket exactly, the bucket-top rank is the boundary itself, and no
+    interpolated estimate bleeds into (50, 100]."""
+    hist = Histogram("lat", capacity=2, buckets=BOUNDS)
+    for v in (20, 30, 40, 50):          # all in bucket (10, 50]
+        hist.observe(v)
+    assert hist.percentile(100) == 50
+    for p in range(0, 101, 5):
+        assert hist.percentile(p) <= 50
+
+
+def test_bucket_validation_and_serialization():
+    with pytest.raises(ValueError):
+        Histogram("h", buckets=[])
+    with pytest.raises(ValueError):
+        Histogram("h", buckets=[5, 5, 10])
+    with pytest.raises(ValueError):
+        Histogram("h", buckets=[10, 5])
+    registry = MetricsRegistry()
+    hist = registry.histogram("lat", buckets=[10, 100])
+    for v in (5, 50, 500):
+        hist.observe(v)
+    art = hist.as_dict()
+    assert art["buckets"] == {"bounds": [10.0, 100.0],
+                              "counts": [1, 1, 1]}
+
+
+def test_unbucketed_histogram_keeps_the_window_semantics():
+    """No buckets -> the pre-existing behavior: percentile() answers
+    over the surviving window and bucket_percentile() refuses."""
+    hist = Histogram("lat", capacity=4)
+    for v in range(10):
+        hist.observe(v)
+    assert hist.percentile(100) == 9    # window holds the newest values
+    with pytest.raises(ValueError):
+        hist.bucket_percentile(50)

@@ -1,0 +1,68 @@
+"""The attribution invariant: flame total == clock total, everywhere.
+
+The acceptance bar for the profiler is exactness — every cycle any
+core charges while a profiling session is armed must appear in the
+flame tree.  Asserted here for the two canonical scenario shapes and
+for a batch of generated proptest programs across the executor fleet.
+"""
+
+import pytest
+
+import repro.obs as obs
+from repro.proptest.executors import default_executor_factories
+from repro.proptest.gen import generate
+from repro.snap.scenarios import SCENARIOS
+from repro.snap.world import ExecutorWorld
+
+
+@pytest.mark.parametrize("scenario", sorted(SCENARIOS))
+def test_scenarios_attribute_every_cycle(scenario):
+    world, ops = SCENARIOS[scenario]()
+    session = obs.ObsSession(profile=True)
+    session.attach(world.machine, world.kernel)
+    world.obs = session
+    for op in ops:
+        world.step(op)
+    prof = session.profiler
+    assert prof.attributed == prof.clock_cycles()
+    assert prof.complete()
+    assert prof.attributed > 0
+    assert sum(prof.collapsed().values()) == prof.attributed
+    assert sum(r["total"] for r in prof.flame_tree()) == prof.attributed
+    assert prof.mismatched_pops == 0
+
+
+def test_twenty_generated_programs_attribute_every_cycle():
+    """20 generated programs, rotating over the executor fleet."""
+    factories = default_executor_factories()
+    checked = 0
+    for seed in range(20):
+        program = generate(seed)
+        name, factory = factories[seed % len(factories)]
+        executor = factory()
+        session = obs.ObsSession(profile=True)
+        session.attach(executor.kernel.machine, executor.kernel)
+        world = ExecutorWorld(executor, session)
+        for op in program.ops:
+            world.step(op)
+        prof = session.profiler
+        assert prof.complete(), (
+            f"seed {seed} on {name}: attributed {prof.attributed} != "
+            f"clock {prof.clock_cycles()}")
+        assert sum(prof.collapsed().values()) == prof.attributed
+        checked += 1
+    assert checked == 20
+
+
+def test_scenario_report_carries_the_profile_section():
+    world, ops = SCENARIOS["fig5"]()
+    session = obs.ObsSession(profile=True)
+    session.attach(world.machine, world.kernel)
+    world.obs = session
+    for op in ops:
+        world.step(op)
+    artifact = session.report("fig5")
+    profile = artifact["profile"]
+    assert profile["complete"] is True
+    assert profile["attributed_cycles"] == profile["clock_cycles"]
+    assert profile["collapsed"]

@@ -1,0 +1,64 @@
+"""Host (wall-clock) profiling: subsystem mapping + harness smoke."""
+
+import pytest
+
+from repro.prof.host import (HostProfile, fuzz_host_breakdown,
+                             profile_host, subsystem_of)
+
+
+@pytest.mark.parametrize("filename,unit", [
+    ("/root/repo/src/repro/xpc/engine.py", "repro.xpc"),
+    ("/x/src/repro/hw/cpu.py", "repro.hw"),
+    ("src/repro/obs/profiler.py", "repro.obs"),
+    ("C:\\work\\src\\repro\\kernel\\kernel.py", "repro.kernel"),
+    ("/x/src/repro/faults.py", "repro"),
+    ("/usr/lib/python3.11/json/decoder.py", "host"),
+    ("~/.venv/lib/pstats.py", "host"),
+    ("<built-in>", "host"),
+    # The *last* repro/ wins, so a checkout under /home/repro/ still
+    # maps its stdlib deps to host and its own code to the unit.
+    ("/home/repro/work/src/repro/aio/pool.py", "repro.aio"),
+])
+def test_subsystem_of(filename, unit):
+    assert subsystem_of(filename) == unit
+
+
+def test_profile_host_returns_result_and_breakdown():
+    from repro.hw.machine import Machine
+
+    def workload():
+        machine = Machine(cores=1, mem_bytes=1024 * 1024)
+        for _ in range(2000):
+            machine.core0.tick(1)
+        return machine.core0.cycles
+
+    profile = profile_host(workload)
+    assert profile.result == 2000
+    assert profile.wall_seconds > 0
+    assert "repro.hw" in profile.breakdown
+    fractions = profile.fractions()
+    assert abs(sum(fractions.values()) - 1.0) < 1e-9
+    assert all(0 <= f <= 1 for f in fractions.values())
+    # Rendering and serialization carry the same units.
+    art = profile.as_dict()
+    assert set(art["breakdown_seconds"]) == set(profile.breakdown)
+    assert "repro.hw" in profile.render()
+
+
+def test_top_rows_are_ranked_and_capped():
+    profile = profile_host(lambda: sorted(range(1000)), top_n=3)
+    assert len(profile.top) <= 3
+    tottimes = [row["tottime"] for row in profile.top]
+    assert tottimes == sorted(tottimes, reverse=True)
+    assert all({"subsystem", "function", "ncalls"} <= set(row)
+               for row in profile.top)
+
+
+def test_fuzz_host_breakdown_runs_the_campaign():
+    profile = fuzz_host_breakdown(seed=0, programs=1)
+    assert profile.result > 0           # simulated cycles accumulated
+    units = set(profile.breakdown)
+    # The campaign must exercise the simulator proper, not just the
+    # harness: hw (every tick) and xpc (every call) both show up.
+    assert "repro.hw" in units
+    assert "repro.xpc" in units

@@ -1,0 +1,73 @@
+"""The regression sentry: seeded drift pinned to its exact op + phase."""
+
+import pytest
+
+from repro.prof.sentry import (bisect_regression, record_scenario,
+                               seed_captest_regression)
+
+
+def test_seeded_captest_regression_is_pinned_to_its_op():
+    """The acceptance scenario: +50 captest cycles injected after the
+    5th xcall must bisect to op #5 and blame phase:captest."""
+    report = bisect_regression(
+        "fig5", seed_captest_regression(extra=50, after_ops=5))
+    assert report.regressed
+    assert report.op_index == 5
+    assert report.fresh_op_cycles - report.baseline_op_cycles == 50
+    assert report.culprit_phase == "phase:captest"
+    assert "phase:captest" in report.culprit_path
+    top = report.flame_diff[0]
+    assert top["delta"] == 50
+    assert top["fresh"] - top["base"] == 50
+
+
+def test_injection_at_op_zero():
+    report = bisect_regression(
+        "fig5", seed_captest_regression(extra=7, after_ops=0))
+    assert report.regressed
+    assert report.op_index == 0
+    assert report.culprit_phase == "phase:captest"
+    assert report.flame_diff[0]["delta"] == 7
+
+
+def test_clean_run_reports_no_regression():
+    report = bisect_regression("fig5", mutate=lambda world: None)
+    assert not report.regressed
+    assert report.op_index is None
+    assert report.culprit_path is None
+    assert report.baseline_total == report.fresh_total
+    assert "no divergence" in report.render()
+
+
+def test_pinned_baseline_trace_drives_the_bisect():
+    """A stale pinned trace (as CI would store) works the same as a
+    freshly recorded baseline."""
+    baseline = record_scenario("fig5")
+    pinned = list(baseline.world.op_cycles)
+    report = bisect_regression(
+        "fig5", seed_captest_regression(extra=50, after_ops=5),
+        baseline_trace=pinned)
+    assert report.regressed and report.op_index == 5
+    assert report.culprit_phase == "phase:captest"
+
+
+def test_render_names_the_op_and_phase():
+    report = bisect_regression(
+        "fig5", seed_captest_regression(extra=50, after_ops=5))
+    text = report.render()
+    assert "first divergent op is #5" in text
+    assert "phase:captest" in text
+    assert "+50" in text
+    art = report.as_dict()
+    assert art["culprit_phase"] == "phase:captest"
+    assert art["op_index"] == 5
+
+
+def test_fig7_regression_bisects_too():
+    """The syscall-heavy scenario: same hook, different op mix — the
+    sentry still lands on the first diverging op."""
+    report = bisect_regression(
+        "fig7", seed_captest_regression(extra=25, after_ops=3))
+    assert report.regressed
+    assert report.culprit_phase == "phase:captest"
+    assert report.flame_diff[0]["delta"] > 0

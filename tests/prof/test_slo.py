@@ -1,0 +1,214 @@
+"""SLO grammar, burn-rate alerting, and the aio autoscaling wiring."""
+
+import pytest
+
+import repro.obs as obs
+from repro.obs.registry import MetricsRegistry
+from repro.prof.slo import SLOEngine, SLOParseError, SLOSpec
+
+
+# -- grammar ------------------------------------------------------------
+
+@pytest.mark.parametrize("raw,agg,metric,op,threshold", [
+    ("p99(xpc.call_cycles) < 500", "p99", "xpc.call_cycles", "<", 500),
+    ("p50(fs.read) <= 1e0", None, None, None, None),   # sci-notation: no
+    ("mean(net.rtt) >= 12.5", "mean", "net.rtt", ">=", 12.5),
+    ("count(xpc.peer_died) == 0", "count", "xpc.peer_died", "==", 0),
+    ("value(aio.inflight.aio) < 64", "value", "aio.inflight.aio",
+     "<", 64),
+])
+def test_spec_grammar(raw, agg, metric, op, threshold):
+    if agg is None:
+        with pytest.raises(SLOParseError):
+            SLOSpec.parse(raw)
+        return
+    spec = SLOSpec.parse(raw)
+    assert (spec.agg, spec.metric, spec.op) == (agg, metric, op)
+    assert spec.threshold == threshold
+
+
+def test_rate_needs_a_denominator_and_only_rate_gets_one():
+    spec = SLOSpec.parse("rate(xpc.timeouts, xpc.calls) < 0.01")
+    assert spec.denom == "xpc.calls"
+    with pytest.raises(SLOParseError):
+        SLOSpec.parse("rate(xpc.timeouts) < 0.01")
+    with pytest.raises(SLOParseError):
+        SLOSpec.parse("p99(a, b) < 1")
+
+
+def test_measurements_against_a_live_registry():
+    registry = MetricsRegistry()
+    hist = registry.histogram("lat")
+    for v in range(1, 101):
+        hist.observe(v)
+    registry.counter("errors").inc(3)
+    registry.counter("calls").inc(300)
+    registry.gauge("depth").set(7)
+
+    assert SLOSpec.parse("p50(lat) < 51").measure(registry) == 50.5
+    assert SLOSpec.parse("max(lat) < 0").measure(registry) == 100
+    assert SLOSpec.parse("mean(lat) < 0").measure(registry) == 50.5
+    assert SLOSpec.parse("count(errors) == 0").measure(registry) == 3
+    assert SLOSpec.parse("value(depth) < 64").measure(registry) == 7
+    assert SLOSpec.parse(
+        "rate(errors, calls) < 0.1").measure(registry) == 0.01
+    # A rate against a histogram divides by its observation count.
+    assert SLOSpec.parse(
+        "rate(errors, lat) < 1").measure(registry) == 0.03
+    assert SLOSpec.parse("p99(absent) < 1").measure(registry) is None
+
+
+# -- the engine ---------------------------------------------------------
+
+def _engine(registry, spec="p99(lat) < 100", **kwargs):
+    kwargs.setdefault("window_cycles", 1000)
+    kwargs.setdefault("burn_windows", 4)
+    kwargs.setdefault("alert_burn", 0.5)
+    return SLOEngine(registry, [spec], **kwargs)
+
+
+def test_no_data_is_not_a_violation():
+    engine = _engine(MetricsRegistry())
+    (status,) = engine.evaluate(500)
+    assert status.no_data and not status.violated
+    assert engine.signal(500)["healthy"]
+
+
+def test_burn_rate_accumulates_per_window_and_alerts():
+    registry = MetricsRegistry()
+    registry.histogram("lat").observe(500)      # p99 = 500: breach
+    engine = _engine(registry)
+    (s1,) = engine.evaluate(100)                # window 0
+    assert s1.violated and s1.burn_rate == 0.25
+    assert not engine.alerts                    # burn below 0.5
+    (s2,) = engine.evaluate(1100)               # window 1
+    assert s2.burn_rate == 0.5
+    assert len(engine.alerts) == 1              # crossed alert_burn
+    (s3,) = engine.evaluate(1200)               # same window: no re-alert
+    assert len(engine.alerts) == 1
+    assert registry.counter("slo.alerts.lat").value == 1
+
+
+def test_burn_rate_decays_once_healthy():
+    registry = MetricsRegistry()
+    hist = registry.histogram("lat")
+    hist.observe(500)
+    engine = _engine(registry)
+    engine.evaluate(100)                        # violated in window 0
+    for _ in range(200):
+        hist.observe(1)                         # drown the bad sample
+    (status,) = engine.evaluate(4100)           # window 4: 0 of last 4 bad
+    assert not status.violated
+    assert status.burn_rate == 0.0
+    assert engine.signal(4100)["scale_down"]
+
+
+def test_signal_shapes():
+    registry = MetricsRegistry()
+    hist = registry.histogram("lat")
+    hist.observe(500)
+    engine = _engine(registry, shed_burn=0.25)
+    signal = engine.signal(100)
+    assert signal["scale_up"] and not signal["healthy"]
+    assert signal["breaching"] == ["p99(lat) < 100"]
+    assert signal["shed"]                       # burn 0.25 >= shed_burn
+
+
+# -- aio consumers ------------------------------------------------------
+
+class _StubSLO:
+    """Duck-typed stand-in so aio tests need no real registry."""
+
+    def __init__(self):
+        self.mode = "ok"
+
+    def signal(self, now):
+        return {"scale_up": self.mode == "up",
+                "scale_down": self.mode == "down",
+                "shed": self.mode == "shed"}
+
+    def should_shed(self, now):
+        return self.mode == "shed"
+
+
+def _build_pool(slo, cores=3, **kwargs):
+    from repro.hw.machine import Machine
+    from repro.kernel.kernel import BaseKernel
+    from repro.aio.pool import WorkerPool
+    from tests.aio.conftest import echo
+
+    machine = Machine(cores=cores, mem_bytes=256 * 1024 * 1024)
+    kernel = BaseKernel(machine)
+    kwargs.setdefault("max_batch", 64)
+    return WorkerPool(kernel, echo, machine.cores, slo=slo, **kwargs)
+
+
+def test_pool_autoscale_follows_the_slo_signal():
+    slo = _StubSLO()
+    pool = _build_pool(slo)
+    assert pool.active_workers == 3
+    slo.mode = "down"
+    assert pool.autoscale() == 2
+    assert pool.autoscale() == 1
+    assert pool.autoscale() == 1                # clamped at one worker
+    slo.mode = "up"
+    assert pool.autoscale() == 2
+    slo.mode = "ok"
+    assert pool.autoscale() == 2                # steady state holds
+    assert pool.scale_events == 3
+
+
+def test_scaled_down_pool_dispatches_only_to_active_workers():
+    slo = _StubSLO()
+    pool = _build_pool(slo)
+    pool.scale_to(1)
+    futures = [pool.submit(("echo", i), b"abcd") for i in range(4)]
+    replies = pool.wait_all(futures)
+    assert [data for _, data in replies] == [b"dcba"] * 4
+    assert pool.workers[1].batcher.completed == 0
+    assert pool.workers[2].batcher.completed == 0
+
+
+def test_scale_down_migrates_queued_backlog():
+    pool = _build_pool(None)
+    # Queue without flushing so a backlog exists on every worker.
+    futures = [pool.submit(("echo", i), b"abcd") for i in range(6)]
+    assert any(w.batcher.backlog for w in pool.workers[1:])
+    pool.scale_to(1)
+    assert all(w.batcher.backlog == 0 for w in pool.workers[1:])
+    replies = pool.wait_all(futures)
+    assert len(replies) == 6
+
+
+def test_admission_sheds_while_the_budget_burns():
+    from repro.aio.backpressure import AdmissionController
+    from repro.aio.ring import XPCRingFullError
+    from repro.hw.machine import Machine
+
+    core = Machine(cores=1, mem_bytes=1024 * 1024).core0
+    slo = _StubSLO()
+    controller = AdmissionController(limit=8, slo=slo)
+    controller.admit(core)
+    slo.mode = "shed"
+    with pytest.raises(XPCRingFullError):
+        controller.admit(core)
+    assert controller.shed == 1
+    slo.mode = "ok"
+    controller.admit(core)                      # budget recovered
+    assert controller.admitted == 2
+
+
+def test_shed_counter_reports_to_obs():
+    from repro.aio.backpressure import AdmissionController
+    from repro.aio.ring import XPCRingFullError
+    from repro.hw.machine import Machine
+
+    core = Machine(cores=1, mem_bytes=1024 * 1024).core0
+    slo = _StubSLO()
+    slo.mode = "shed"
+    controller = AdmissionController(limit=8, name="pool", slo=slo)
+    session = obs.ObsSession()
+    with obs.active(session):
+        with pytest.raises(XPCRingFullError):
+            controller.admit(core)
+    assert session.registry.counter("aio.slo_shed.pool").value == 1
