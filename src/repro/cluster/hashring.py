@@ -1,0 +1,108 @@
+"""Consistent hashing with virtual nodes — the cluster's shard map.
+
+The ring places ``vnodes`` virtual points per node on a 64-bit circle
+(SHA-1 based, so placement is deterministic and immune to
+``PYTHONHASHSEED``); a key is owned by the first virtual point at or
+after its own hash.  Virtual nodes smooth the per-node load imbalance
+to a few percent, and — the property the fabric leans on — a node
+join/leave moves only the keys between its virtual points and their
+predecessors: ~1/N of the key space instead of a full reshuffle.
+"""
+
+from __future__ import annotations
+
+import bisect
+import hashlib
+from typing import Dict, Iterable, List, Tuple
+
+_SPACE = 1 << 64
+
+
+def stable_hash(data) -> int:
+    """A 64-bit hash that is stable across interpreter runs."""
+    if isinstance(data, str):
+        data = data.encode()
+    elif not isinstance(data, (bytes, bytearray)):
+        data = repr(data).encode()
+    return int.from_bytes(hashlib.sha1(bytes(data)).digest()[:8], "big")
+
+
+class HashRing:
+    """node-id → vnode points on a 2^64 circle; key → owning node."""
+
+    def __init__(self, vnodes: int = 64) -> None:
+        if vnodes < 1:
+            raise ValueError("need at least one virtual node per node")
+        self.vnodes = vnodes
+        #: sorted vnode hash points, parallel to :attr:`_owners`.
+        self._points: List[int] = []
+        self._owners: List[object] = []
+        self._nodes: Dict[object, List[int]] = {}
+
+    # -- membership ----------------------------------------------------
+    def add(self, node_id) -> None:
+        if node_id in self._nodes:
+            raise KeyError(f"node {node_id!r} already on the ring")
+        points = []
+        for v in range(self.vnodes):
+            h = stable_hash(f"{node_id}#{v}")
+            idx = bisect.bisect(self._points, h)
+            self._points.insert(idx, h)
+            self._owners.insert(idx, node_id)
+            points.append(h)
+        self._nodes[node_id] = points
+
+    def remove(self, node_id) -> None:
+        points = self._nodes.pop(node_id, None)
+        if points is None:
+            raise KeyError(f"node {node_id!r} is not on the ring")
+        for h in points:
+            idx = bisect.bisect_left(self._points, h)
+            while self._owners[idx] != node_id:
+                idx += 1        # hash collision between vnodes
+            del self._points[idx]
+            del self._owners[idx]
+
+    def __contains__(self, node_id) -> bool:
+        return node_id in self._nodes
+
+    def __len__(self) -> int:
+        return len(self._nodes)
+
+    def nodes(self) -> List[object]:
+        try:
+            return sorted(self._nodes)
+        except TypeError:           # mixed/unorderable ids
+            return sorted(self._nodes, key=repr)
+
+    # -- lookup --------------------------------------------------------
+    def owner(self, key):
+        """The node owning *key* (first vnode clockwise of its hash)."""
+        if not self._points:
+            raise LookupError("hash ring is empty")
+        idx = bisect.bisect(self._points, stable_hash(key))
+        if idx == len(self._points):
+            idx = 0
+        return self._owners[idx]
+
+    def assignments(self, keys: Iterable) -> Dict[object, object]:
+        return {key: self.owner(key) for key in keys}
+
+    @staticmethod
+    def moved_fraction(before: Dict, after: Dict) -> float:
+        """Fraction of keys whose owner changed between two snapshots
+        of :meth:`assignments` (the rebalance cost of a ring change)."""
+        if not before:
+            return 0.0
+        moved = sum(1 for key, owner in before.items()
+                    if after.get(key) != owner)
+        return moved / len(before)
+
+    def spread(self, samples: int = 4096) -> Tuple[float, float]:
+        """(min, max) per-node share over *samples* probe keys —
+        a balance diagnostic for tests and the capacity report."""
+        counts: Dict[object, int] = {n: 0 for n in self._nodes}
+        for i in range(samples):
+            counts[self.owner(f"probe-{i}")] += 1
+        shares = [c / samples for c in counts.values()]
+        return min(shares), max(shares)

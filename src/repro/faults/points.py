@@ -81,6 +81,19 @@ CATALOGUE = {
         "the worker process dies between two SQEs mid-batch; completed "
         "CQEs survive in the ring, the supervisor restarts the worker "
         "and unfinished submissions are re-dispatched"),
+    # -- cluster fabric ------------------------------------------------
+    "cluster.node_death": (
+        "cluster",
+        "a whole node (machine + kernel + pools) dies at a fabric "
+        "control step; the shard ring rebalances onto survivors and "
+        "in-flight requests surface NodeDownError (action key 'node' "
+        "picks the victim; defaults to the highest live node id)"),
+    "cluster.partition": (
+        "cluster",
+        "the link between the sending and receiving node is severed "
+        "just as a cross-node RPC is sent; the send fails after "
+        "serialization (a connect timeout) and feeds the home node's "
+        "circuit breaker"),
 }
 
 #: Prefix under which tests may fire ad-hoc points without registering.

@@ -151,6 +151,25 @@ class CycleParams:
     ramdisk_per_block: int = 350    # ramdisk block "DMA" per 512 B block
     nic_loopback_fixed: int = 600   # loopback device turnaround
 
+    # ------------------------------------------------------------------
+    # Cluster fabric (repro.cluster): cross-node RPC over a simulated
+    # datacenter link.  A remote call serializes on the sending core
+    # (copy_cycles of the payload + a fixed header marshal), transits
+    # the wire (latency + payload bytes at link bandwidth — elapsed
+    # time that delays arrival but occupies no core), and pays the NIC
+    # turnaround on both ends (nic_loopback_fixed, reused).  At the
+    # paper's 100 MHz clock the defaults model a ~40 us one-way
+    # datacenter hop and a ~10 Gb/s link (0.8 cycles/byte at 1 B/ns).
+    # ------------------------------------------------------------------
+    cluster_link_latency: int = 4000     # one-way propagation + switch
+    cluster_link_per_byte: float = 0.8   # wire time at link bandwidth
+    cluster_rpc_header: int = 150        # fixed RPC header (de)marshal
+
+    def rpc_wire_cycles(self, nbytes: int) -> int:
+        """Elapsed wire time for one cross-node message of *nbytes*."""
+        return self.cluster_link_latency + int(
+            nbytes * self.cluster_link_per_byte)
+
     def copy_cycles(self, nbytes: int) -> int:
         """Cycles for a kernel/user memcpy of *nbytes* through the cache.
 

@@ -100,6 +100,9 @@ class ServiceSupervisor:
         #: Listeners called as ``fn(name, service)`` after a successful
         #: restart — nameserver republish glue hangs off this.
         self.on_restart: List[Callable] = []
+        #: Listeners called as ``fn(name, service)`` after a retire —
+        #: nameserver unpublish glue hangs off this.
+        self.on_retire: List[Callable] = []
         kernel.death_hooks.append(self._process_died)
 
     # -- registration --------------------------------------------------
@@ -131,6 +134,28 @@ class ServiceSupervisor:
                     self.core, process, grantee, sup.service.entry_id)
         sup.events.append(f"started gen={sup.generation} "
                           f"entry={sup.service.entry_id}")
+
+    def retire(self, name: str) -> None:
+        """Take *name* out of supervision for good — planned teardown.
+
+        The service is deregistered *before* its process is killed, so
+        the death hook sees an unknown process and no restart fires
+        (the inverse ordering would resurrect what we just retired).
+        ``on_retire`` listeners run last, with the final incarnation —
+        the hook point for directory cleanup
+        (:class:`~repro.services.nameserver.UnpublishOnRetire`).
+        """
+        sup = self._services.pop(name)
+        service = sup.service
+        if sup.process is not None and sup.process.alive:
+            self.kernel.kill_process(sup.process, core=self.core)
+        sup.failed = True
+        sup.events.append(f"retired at gen={sup.generation}")
+        if obs.ACTIVE is not None:
+            obs.ACTIVE.registry.counter(
+                f"supervisor.retired.{name}").inc(cycle=self.core.cycles)
+        for listener in self.on_retire:
+            listener(name, service)
 
     # -- death handling ------------------------------------------------
 

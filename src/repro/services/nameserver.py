@@ -124,6 +124,24 @@ class NameServer:
         self._names[name] = sid
         self._breakers[name] = self._make_breaker()
 
+    def unpublish(self, name: str) -> int:
+        """Withdraw *name* from the directory (service teardown).
+
+        Returns the sid the name was bound to; subsequent resolves get
+        a plain ``KeyError`` (name unknown) rather than a breaker-open
+        degradation — the service is gone on purpose, not unhealthy.
+        The breaker is dropped with the binding so a later re-publish
+        of the same name starts from a clean CLOSED circuit.
+        """
+        if name not in self._names:
+            raise KeyError(f"no service published as {name!r}")
+        sid = self._names.pop(name)
+        self._breakers.pop(name, None)
+        if obs.ACTIVE is not None:
+            obs.ACTIVE.registry.counter(
+                f"nameserver.unpublished.{name}").inc(cycle=self._clock())
+        return sid
+
     def resolve(self, name: str, requester_thread=None) -> int:
         """Look a service up; grant the xcall-cap when asked for.
 
@@ -176,3 +194,22 @@ class NameServer:
 
     def names(self):
         return sorted(self._names)
+
+
+class UnpublishOnRetire:
+    """``ServiceSupervisor.on_retire`` listener withdrawing the retired
+    service's name — the teardown mirror of the republish-on-restart
+    glue.  Tolerates a name that was never published (or already
+    unpublished by an explicit teardown path): retire must be
+    idempotent from the directory's point of view.
+    """
+
+    def __init__(self, nameserver: "NameServer",
+                 name: Optional[str] = None) -> None:
+        self.nameserver = nameserver
+        self.name = name
+
+    def __call__(self, service_name: str, service) -> None:
+        name = self.name or service_name
+        if name in self.nameserver._names:
+            self.nameserver.unpublish(name)

@@ -47,7 +47,8 @@ from repro.verify.flow import (
 from repro.verify.sarif import to_sarif, write_sarif
 from repro.verify.stale import check_stale_pragmas, known_rule_names
 from repro.verify.invariants import InvariantViolation
-from repro.verify.live import (check_quiescent, check_recovery_invariants,
+from repro.verify.live import (check_cluster_invariants, check_quiescent,
+                               check_recovery_invariants,
                                check_ring_invariants)
 from repro.verify.model import (
     CounterExample, ModelChecker, ModelConfig, ExploreResult,
@@ -61,6 +62,7 @@ __all__ = [
     "run_flow", "to_sarif", "write_sarif", "check_stale_pragmas",
     "known_rule_names",
     "InvariantViolation", "CounterExample", "ModelChecker", "ModelConfig",
-    "ExploreResult", "check_quiescent", "check_recovery_invariants",
+    "ExploreResult", "check_cluster_invariants", "check_quiescent",
+    "check_recovery_invariants",
     "check_ring_invariants",
 ]

@@ -163,6 +163,86 @@ def check_ring_invariants(ring, kernel=None) -> List[InvariantViolation]:
     return violations
 
 
+def check_cluster_invariants(cluster) -> List[InvariantViolation]:
+    """Fabric-level predicates over a live multi-node cluster.
+
+    *cluster* is duck-typed (anything with the
+    :class:`repro.cluster.fabric.Cluster` read surface) so this layer
+    does not import :mod:`repro.cluster`.  All reads are uncharged.
+
+    * ring-membership: the shard ring contains exactly the live nodes —
+      a dead node still owning shards would black-hole its keys, a live
+      node missing from the ring serves nothing;
+    * resolvable-names: every published name resolves on each live node
+      claimed to serve it (directory and node-local nameserver agree);
+    * clock-sanity: every node's clock is non-negative, and no node ran
+      past the cluster wall clock (``wall = max(node.now)``);
+    * worker-bounds: each pool's active worker count stays within
+      ``[1, provisioned]`` — autoscaling must never park a pool at zero
+      or invent cores;
+    * partition-symmetry: severed links are unordered pairs of known
+      nodes (no half-open cuts to nodes the fabric never met).
+    """
+    violations: List[InvariantViolation] = []
+    naming = cluster.naming
+    live_ids = {node.node_id for node in cluster.nodes.values()
+                if node.alive}
+    ring_ids = set(naming.ring.nodes())
+
+    for node_id in ring_ids - live_ids:
+        violations.append(InvariantViolation(
+            "cluster-ring-membership",
+            f"node {node_id} owns shards on the ring but is not a "
+            f"live node"))
+    for node_id in live_ids - ring_ids:
+        violations.append(InvariantViolation(
+            "cluster-ring-membership",
+            f"live node {node_id} is missing from the shard ring"))
+
+    for name in naming.names():
+        for node_id in sorted(naming._names.get(name, ())):
+            node = naming.nodes.get(node_id)
+            if node is None or not node.alive:
+                violations.append(InvariantViolation(
+                    "cluster-resolvable-names",
+                    f"{name!r} claims dead/unknown node {node_id} as "
+                    f"a server"))
+                continue
+            if not node.serves(name):
+                violations.append(InvariantViolation(
+                    "cluster-resolvable-names",
+                    f"{name!r} lists {node.name} but its local "
+                    f"nameserver has no such binding"))
+
+    wall = cluster.wall_cycles
+    for node in cluster.nodes.values():
+        if node.now < 0:
+            violations.append(InvariantViolation(
+                "cluster-clock-sanity",
+                f"{node.name} clock is negative ({node.now})"))
+        if node.alive and node.now > wall:
+            violations.append(InvariantViolation(
+                "cluster-clock-sanity",
+                f"{node.name} at cycle {node.now} is past the cluster "
+                f"wall clock {wall}"))
+        for pool in getattr(node, "live_pools", node.pools):
+            if not 1 <= pool.active_workers <= len(pool.workers):
+                violations.append(InvariantViolation(
+                    "cluster-worker-bounds",
+                    f"{pool.name}: active_workers "
+                    f"{pool.active_workers} outside "
+                    f"[1, {len(pool.workers)}]"))
+
+    known_ids = set(cluster.nodes)
+    for pair in cluster.link.partitions:
+        if len(set(pair)) != 2 or not set(pair) <= known_ids:
+            violations.append(InvariantViolation(
+                "cluster-partition-symmetry",
+                f"partition {pair} does not join two known nodes"))
+
+    return violations
+
+
 def check_quiescent(kernel, thread) -> List[InvariantViolation]:
     """Between top-level calls *thread* must be fully unwound (LIFO
     restore observed end-to-end)."""

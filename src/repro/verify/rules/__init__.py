@@ -5,6 +5,7 @@ CLI, pytest, and CI all run.
 """
 
 from repro.verify.rules.layering import LayeringRule
+from repro.verify.rules.cluster import ClusterDisciplineRule
 from repro.verify.rules.cycles import CycleAccountingRule
 from repro.verify.rules.errors import ErrorDisciplineRule
 from repro.verify.rules.obs import ObsDisciplineRule
@@ -18,15 +19,18 @@ def default_rules():
     """One fresh instance of every rule in the suite."""
     return [LayeringRule(), CycleAccountingRule(), ErrorDisciplineRule(),
             StateMutationRule(), ObsDisciplineRule(), AioDisciplineRule(),
-            ProptestDisciplineRule(), SnapDisciplineRule()]
+            ClusterDisciplineRule(), ProptestDisciplineRule(),
+            SnapDisciplineRule()]
 
 
 #: The rule classes, for introspection / selective runs.
 DEFAULT_RULES = (LayeringRule, CycleAccountingRule, ErrorDisciplineRule,
                  StateMutationRule, ObsDisciplineRule, AioDisciplineRule,
-                 ProptestDisciplineRule, SnapDisciplineRule)
+                 ClusterDisciplineRule, ProptestDisciplineRule,
+                 SnapDisciplineRule)
 
-__all__ = ["AioDisciplineRule", "LayeringRule", "CycleAccountingRule",
-           "ErrorDisciplineRule", "ObsDisciplineRule",
-           "ProptestDisciplineRule", "SnapDisciplineRule",
-           "StateMutationRule", "default_rules", "DEFAULT_RULES"]
+__all__ = ["AioDisciplineRule", "ClusterDisciplineRule", "LayeringRule",
+           "CycleAccountingRule", "ErrorDisciplineRule",
+           "ObsDisciplineRule", "ProptestDisciplineRule",
+           "SnapDisciplineRule", "StateMutationRule", "default_rules",
+           "DEFAULT_RULES"]

@@ -98,6 +98,13 @@ ALLOWED_IMPORTS = {
     "prof": {"snap", "proptest", "verify", "compare", "aio", "ipc",
              "sel4", "zircon", "services", "runtime", "kernel", "xpc",
              "hw", "params", "faults", "obs", "san", "analysis"},
+    # The multi-node serving fabric sits at the very top: a Node wraps a
+    # whole machine + kernel + pools, the fabric consumes the SLO engine
+    # for autoscaling, and the shard services reuse the real apps.
+    # Nothing below imports repro.cluster.
+    "cluster": {"prof", "aio", "ipc", "sel4", "services", "apps",
+                "runtime", "kernel", "xpc", "hw", "params", "faults",
+                "obs", "san", "analysis"},
 }
 
 #: Modules of repro.hw that form its public, architectural surface.

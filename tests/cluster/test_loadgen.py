@@ -1,0 +1,124 @@
+"""The synthetic population: Zipf skew, open-loop pacing, determinism."""
+
+import pytest
+
+from repro.cluster.loadgen import (FLAT, DiurnalSchedule, LoadGenerator,
+                                   OpenLoopArrivals, ZipfSampler)
+
+
+class TestZipfSampler:
+    def test_rank_frequency_is_monotone(self):
+        """Lower ranks must be sampled at least as often as higher ones
+        (checked on the exact CDF, not a noisy empirical draw)."""
+        z = ZipfSampler(256, theta=0.99)
+        probs = [z.probability(r) for r in range(256)]
+        assert all(a >= b - 1e-12 for a, b in zip(probs, probs[1:]))
+        assert abs(sum(probs) - 1.0) < 1e-9
+
+    def test_empirical_hot_key_share_matches_cdf(self):
+        z = ZipfSampler(64, theta=0.99, seed=5)
+        n = 20_000
+        hits = sum(1 for _ in range(n) if z.sample() == 0)
+        assert abs(hits / n - z.probability(0)) < 0.02
+
+    def test_theta_zero_is_uniform(self):
+        z = ZipfSampler(10, theta=0.0)
+        for r in range(10):
+            assert z.probability(r) == pytest.approx(0.1)
+
+    def test_higher_theta_is_more_skewed(self):
+        mild = ZipfSampler(128, theta=0.5)
+        hot = ZipfSampler(128, theta=1.2)
+        assert hot.probability(0) > mild.probability(0)
+
+    def test_bad_args(self):
+        with pytest.raises(ValueError):
+            ZipfSampler(0)
+        with pytest.raises(ValueError):
+            ZipfSampler(4, theta=-1)
+
+
+class TestOpenLoopArrivals:
+    def test_mean_gap_matches_closed_form(self):
+        arr = OpenLoopArrivals(400.0, seed=3)
+        n = 30_000
+        total = sum(arr.next_gap() for _ in range(n))
+        assert total / n == pytest.approx(400.0, rel=0.05)
+
+    def test_multiplier_scales_the_rate(self):
+        arr = OpenLoopArrivals(400.0, seed=3)
+        n = 30_000
+        total = sum(arr.next_gap(4.0) for _ in range(n))
+        assert total / n == pytest.approx(100.0, rel=0.05)
+
+    def test_bad_interval(self):
+        with pytest.raises(ValueError):
+            OpenLoopArrivals(0)
+
+
+class TestDiurnalSchedule:
+    def test_phases_and_wrap(self):
+        sched = DiurnalSchedule([(100, 1.0), (50, 3.0)])
+        assert sched.multiplier_at(0) == 1.0
+        assert sched.multiplier_at(99) == 1.0
+        assert sched.multiplier_at(100) == 3.0
+        assert sched.multiplier_at(149) == 3.0
+        assert sched.multiplier_at(150) == 1.0      # wrapped
+        assert sched.multiplier_at(150 + 120) == 3.0
+
+    def test_flat_is_identity(self):
+        assert FLAT.multiplier_at(0) == 1.0
+        assert FLAT.multiplier_at(10**9) == 1.0
+
+    def test_bad_phases(self):
+        with pytest.raises(ValueError):
+            DiurnalSchedule([])
+        with pytest.raises(ValueError):
+            DiurnalSchedule([(0, 1.0)])
+        with pytest.raises(ValueError):
+            DiurnalSchedule([(10, 0.0)])
+
+
+class TestLoadGenerator:
+    def test_seed_round_trip_is_byte_identical(self):
+        a = LoadGenerator(clients=100_000, keys=512, seed=9)
+        b = LoadGenerator(clients=100_000, keys=512, seed=9)
+        assert list(a.requests(500)) == list(b.requests(500))
+
+    def test_different_seeds_diverge(self):
+        a = list(LoadGenerator(seed=1).requests(50))
+        b = list(LoadGenerator(seed=2).requests(50))
+        assert a != b
+
+    def test_arrivals_are_monotone_and_paced(self):
+        gen = LoadGenerator(mean_interval=300.0, seed=4)
+        reqs = list(gen.requests(5_000, start_cycle=1_000))
+        arrivals = [r.arrival for r in reqs]
+        assert arrivals == sorted(arrivals)
+        assert arrivals[0] >= 1_000
+        span = arrivals[-1] - 1_000
+        assert span / len(reqs) == pytest.approx(300.0, rel=0.1)
+
+    def test_population_and_mix(self):
+        gen = LoadGenerator(clients=100_000, keys=64,
+                            mix={"read": 0.9, "update": 0.1}, seed=6)
+        reqs = list(gen.requests(4_000))
+        assert all(0 <= r.client_id < 100_000 for r in reqs)
+        assert all(r.key.startswith("k") for r in reqs)
+        updates = sum(1 for r in reqs if r.op == "update")
+        assert updates / len(reqs) == pytest.approx(0.1, abs=0.03)
+        # Hottest key dominates under the default 0.99 skew.
+        hot = sum(1 for r in reqs if r.key == "k000000")
+        assert hot > len(reqs) * 0.05
+
+    def test_diurnal_burst_compresses_gaps(self):
+        burst = DiurnalSchedule([(200_000, 1.0), (200_000, 5.0)])
+        gen = LoadGenerator(mean_interval=400.0, schedule=burst, seed=8)
+        reqs = list(gen.requests(3_000))
+        calm = [r for r in reqs if r.arrival % 400_000 < 200_000]
+        hot = [r for r in reqs if r.arrival % 400_000 >= 200_000]
+        assert len(hot) > len(calm)     # 5x rate in the hot phase
+
+    def test_describe_is_serializable(self):
+        desc = LoadGenerator(seed=3).describe()
+        assert desc["seed"] == 3 and desc["clients"] == 100_000

@@ -1,0 +1,250 @@
+"""The RPC cost model and the Cluster event loop end-to-end."""
+
+import pytest
+
+import repro.faults as faults
+from repro.cluster import (Cluster, KVShard, hot_shard, node_rollup,
+                           rollup)
+from repro.verify import check_cluster_invariants
+from repro.cluster.loadgen import LoadGenerator
+from repro.cluster.node import Node, NodeDownError
+from repro.cluster.rpc import ClusterPartitionedError, RpcLink, remote_submit
+from repro.params import DEFAULT_PARAMS
+
+
+def make_node(nid, serve="kv"):
+    node = Node(nid, cores=2, mem_bytes=32 * 1024 * 1024)
+    if serve:
+        node.serve(serve, KVShard(node))
+    return node
+
+
+def kv_cluster(**kw):
+    cluster = Cluster(**kw)
+    cluster.serve("kv", KVShard)
+    return cluster
+
+
+class TestRpcLink:
+    def test_send_charges_sender_and_delays_arrival(self):
+        link = RpcLink(DEFAULT_PARAMS)
+        src, dst = make_node(0), make_node(1)
+        nbytes = 256
+        before = src.frontend_core.cycles
+        stamp = link.send(src, dst, nbytes)
+        serialize = (DEFAULT_PARAMS.copy_cycles(nbytes)
+                     + DEFAULT_PARAMS.cluster_rpc_header
+                     + DEFAULT_PARAMS.nic_loopback_fixed)
+        # The sender's core was busy for the whole serialize phase...
+        assert src.frontend_core.cycles == before + serialize
+        # ...and the arrival stamp adds wire time on top of it.
+        assert stamp == (src.frontend_core.cycles
+                         + DEFAULT_PARAMS.rpc_wire_cycles(nbytes))
+        assert link.messages == 1 and link.bytes == nbytes
+
+    def test_bigger_payload_costs_more_wire_time(self):
+        wire = DEFAULT_PARAMS.rpc_wire_cycles
+        assert wire(4096) > wire(64) > 0
+
+    def test_partition_fails_after_serialization(self):
+        link = RpcLink(DEFAULT_PARAMS)
+        src, dst = make_node(0), make_node(1)
+        link.partition(0, 1)
+        before = src.frontend_core.cycles
+        with pytest.raises(ClusterPartitionedError):
+            link.send(src, dst, 64)
+        assert src.frontend_core.cycles > before   # serialize was spent
+        assert link.messages == 0                  # nothing crossed
+        link.heal(0, 1)
+        link.send(src, dst, 64)
+        assert link.messages == 1
+
+    def test_dead_receiver_raises_node_down(self):
+        link = RpcLink(DEFAULT_PARAMS)
+        src, dst = make_node(0), make_node(1)
+        dst.kill()
+        with pytest.raises(NodeDownError):
+            link.send(src, dst, 64)
+
+
+class TestRemoteSubmit:
+    def test_causality_and_counters(self):
+        link = RpcLink(DEFAULT_PARAMS)
+        src, dst = make_node(0), make_node(1)
+        sent_at = src.frontend_core.cycles
+        future = remote_submit(link, src, dst, "kv",
+                               ("read", 0), b"k1", 16)
+        # The request cannot arrive before the wire delay has elapsed
+        # on the receiver's timeline.
+        assert future.arrival_cycle > sent_at
+        assert future.arrival_cycle >= (
+            src.frontend_core.cycles
+            + DEFAULT_PARAMS.rpc_wire_cycles(2))
+        assert src.rpc_out == 1 and dst.rpc_in == 1
+        for pool in dst.live_pools:
+            pool.drain()
+        meta, reply = future.result()
+        assert meta[0] == "miss"
+
+    def test_open_loop_arrival_dominates_slow_wire(self):
+        link = RpcLink(DEFAULT_PARAMS)
+        src, dst = make_node(0), make_node(1)
+        far_future = 10_000_000
+        future = remote_submit(link, src, dst, "kv", ("read", 0), b"k1",
+                               16, arrival_cycle=far_future)
+        assert future.arrival_cycle >= far_future
+
+
+class TestClusterRun:
+    def test_two_nodes_split_local_and_remote(self):
+        cluster = kv_cluster(nodes=2)
+        load = LoadGenerator(clients=100_000, keys=512,
+                             mean_interval=300.0, theta=0.6, seed=11)
+        stats = cluster.run("kv", load, 400)
+        assert stats.completed == 400 and stats.failed == 0
+        # Client affinity is independent of key homing, so with two
+        # nodes a healthy fraction of requests crosses the wire.
+        assert stats.remote > 0 and stats.local > 0
+        assert stats.remote + stats.local == stats.completed
+        assert cluster.link.messages == stats.remote
+        assert stats.req_per_kcycle > 0
+        assert stats.percentile(99) >= stats.percentile(50) > 0
+
+    def test_single_node_serves_everything_locally(self):
+        cluster = kv_cluster(nodes=1)
+        load = LoadGenerator(clients=1000, keys=128, seed=3)
+        stats = cluster.run("kv", load, 100)
+        assert stats.completed == 100
+        assert stats.remote == 0 and cluster.link.messages == 0
+
+    def test_seed_determinism_trace_and_cycles(self):
+        runs = []
+        for _ in range(2):
+            cluster = kv_cluster(nodes=3)
+            load = LoadGenerator(clients=100_000, keys=512,
+                                 mean_interval=250.0, seed=42)
+            stats = cluster.run("kv", load, 300)
+            runs.append((stats.completed, stats.wall_cycles,
+                         cluster.wall_cycles, cluster.trace_hash()))
+        assert runs[0] == runs[1]
+
+    def test_different_seed_diverges(self):
+        hashes = []
+        for seed in (1, 2):
+            cluster = kv_cluster(nodes=2)
+            load = LoadGenerator(clients=1000, keys=256, seed=seed)
+            cluster.run("kv", load, 200)
+            hashes.append(cluster.trace_hash())
+        assert hashes[0] != hashes[1]
+
+    def test_invariants_clean_after_run(self):
+        cluster = kv_cluster(nodes=3)
+        load = LoadGenerator(clients=5000, keys=256, seed=9)
+        cluster.run("kv", load, 200)
+        assert check_cluster_invariants(cluster) == []
+
+
+class TestMembershipChurn:
+    def test_add_node_scales_out_installed_services(self):
+        cluster = kv_cluster(nodes=2)
+        load = LoadGenerator(clients=5000, keys=512, seed=5)
+        cluster.run("kv", load, 100)
+        node = cluster.add_node()
+        assert node.serves("kv")        # elastic install on join
+        assert len(cluster.live_nodes()) == 3
+        stats = cluster.run("kv", LoadGenerator(clients=5000, keys=512,
+                                                seed=6), 300)
+        assert stats.completed == 300
+        served = node_rollup(cluster, node)["requests"]
+        assert served and served > 0    # the ring re-homed shards to it
+        assert check_cluster_invariants(cluster) == []
+
+    def test_kill_node_rehomes_onto_survivors(self):
+        cluster = kv_cluster(nodes=3)
+        cluster.run("kv", LoadGenerator(clients=5000, keys=512, seed=7),
+                    150)
+        cluster.kill_node(1)
+        assert len(cluster.live_nodes()) == 2
+        stats = cluster.run("kv", LoadGenerator(clients=5000, keys=512,
+                                                seed=8), 300)
+        assert stats.completed == 300 and stats.failed == 0
+        assert check_cluster_invariants(cluster) == []
+
+    def test_fault_plan_kills_node_mid_run(self):
+        plan = faults.FaultPlan(seed=17).arm("cluster.node_death",
+                                             nth=3, node=1)
+        cluster = kv_cluster(nodes=2)
+        load = LoadGenerator(clients=100_000, keys=512, seed=13)
+        with faults.active(plan):
+            stats = cluster.run("kv", load, 400, control_every=32)
+        assert cluster.node_deaths == 1
+        assert not cluster.nodes[1].alive
+        # Requests in flight on the victim are lost; the survivors
+        # absorb the rest after the rebalance.
+        assert stats.failed > 0
+        assert stats.completed > stats.failed
+        assert check_cluster_invariants(cluster) == []
+
+    def test_partition_trips_breaker_then_heals(self):
+        cluster = kv_cluster(nodes=2, breaker_cooldown=20_000)
+        cluster.partition(0, 1)
+        load = LoadGenerator(clients=100_000, keys=512,
+                             mean_interval=300.0, seed=21)
+        stats = cluster.run("kv", load, 100)
+        # Cross-node sends fail; after threshold failures the breaker
+        # rejects at the directory without burning serialization.
+        assert stats.failed > 0
+        failures = cluster.registry.get("cluster.failed.partition")
+        breaker = cluster.registry.get("cluster.failed.breaker_open")
+        assert failures is not None and failures.value >= \
+            cluster.breaker_threshold
+        assert breaker is not None and breaker.value > 0
+        cluster.heal(0, 1)
+        healed = cluster.run("kv", LoadGenerator(clients=100_000,
+                                                 keys=512,
+                                                 mean_interval=300.0,
+                                                 seed=22), 200)
+        # Cooldowns burn on the open-loop timeline, so the breakers
+        # close again and the healed fabric serves everything.
+        assert healed.completed == 200 and healed.failed == 0
+        assert check_cluster_invariants(cluster) == []
+
+
+class TestControlPlane:
+    def test_control_step_harvests_completions(self):
+        cluster = kv_cluster(nodes=2)
+        load = LoadGenerator(clients=1000, keys=128, seed=4)
+        for req in load.requests(32):
+            assert cluster.dispatch("kv", req)
+        assert len(cluster._inflight) == 32
+        harvested = cluster.control_step()
+        assert harvested == 32
+        assert cluster._inflight == []
+
+    def test_autoscale_reacts_to_hot_shard(self):
+        cluster = kv_cluster_autoscaled()
+        load = LoadGenerator(clients=100_000, keys=512,
+                             mean_interval=60.0, theta=1.2, seed=31)
+        stats = cluster.run("kv", load, 1200, control_every=32)
+        assert stats.completed > 0
+        events = sum(p.scale_events for node in cluster.live_nodes()
+                     for p in node.live_pools)
+        assert events > 0               # the SLO engine moved workers
+        assert hot_shard(cluster) is not None
+        report = rollup(cluster)
+        assert report["live_nodes"] == 2
+        assert report["p99_cycles"] >= report["p50_cycles"]
+        assert check_cluster_invariants(cluster) == []
+
+    def test_service_registration_guards(self):
+        cluster = kv_cluster(nodes=1)
+        with pytest.raises(KeyError):
+            cluster.serve("kv", KVShard)            # duplicate
+        with pytest.raises(ValueError):
+            cluster.serve("kv2", KVShard, autoscale=True)   # no SLO
+
+
+def kv_cluster_autoscaled():
+    cluster = Cluster(nodes=2, cores_per_node=5, slo_window_cycles=20_000)
+    cluster.serve("kv", KVShard, autoscale=True, slo_p99=40_000)
+    return cluster

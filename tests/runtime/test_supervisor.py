@@ -195,3 +195,45 @@ class TestCrashRecoveryEndToEnd:
                                  kernel=kernel),
                 core, retries=2, backoff_base=100)
         assert result == 5
+
+
+class TestRetire:
+    def test_retire_kills_without_resurrection(self):
+        machine, kernel, core, ct = build()
+        sup = ServiceSupervisor(kernel, core)
+        sup.supervise("echo", echo_factory(), grants=[lambda: ct])
+        process = sup.thread("echo").process
+        sup.retire("echo")
+        # The process is dead and the death hook did NOT restart it:
+        # retire deregisters before killing, so the hook sees an
+        # unknown process (the inverse order would resurrect it).
+        assert not process.alive
+        with pytest.raises(SupervisorError):
+            sup.entry_id("echo")
+        with pytest.raises(SupervisorError):
+            sup.status("echo")
+
+    def test_on_retire_listener_gets_final_incarnation(self):
+        machine, kernel, core, ct = build()
+        sup = ServiceSupervisor(kernel, core)
+        sup.supervise("echo", echo_factory(), grants=[lambda: ct])
+        final = sup.status("echo").service
+        seen = []
+        sup.on_retire.append(lambda name, svc: seen.append((name, svc)))
+        sup.retire("echo")
+        assert seen == [("echo", final)]
+
+    def test_retire_unknown_name_raises(self):
+        machine, kernel, core, ct = build()
+        sup = ServiceSupervisor(kernel, core)
+        with pytest.raises(KeyError):
+            sup.retire("ghost")
+
+    def test_retired_name_can_be_supervised_again(self):
+        machine, kernel, core, ct = build()
+        sup = ServiceSupervisor(kernel, core)
+        sup.supervise("echo", echo_factory(), grants=[lambda: ct])
+        sup.retire("echo")
+        sup.supervise("echo", echo_factory(), grants=[lambda: ct])
+        assert xpc_call(core, sup.entry_id("echo"), 4, 5,
+                        kernel=kernel) == 9

@@ -4,6 +4,7 @@ import pytest
 
 from repro.services.nameserver import (
     BreakerState, CircuitBreaker, NameServer, ServiceUnavailableError,
+    UnpublishOnRetire,
 )
 from tests.conftest import TRANSPORT_SPECS, build_transport
 
@@ -67,6 +68,40 @@ class TestCircuitBreaker:
         assert cb.trips == 2
         clock.now = 1_999
         assert not cb.allow()                  # fresh cooldown from probe
+        clock.now = 2_000
+        assert cb.allow()                      # ...measured from the probe
+        assert cb.state is BreakerState.HALF_OPEN
+
+    def test_half_open_transition_at_exactly_cooldown(self):
+        """The OPEN -> HALF_OPEN edge is >= cooldown, not > cooldown."""
+        clock = FakeClock()
+        cb = CircuitBreaker(threshold=1, cooldown=1_000, clock=clock)
+        clock.now = 137                        # trip mid-stream
+        cb.record_failure()
+        clock.now = 137 + 999
+        assert not cb.allow()
+        assert cb.state is BreakerState.OPEN
+        clock.now = 137 + 1_000                # exactly opened_at+cooldown
+        assert cb.allow()
+        assert cb.state is BreakerState.HALF_OPEN
+
+    def test_half_open_failure_reopens_with_fresh_cooldown(self):
+        """A failed probe restarts the clock from the probe's cycle,
+        not from the original trip."""
+        clock = FakeClock()
+        cb = CircuitBreaker(threshold=1, cooldown=1_000, clock=clock)
+        cb.record_failure()                    # opened_at = 0
+        clock.now = 1_500
+        assert cb.allow()                      # late probe
+        cb.record_failure()                    # reopened_at = 1_500
+        assert cb.state is BreakerState.OPEN
+        clock.now = 2_000                      # 1_000 past *original* trip
+        assert not cb.allow()                  # old timeline is dead
+        clock.now = 2_499
+        assert not cb.allow()
+        clock.now = 2_500
+        assert cb.allow()
+        assert cb.state is BreakerState.HALF_OPEN
 
     def test_bad_threshold_rejected(self):
         with pytest.raises(ValueError):
@@ -135,3 +170,42 @@ class TestNameServerBreaker:
         ns.report_failure("ghost")
         ns.report_success("ghost")
         assert ns.breaker("ghost") is None
+
+
+class TestUnpublish:
+    def test_unpublish_returns_sid_and_forgets_the_name(self, ns_world):
+        machine, kernel, transport, ct, ns = ns_world
+        ns.publish("fs", 7)
+        assert ns.unpublish("fs") == 7
+        with pytest.raises(KeyError):
+            ns.resolve("fs")        # unknown, not breaker-degraded
+        assert ns.breaker("fs") is None
+
+    def test_unpublish_unknown_name_raises(self, ns_world):
+        machine, kernel, transport, ct, ns = ns_world
+        with pytest.raises(KeyError):
+            ns.unpublish("ghost")
+
+    def test_republish_after_unpublish_gets_a_fresh_breaker(self,
+                                                           ns_world):
+        machine, kernel, transport, ct, ns = ns_world
+        ns.publish("fs", 7)
+        ns.report_failure("fs")
+        ns.report_failure("fs")    # tripped at threshold=2
+        ns.unpublish("fs")
+        ns.publish("fs", 9)        # a new deployment of the name
+        assert ns.resolve("fs") == 9
+        assert ns.breaker("fs").state is BreakerState.CLOSED
+        assert ns.breaker("fs").failures == 0
+
+    def test_unpublish_on_retire_listener(self, ns_world):
+        machine, kernel, transport, ct, ns = ns_world
+        ns.publish("fs", 7)
+        hook = UnpublishOnRetire(ns)
+        hook("fs", object())       # the supervisor's retire callback
+        assert "fs" not in ns.names()
+        hook("fs", object())       # idempotent: already withdrawn
+        renamed = UnpublishOnRetire(ns, name="fs")
+        ns.publish("fs", 8)
+        renamed("fs-w0", object())  # worker name != published name
+        assert "fs" not in ns.names()

@@ -1,10 +1,11 @@
 """Restore-under-chaos: every catalogued fault point round-trips.
 
-For each of the 14 points in :data:`repro.faults.points.CATALOGUE` we
-build a world where the point actually fires (fig5 xcall traffic for
-the hw/xpc/kernel points, the fig7 service chains for the device
-points, a ring-drain worker pool for the aio points), arm it
-deterministically (``nth=1``), and assert the full snapshot story:
+For every point in :data:`repro.faults.points.CATALOGUE` we build a
+world where the point actually fires (fig5 xcall traffic for the
+hw/xpc/kernel points, the fig7 service chains for the device points, a
+ring-drain worker pool for the aio points, a two-node sharded KV
+fabric for the cluster points), arm it deterministically (``nth=1``),
+and assert the full snapshot story:
 
 * the injection fired (the plan's trace is non-empty) and
   :class:`~repro.snap.PreFaultSnapper` captured the world on the brink
@@ -22,6 +23,7 @@ contract is determinism across snapshot boundaries.
 import pytest
 
 from repro.aio import XPCRingFullError
+from repro.cluster import Cluster, KVShard, LoadGenerator
 from repro.faults import FaultPlan
 from repro.faults.points import CATALOGUE
 from repro.hw.machine import Machine
@@ -149,6 +151,36 @@ def _fig7_guarded():
     return world, [Guarded(op) for op in ops]
 
 
+# -- the cluster world: a 2-node sharded KV fabric under load ---------
+
+class ClusterBatch:
+    """Drive one seeded request batch through the sharded KV fabric.
+    An injected node death or link partition surfaces as failed
+    requests in the run stats, so the outcome folds recovery in."""
+
+    def __init__(self, seed: int) -> None:
+        self.seed = seed
+
+    def __call__(self, world):
+        load = LoadGenerator(clients=500, keys=64, mean_interval=400.0,
+                             seed=self.seed)
+        stats = world.cluster.run("kv", load, 24, control_every=8)
+        return ("batch", self.seed, stats.completed, stats.failed,
+                stats.remote, stats.local, world.cluster.trace_hash())
+
+
+def _cluster_world():
+    cluster = Cluster(nodes=2, cores_per_node=2,
+                      mem_bytes=16 * 1024 * 1024)
+    cluster.serve("kv", KVShard)
+    # Node 0 carries the world clock, so armed deaths take node 1 (the
+    # catalogued action kwarg pins the victim deterministically).
+    world = SimWorld(cluster=cluster,
+                     core=cluster.nodes[0].frontend_core)
+    ops = [ClusterBatch(seed) for seed in range(6)]
+    return world, ops
+
+
 #: point -> (world builder, extra action kwargs for arm()).
 POINTS = {
     "hw.tlb.stale_entry": (_tlb_world, {}),
@@ -165,6 +197,8 @@ POINTS = {
     "aio.ring_full": (_aio_world, {}),
     "aio.stale_head": (_aio_world, {}),
     "aio.worker_death": (_aio_world, {}),
+    "cluster.node_death": (_cluster_world, {"node": 1}),
+    "cluster.partition": (_cluster_world, {}),
 }
 
 
