@@ -1,0 +1,98 @@
+"""Vectorized batch stepping for open-loop sweeps.
+
+Two primitives, each with a numpy fast path and a bit-identical pure
+Python fallback (the package never *requires* numpy):
+
+* :func:`call_sweep_cycles` — per-message engine cycles for a vector
+  of payload sizes on the synchronous fast path.  Sound to vectorize
+  unconditionally: each call's cycle cost is a pure function of its
+  size and the table, with no cross-call state.
+
+* :func:`open_loop_completions` — completion times for an open-loop
+  arrival process.  The *single-worker* case is a classic prefix
+  recurrence (``finish[i] = max(arrive[i], finish[i-1]) + cost[i]``)
+  and vectorizes exactly with a cumulative-sum identity; multi-worker
+  scheduling is order-dependent (earliest-free-worker), so it always
+  takes the heap fallback.  This boundary — vectorize only paths whose
+  per-item cost is independent of execution order — is the "when is
+  vectorized stepping sound" rule documented in DESIGN.md §17.
+
+Both return plain Python lists so callers never see numpy types.
+"""
+
+from __future__ import annotations
+
+import heapq
+from typing import List, Optional, Sequence, Tuple
+
+try:
+    import numpy as _np
+    HAS_NUMPY = True
+except ImportError:  # pragma: no cover - image always has numpy
+    _np = None
+    HAS_NUMPY = False
+
+from repro.fastcore.tables import CycleTable
+
+
+def _use_numpy(flag: Optional[bool]) -> bool:
+    if flag is None:
+        return HAS_NUMPY
+    if flag and not HAS_NUMPY:
+        raise RuntimeError("numpy requested but not importable")
+    return flag
+
+
+def call_sweep_cycles(table: CycleTable, sizes: Sequence[int],
+                      use_numpy: Optional[bool] = None) -> List[int]:
+    """Engine cycles per call for each payload size in *sizes*.
+
+    One successful round trip (``table.call_ok``) plus the relay-window
+    fill for the payload — the same sum the fast executor charges for a
+    top-level echo call, and what the fig7-style size sweeps step.
+    """
+    base = table.call_ok
+    fpb = table.params.relay_fill_per_byte
+    if _use_numpy(use_numpy):
+        arr = base + (_np.asarray(sizes, dtype=_np.float64)
+                      * fpb).astype(_np.int64)
+        return [int(x) for x in arr]
+    return [base + int(n * fpb) for n in sizes]
+
+
+def open_loop_completions(arrivals: Sequence[int], costs: Sequence[int],
+                          workers: int = 1,
+                          use_numpy: Optional[bool] = None,
+                          ) -> Tuple[List[int], int]:
+    """Completion time per request for an open-loop arrival stream.
+
+    *arrivals* must be nondecreasing.  Returns ``(completions, wall)``
+    where *wall* is the makespan.  ``workers == 1`` uses the vectorized
+    prefix form when numpy is available; any ``workers > 1`` run is
+    order-dependent and always uses the earliest-free-worker heap.
+    """
+    if len(arrivals) != len(costs):
+        raise ValueError("arrivals and costs must be the same length")
+    if not arrivals:
+        return [], 0
+    if workers == 1 and _use_numpy(use_numpy):
+        a = _np.asarray(arrivals, dtype=_np.int64)
+        c = _np.asarray(costs, dtype=_np.int64)
+        # finish[i] = max(a[i], finish[i-1]) + c[i].  Substituting
+        # finish = done + cumsum(c) turns the recurrence into a running
+        # maximum of (a[i] - cumsum(c)[i-1]), which numpy accumulates.
+        csum = _np.cumsum(c)
+        slack = a - (csum - c)
+        done = _np.maximum.accumulate(slack) + csum
+        return [int(x) for x in done], int(done[-1])
+    free = [0] * max(1, workers)
+    heapq.heapify(free)
+    out: List[int] = []
+    for arrive, cost in zip(arrivals, costs):
+        start = heapq.heappop(free)
+        if start < arrive:
+            start = arrive
+        finish = start + cost
+        heapq.heappush(free, finish)
+        out.append(finish)
+    return out, max(out)

@@ -1,0 +1,163 @@
+"""Flat re-implementations of the hot-path hardware models.
+
+:class:`FastTLB` and :class:`FastEngineCache` mirror the observable
+contracts of ``repro.hw.tlb.TLB`` and
+``repro.xpc.engine_cache.XPCEngineCache`` — same hit/miss/evict/flush
+semantics, same LRU and replacement order, same stats — with the
+object graph flattened: ``__slots__`` everywhere, the per-set key
+computation inlined, parallel tag/id/value arrays instead of line
+tuples, and no fault-injection hook on the lookup path (the fast core
+never runs under the chaos tier; the differential gate runs it only
+against the clean reference).
+
+They deliberately import *nothing* from ``repro.hw`` / ``repro.xpc``
+(layering: fastcore depends only on ``repro.params``), so the contract
+is pinned by tests, not by inheritance: the boundary suites in
+``tests/hw/test_tlb_boundary.py`` and
+``tests/xpc/test_engine_cache_boundary.py`` parametrize over both the
+reference and the fast model and assert identical traces.
+"""
+
+from __future__ import annotations
+
+from typing import Optional, Tuple
+
+#: Page geometry, duplicated from repro.hw.memory by design (see module
+#: docstring); the boundary tests assert the two constants agree.
+PAGE_SHIFT = 12
+
+
+class FastTLB:
+    """LRU set-associative TLB with the lookup path flattened.
+
+    Entries map ``(asid, vpn)`` -> ``(ppn, perm)``; untagged mode
+    stores ASID 0 and flushes on every address-space switch, exactly
+    like the reference.  Stats are plain slotted counters; ``stats``
+    returns ``self`` so PMU-style readers (``tlb.stats.hits``) work
+    unchanged.
+    """
+
+    __slots__ = ("sets", "ways", "tagged", "_sets",
+                 "hits", "misses", "flushes")
+
+    def __init__(self, entries: int = 256, ways: int = 4,
+                 tagged: bool = False) -> None:
+        if entries % ways:
+            raise ValueError("entries must divide evenly into ways")
+        self.sets = entries // ways
+        self.ways = ways
+        self.tagged = tagged
+        self._sets = [{} for _ in range(self.sets)]
+        self.hits = 0
+        self.misses = 0
+        self.flushes = 0
+
+    @property
+    def stats(self) -> "FastTLB":
+        return self
+
+    @property
+    def accesses(self) -> int:
+        return self.hits + self.misses
+
+    @property
+    def hit_rate(self) -> float:
+        return self.hits / self.accesses if self.accesses else 0.0
+
+    def lookup(self, va: int, asid: int) -> Optional[Tuple[int, object]]:
+        vpn = va >> PAGE_SHIFT
+        tset = self._sets[vpn % self.sets]
+        key = (asid if self.tagged else 0, vpn)
+        entry = tset.get(key)
+        if entry is None:
+            self.misses += 1
+            return None
+        # Move-to-back refresh: dict insertion order is the LRU order.
+        del tset[key]
+        tset[key] = entry
+        self.hits += 1
+        return entry
+
+    def insert(self, va: int, asid: int, pa_page: int, perm) -> None:
+        vpn = va >> PAGE_SHIFT
+        tset = self._sets[vpn % self.sets]
+        key = (asid if self.tagged else 0, vpn)
+        if key in tset:
+            del tset[key]
+        elif len(tset) >= self.ways:
+            del tset[next(iter(tset))]
+        tset[key] = (pa_page, perm)
+
+    def invalidate(self, va: int, asid: int) -> None:
+        vpn = va >> PAGE_SHIFT
+        self._sets[vpn % self.sets].pop(
+            (asid if self.tagged else 0, vpn), None)
+
+    def flush_all(self) -> None:
+        for tset in self._sets:
+            tset.clear()
+        self.flushes += 1
+
+    def flush_asid(self, asid: int) -> None:
+        if not self.tagged:
+            self.flush_all()
+            return
+        for tset in self._sets:
+            for key in [k for k in tset if k[0] == asid]:
+                del tset[key]
+        self.flushes += 1
+
+
+class FastEngineCache:
+    """Direct-mapped x-entry cache with parallel tag/id/entry arrays.
+
+    Duck-typed against ``XPCEngineCache``: *table* only needs a
+    ``load(entry_id)`` method (the reference ``XEntryTable`` works),
+    and cached entries only need a ``valid`` attribute.
+    """
+
+    __slots__ = ("table", "entries", "tagged",
+                 "_tags", "_ids", "_vals", "hits", "misses")
+
+    def __init__(self, table, entries: int = 1,
+                 tagged: bool = False) -> None:
+        if entries <= 0:
+            raise ValueError("engine cache needs at least one entry")
+        self.table = table
+        self.entries = entries
+        self.tagged = tagged
+        self._tags = [None] * entries
+        self._ids = [-1] * entries
+        self._vals = [None] * entries
+        self.hits = 0
+        self.misses = 0
+
+    def prefetch(self, entry_id: int, thread: object = None) -> None:
+        entry = self.table.load(entry_id)
+        victim = entry_id % self.entries
+        self._tags[victim] = thread if self.tagged else None
+        self._ids[victim] = entry_id
+        self._vals[victim] = entry
+
+    def lookup(self, entry_id: int, thread: object = None):
+        line = entry_id % self.entries
+        if self._ids[line] == entry_id \
+                and self._tags[line] == (thread if self.tagged else None):
+            entry = self._vals[line]
+            if entry is not None and entry.valid:
+                self.hits += 1
+                return entry
+        self.misses += 1
+        return None
+
+    def evict(self, entry_id: int) -> None:
+        line = entry_id % self.entries
+        if self._ids[line] == entry_id:
+            self._tags[line] = None
+            self._ids[line] = -1
+            self._vals[line] = None
+
+    def flush(self) -> None:
+        self._tags = [None] * self.entries
+        self._ids = [-1] * self.entries
+        self._vals = [None] * self.entries

@@ -1,0 +1,98 @@
+"""``__slots__`` record structs for the fast core.
+
+Two families live here:
+
+* :class:`FastService` — the fast executor's entire per-service state.
+  One slotted record replaces the reference's process + thread +
+  x-entry + capability + transport object graph.
+
+* The ``*Shim`` classes — a minimal machine/kernel facade satisfying
+  the attribute contracts the surrounding tooling reads:
+  ``repro.obs`` PMU banks (``core.cycles``, ``core.trap_count``,
+  ``core.tlb.stats.{hits,misses,flushes}``, ``core.xpc_engine``),
+  the snapshot layer (``kernel.threads/processes/scheduler.queued``,
+  ``machine.cores``), and the proptest harness
+  (``executor.core.cycles`` deltas per op).
+
+The shims carry *no* behaviour: the fast executor charges cycles by
+adding table sums straight onto ``FastCoreShim.cycles``.
+"""
+
+from __future__ import annotations
+
+
+class TLBStatsShim:
+    __slots__ = ("hits", "misses", "flushes")
+
+    def __init__(self) -> None:
+        self.hits = 0
+        self.misses = 0
+        self.flushes = 0
+
+
+class TLBShim:
+    __slots__ = ("stats",)
+
+    def __init__(self) -> None:
+        self.stats = TLBStatsShim()
+
+
+class FastCoreShim:
+    """Just enough core for PMU sampling and per-op cycle deltas."""
+
+    __slots__ = ("core_id", "cycles", "trap_count", "tlb", "xpc_engine")
+
+    def __init__(self, core_id: int = 0) -> None:
+        self.core_id = core_id
+        self.cycles = 0
+        self.trap_count = 0
+        self.tlb = TLBShim()
+        self.xpc_engine = None
+
+
+class SchedulerShim:
+    __slots__ = ("queued",)
+
+    def __init__(self) -> None:
+        self.queued = ()
+
+
+class MachineShim:
+    __slots__ = ("cores",)
+
+    def __init__(self, cores) -> None:
+        self.cores = list(cores)
+
+
+class KernelShim:
+    __slots__ = ("machine", "threads", "processes", "scheduler")
+
+    def __init__(self, machine: MachineShim) -> None:
+        self.machine = machine
+        self.threads = {}
+        self.processes = {}
+        self.scheduler = SchedulerShim()
+
+
+class FastService:
+    """Everything the fast executor tracks for one registered service.
+
+    ``granted`` mirrors the *client thread's* xcall capability for the
+    service's main x-entry (chain threads hold blanket grants and async
+    submissions bind at submit time, so neither consults it).
+    ``scratch_made`` latches the one-time scratch-seg creation charge a
+    chain service pays on its first non-handover hop
+    (`XPCTransport._nested_seg` keys the segment by the chain thread).
+    """
+
+    __slots__ = ("name", "kind", "alive", "granted", "counter", "kv",
+                 "scratch_made")
+
+    def __init__(self, name: str, kind: str) -> None:
+        self.name = name
+        self.kind = kind
+        self.alive = True
+        self.granted = False
+        self.counter = 0
+        self.kv = {}
+        self.scratch_made = False

@@ -8,7 +8,6 @@ Figure 5 removes that.  Both modes are modeled here.
 
 from __future__ import annotations
 
-from dataclasses import dataclass, field, replace
 from typing import Optional, Tuple
 
 import repro.faults as faults
@@ -16,11 +15,14 @@ from repro.hw.memory import PAGE_SHIFT
 from repro.hw.paging import PagePerm
 
 
-@dataclass
 class TLBStats:
-    hits: int = 0
-    misses: int = 0
-    flushes: int = 0
+    __slots__ = ("hits", "misses", "flushes")
+
+    def __init__(self, hits: int = 0, misses: int = 0,
+                 flushes: int = 0) -> None:
+        self.hits = hits
+        self.misses = misses
+        self.flushes = flushes
 
     @property
     def accesses(self) -> int:
@@ -37,7 +39,15 @@ class TLB:
     Entries map ``(asid, vpn)`` -> ``(ppn, perm)``.  In untagged mode the
     ASID field is ignored (always stored as 0) and :meth:`flush_all` must be
     called on every address-space switch.
+
+    This sits on the simulator's hottest path (every memory access on a
+    miss-heavy phase), so it is slotted and the lookup is flat: the key
+    tuple is built inline rather than through :meth:`_key`.  The fast
+    core's ``repro.fastcore.hwmodel.FastTLB`` mirrors this contract
+    exactly — ``tests/hw/test_tlb_boundary.py`` pins both to one trace.
     """
+
+    __slots__ = ("sets", "ways", "tagged", "_sets", "stats")
 
     def __init__(self, entries: int = 256, ways: int = 4,
                  tagged: bool = False) -> None:
@@ -58,7 +68,7 @@ class TLB:
     def lookup(self, va: int, asid: int) -> Optional[Tuple[int, PagePerm]]:
         vpn = va >> PAGE_SHIFT
         tset = self._sets[vpn % self.sets]
-        key = self._key(vpn, asid)
+        key = (asid if self.tagged else 0, vpn)
         if (faults.ACTIVE is not None
                 and faults.fire("hw.tlb.stale_entry") is not None):
             # Injected stale entry: drop the line before use so the
@@ -106,7 +116,8 @@ class TLB:
         dup.ways = self.ways
         dup.tagged = self.tagged
         dup._sets = [dict(tset) for tset in self._sets]
-        dup.stats = replace(self.stats)
+        stats = self.stats
+        dup.stats = TLBStats(stats.hits, stats.misses, stats.flushes)
         return dup
 
     def flush_asid(self, asid: int) -> None:

@@ -39,18 +39,16 @@ from repro.xpc.relayseg import RelaySegment, SegReg, SEG_INVALID
 #: to mmap, guaranteeing the no-overlap invariant of §3.3.
 RELAY_VA_BASE = 0x0000_7000_0000_0000
 
-#: Control-plane costs (registration/grant are cold-path syscalls).
-_REGISTER_LOGIC = 180
-_GRANT_LOGIC = 90
-_SEG_CREATE_PER_PAGE = 12
-#: Spilling one linkage record to kernel memory (§4.1 overflow trap):
-#: a cacheline-ish copy plus bookkeeping.
-_LINK_SPILL_PER_RECORD = 18
-#: Termination costs (§4.2): the lazy kill zeroes one 4 KB top-level
-#: page; the eager kill reads and compares every resident linkage
-#: record on every link stack.
-_KILL_ZAP_CYCLES = 128
-_LINK_SCAN_PER_RECORD = 4
+#: Control-plane costs live in repro.params so the fast core precomputes
+#: its tables from the exact numbers the reference kernel charges.
+from repro.params import (
+    GRANT_LOGIC as _GRANT_LOGIC,
+    KILL_ZAP_CYCLES as _KILL_ZAP_CYCLES,
+    LINK_SCAN_PER_RECORD as _LINK_SCAN_PER_RECORD,
+    LINK_SPILL_PER_RECORD as _LINK_SPILL_PER_RECORD,
+    REGISTER_LOGIC as _REGISTER_LOGIC,
+    SEG_CREATE_PER_PAGE as _SEG_CREATE_PER_PAGE,
+)
 
 
 class KernelError(Exception):

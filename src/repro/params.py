@@ -189,3 +189,38 @@ class CycleParams:
 
 #: Shared default parameter set (treat as read-only; clone() to modify).
 DEFAULT_PARAMS = CycleParams()
+
+
+# ---------------------------------------------------------------------------
+# Kernel control-plane costs.
+#
+# These are fixed syscall-path costs (cold paths; never ablated), so they
+# are module constants rather than CycleParams fields.  They live here —
+# not in repro.kernel — so that the fast core (repro.fastcore), which may
+# depend on nothing but this module, precomputes its tables from the same
+# numbers the reference kernel charges.
+# ---------------------------------------------------------------------------
+
+#: Registration/grant are cold-path syscalls (x-entry install, cap set).
+REGISTER_LOGIC = 180
+GRANT_LOGIC = 90
+SEG_CREATE_PER_PAGE = 12
+#: Spilling one linkage record to kernel memory (§4.1 overflow trap):
+#: a cacheline-ish copy plus bookkeeping.
+LINK_SPILL_PER_RECORD = 18
+#: Termination costs (§4.2): the lazy kill zeroes one 4 KB top-level
+#: page; the eager kill reads and compares every resident linkage
+#: record on every link stack.
+KILL_ZAP_CYCLES = 128
+LINK_SCAN_PER_RECORD = 4
+
+#: The engine's architectural xcall floor (cap bit test + pipeline
+#: redirect).  Deliberately *not* a CycleParams field: Figure 5 pins it
+#: at 6 cycles as a property of the pipeline, and the engine hardcodes
+#: the same literal — the fast core's tables must match it even under
+#: randomized CycleParams (the Hypothesis table-staleness property).
+XCALL_CAPTEST_FLOOR = 6
+
+#: ``csrw seg-mask`` — one CSR write, charged as a literal 1 by the
+#: engine (see XPCEngine.write_seg_mask).
+SEG_MASK_WRITE = 1

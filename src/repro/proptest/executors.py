@@ -689,6 +689,8 @@ class SanExecutor:
 def default_executor_factories():
     """name → zero-arg factory, one per mechanism under differential
     test.  Fresh machines every call: programs never share state."""
+    # Deferred import: fastexec reuses this module's program loop.
+    from repro.proptest.fastexec import FastCoreExecutor
     return [
         ("seL4-twocopy", lambda: SyncExecutor(
             "seL4-twocopy", Sel4Kernel, Sel4Transport, {"copies": 2})),
@@ -708,4 +710,8 @@ def default_executor_factories():
             BatchedExecutor(), fault_seed=23)),
         ("seL4-XPC+xpcsan", lambda: SanExecutor(SyncExecutor(
             "seL4-XPC", Sel4Kernel, Sel4XPCTransport, is_xpc=True))),
+        # The table-driven fast core (repro.fastcore): held to identical
+        # outcomes AND identical per-op cycles vs the seL4-XPC reference
+        # by the harness's equivalence gate.
+        ("fastcore", lambda: FastCoreExecutor()),
     ]

@@ -1,0 +1,265 @@
+"""The ``fastcore`` executor: repro.fastcore driving the fuzz grammar.
+
+One more executor for the differential roster — but unlike the other
+nine it does not build a machine at all.  Service state is a slotted
+:class:`~repro.fastcore.structs.FastService` record per generation,
+and every op charges precomputed :class:`~repro.fastcore.tables.
+CycleTable` sums straight onto a shim core, at exactly the reference's
+tick sites:
+
+======================  =================================================
+reference code path      fast-core charge
+======================  =================================================
+``Transport.register``   2 × (register_xentry + grant) on the two
+(both transports)        transports, + one grant per chain wiring edge
+``grant_to_thread``      ``table.grant`` (revocation is capless: free)
+``kill_process``         ``table.kill`` once per live generation
+``kernel.preempt``       ``table.preempt``
+``_ensure_seg``          ``table.seg_create(size)`` on first use per
+                         transport (main / async)
+relay fill               ``table.fill(len(payload))``
+``xpc_call`` body        seg-mask write, then captest-fail floor
+                         (denied / dead) or xcall + AS switch +
+                         trampoline + xret + AS switch
+§4.4 scratch hop         first-use seg create + swapseg / copy /
+                         swapseg around the inner call
+theft (§3.3/§4.2)        thief body (4 KB seg create + swapseg), then
+                         xret + repair instead of the return AS switch
+======================  =================================================
+
+The harness holds this executor to *strict* equivalence with the
+seL4-XPC reference — identical outcomes and identical per-op cycle
+deltas — so any drift between this table arithmetic and the reference
+engine's ticks is a fuzz failure, shrunk by ddmin like any other
+divergence (see ``tests/proptest/test_fastcore_seeded_bug.py``).
+"""
+
+from __future__ import annotations
+
+from typing import List, Optional, Tuple
+
+from repro.fastcore.structs import (FastCoreShim, FastService, KernelShim,
+                                    MachineShim)
+from repro.fastcore.tables import CycleTable, cycle_table
+from repro.params import CycleParams, DEFAULT_PARAMS
+from repro.proptest.executors import ExecutionReport, _run_steps
+from repro.proptest.grammar import (
+    CallOp, GrantOp, KillOp, PreemptOp, Program, RegisterOp, RevokeOp,
+    SubmitOp, WaitOp, counter_bytes, xform_bytes,
+)
+
+#: ``free_relay_seg`` is trap + restore only; charged if a transport
+#: segment ever has to grow (generated programs never outgrow the
+#: 64 KB default, but hand-written programs may).
+_SEG_DEFAULT = 64 * 1024
+
+
+class FastCoreExecutor:
+    """Table-driven executor, differentially locked to seL4-XPC."""
+
+    name = "fastcore"
+    mechanism_enforces = True
+    comparable = False
+    is_xpc = True
+
+    def __init__(self, params: Optional[CycleParams] = None) -> None:
+        self.params = params if params is not None else DEFAULT_PARAMS
+        self.table: CycleTable = cycle_table(self.params)
+        self.core = FastCoreShim(0)
+        self.machine = MachineShim([self.core])
+        self.kernel = KernelShim(self.machine)
+        self.services = {}        # name -> current FastService
+        self.all_recs: List[FastService] = []
+        self.pending: List[Tuple[Optional[FastService], SubmitOp]] = []
+        # Client relay segments, one per transport (main / async):
+        # current byte length, 0 = not yet created.
+        self._main_seg = 0
+        self._async_seg = 0
+
+    # -- the program loop (same shapes as repro.proptest.executors) -----
+    def run(self, program: Program) -> ExecutionReport:
+        return _run_steps(self, program)
+
+    def _ipc_total(self) -> int:
+        return 0
+
+    def step(self, op) -> tuple:
+        try:
+            return self._step(op)
+        except Exception as exc:
+            return ("crash", type(exc).__name__)
+
+    def _step(self, op) -> tuple:
+        table = self.table
+        core = self.core
+        if isinstance(op, RegisterOp):
+            rec = FastService(op.name, op.kind)
+            # Two transports each register an x-entry and auto-grant
+            # their client (the main-transport grant is then revoked —
+            # revocation clears a cap bit without trapping).
+            core.cycles += 2 * (table.register_xentry + table.grant)
+            self.services[op.name] = rec
+            self.all_recs.append(rec)
+            wires = sum(1 for other in self.all_recs
+                        if other.kind == "chain" and other is not rec)
+            if rec.kind == "chain":
+                wires += len(self.all_recs)
+            core.cycles += wires * table.grant
+            return ("ok",)
+        if isinstance(op, GrantOp):
+            rec = self.services.get(op.name)
+            if rec is None:
+                return ("error", "no-service")
+            rec.granted = True
+            core.cycles += table.grant
+            return ("ok",)
+        if isinstance(op, RevokeOp):
+            rec = self.services.get(op.name)
+            if rec is None:
+                return ("error", "no-service")
+            rec.granted = False
+            return ("ok",)
+        if isinstance(op, KillOp):
+            rec = self.services.get(op.name)
+            if rec is None:
+                return ("error", "no-service")
+            if rec.alive:
+                # Lazy zap and eager scan cost the same at an op
+                # boundary: no linkage records are resident to scan.
+                core.cycles += table.kill
+                rec.alive = False
+            return ("ok",)
+        if isinstance(op, PreemptOp):
+            core.cycles += table.preempt
+            return ("ok",)
+        if isinstance(op, CallOp):
+            rec = self.services.get(op.name)
+            if rec is None:
+                return ("error", "no-service")
+            return self._transport_call(rec, op.meta, op.payload,
+                                        op.reply_capacity, main=True)
+        if isinstance(op, SubmitOp):
+            # Binds the target's *current* generation, like the ring.
+            self.pending.append((self.services.get(op.name), op))
+            return ("queued",)
+        if isinstance(op, WaitOp):
+            outcomes = []
+            for rec, sub in self.pending:
+                if rec is None:
+                    outcomes.append(("error", "no-service"))
+                else:
+                    # The async client's caps are never revoked.
+                    outcomes.append(self._transport_call(
+                        rec, sub.meta, sub.payload, sub.reply_capacity,
+                        main=False))
+            self.pending = []
+            return ("batch", tuple(outcomes))
+        raise TypeError(f"unknown op {op!r}")
+
+    # -- the data plane --------------------------------------------------
+    def _transport_call(self, rec: FastService, meta: tuple,
+                        payload: bytes, reply_capacity: int,
+                        main: bool) -> tuple:
+        table = self.table
+        need = max(len(payload), reply_capacity, 4096)
+        cur = self._main_seg if main else self._async_seg
+        if cur < need:
+            size = max(need, _SEG_DEFAULT)
+            if cur:
+                # free_relay_seg of the outgrown segment: trap + restore.
+                self.core.cycles += (table.params.trap_enter
+                                     + table.params.trap_restore)
+            self.core.cycles += table.seg_create(size)
+            if main:
+                self._main_seg = size
+            else:
+                self._async_seg = size
+        if payload:
+            self.core.cycles += table.fill(len(payload))
+        granted = rec.granted if main else True
+        return self._xcall(rec, meta, payload, granted)
+
+    def _xcall(self, rec: FastService, meta: tuple, data: bytes,
+               granted: bool) -> tuple:
+        """One ``xpc_call``: mask write, engine checks, migrate, unwind."""
+        table = self.table
+        core = self.core
+        core.cycles += table.seg_mask
+        if not granted:
+            core.cycles += table.captest       # cap test trips
+            return ("error", "denied")
+        if not rec.alive:
+            core.cycles += table.captest       # x-entry zapped
+            return ("error", "peer-died")
+        core.cycles += table.xcall + table.as_switch
+        failure = False
+        reply_meta: tuple = ()
+        reply = b""
+        stole = False
+        try:
+            reply_meta, reply, stole = self._invoke(rec, meta, data)
+        except Exception:
+            failure = True                     # handler raised post-tramp
+        core.cycles += table.xret
+        if stole:
+            core.cycles += table.repair        # §3.3 mismatch → §4.2
+            return ("error", "peer-died")
+        core.cycles += table.as_switch
+        if failure:
+            return ("error", "handler-error")
+        return ("ok", reply_meta, reply)
+
+    def _invoke(self, rec: FastService, meta: tuple,
+                data: bytes) -> Tuple[tuple, bytes, bool]:
+        """The migrated handler: trampoline in, service body, reply."""
+        table = self.table
+        self.core.cycles += table.tramp
+        kind = rec.kind
+        if kind == "echo":
+            return ("echo",) + meta[1:], data, False
+        if kind == "xform":
+            return ("xf",) + meta[1:], xform_bytes(data), False
+        if kind == "counter":
+            total = rec.counter + meta[1]      # TypeError → handler-error
+            rec.counter = total
+            return ("cnt", total), counter_bytes(total), False
+        if kind == "kv":
+            verb, key = meta[0], meta[1]
+            if verb == "put":
+                rec.kv[key] = data
+                return ("put", key, len(data)), b"", False
+            value = rec.kv.get(key)
+            if value is None:
+                raise KeyError(key)
+            return ("get", key, len(value)), value, False
+        if kind == "chain":
+            chain_meta, chain_bytes = self._chain_body(rec, meta, data)
+            return chain_meta, chain_bytes, False
+        if kind == "thief":
+            self.core.cycles += table.thief_body
+            return ("stolen",) + meta[1:], b"", True
+        raise ValueError(f"unknown kind {kind!r}")
+
+    def _chain_body(self, caller: FastService, meta: tuple,
+                    data: bytes) -> Tuple[tuple, bytes]:
+        # Unpack before any catching, like _chain_hop: a mis-shaped meta
+        # is a handler failure, not a via-err.
+        _fwd, target_name, handover, inner_meta = meta
+        rec = self.services.get(target_name)
+        if rec is None:
+            return ("via-err", "no-service"), b""
+        if handover:
+            # §4.4 sliding window: re-mask the live window, no copy.
+            inner = self._xcall(rec, inner_meta, data, True)
+        else:
+            if not caller.scratch_made:
+                self.core.cycles += self.table.seg_create_default
+                caller.scratch_made = True
+            self.core.cycles += self.table.swapseg   # park caller window
+            if data:
+                self.core.cycles += self.table.copy(len(data))
+            inner = self._xcall(rec, inner_meta, data, True)
+            self.core.cycles += self.table.swapseg   # restore it
+        if inner[0] == "error":
+            return ("via-err", inner[1]), b""
+        return ("via",) + inner[1], inner[2]

@@ -19,6 +19,13 @@ runs the program, and then checks three things:
    in *direction* with the analytic Table-7 model: XPC's per-chain cost
    is below L4's in the model, so the seL4-XPC executor must spend
    fewer mechanism cycles than the seL4 baseline on the same ops.
+4. **Fast-core equivalence** — the one exception to "never compare
+   cycles across executors": the table-driven ``fastcore`` executor
+   re-implements the seL4-XPC reference, so when both are in the
+   roster their per-op cycle deltas must be *identical*, op by op.
+   A mismatch is a :class:`Divergence` (expected/actual carry the two
+   deltas as ``("cycles", n)``), so the shrinker can chase it like any
+   outcome bug.
 """
 
 from __future__ import annotations
@@ -41,6 +48,9 @@ MODEL_CHECK_MIN_CALLS = 5
 #: The executor pair the direction check compares (present in the
 #: default roster; skipped when either is missing from a custom one).
 MODEL_CHECK_PAIR = ("seL4-XPC", "seL4-twocopy")
+
+#: The strict-equivalence pair: (fast re-implementation, reference).
+EQUIVALENCE_PAIR = ("fastcore", "seL4-XPC")
 
 
 @dataclass
@@ -159,6 +169,29 @@ def _check_model_direction(program: Program, expected: List[tuple],
     return problems
 
 
+def _check_fast_equivalence(
+        reports: List[ExecutionReport]) -> List[Divergence]:
+    """Op-by-op cycle identity between the fast core and the reference.
+
+    Outcome equality is already enforced against the oracle for both;
+    what makes the fast core trustworthy as a *simulator* is that its
+    precomputed tables charge exactly what the reference engine ticks.
+    """
+    by_exec: Dict[str, ExecutionReport] = {r.executor: r for r in reports}
+    fast_name, ref_name = EQUIVALENCE_PAIR
+    fast, ref = by_exec.get(fast_name), by_exec.get(ref_name)
+    if fast is None or ref is None:
+        return []
+    divergences = []
+    for i, (ref_delta, fast_delta) in enumerate(
+            zip(ref.op_cycles, fast.op_cycles)):
+        if ref_delta != fast_delta:
+            divergences.append(Divergence(
+                fast_name, i, ("cycles", ref_delta),
+                ("cycles", fast_delta)))
+    return divergences
+
+
 def run_differential(program: Program,
                      factories: Optional[list] = None) -> DiffResult:
     """Run *program* on every executor and diff against the oracle."""
@@ -180,6 +213,7 @@ def run_differential(program: Program,
             if want != got:
                 divergences.append(
                     Divergence(report.executor, i, want, got))
+    divergences.extend(_check_fast_equivalence(reports))
     invariant_failures.extend(
         _check_model_direction(program, expected, reports))
     return DiffResult(program, expected, reports, divergences,

@@ -267,6 +267,15 @@ def minimize_failure(program: Program, result: DiffResult,
                      use_snapshots: bool = True) -> Program:
     """Shrink against exactly the executors that originally failed."""
     failing = sorted({d.executor for d in result.divergences})
+    if any(d.expected and d.expected[0] == "cycles"
+           for d in result.divergences):
+        # A fast-core cycle divergence is only visible to the full
+        # differential predicate (the snapshot predicate compares
+        # outcomes against the oracle, never cycles), and only when
+        # *both* halves of the equivalence pair are in the probe pool.
+        from repro.proptest.harness import EQUIVALENCE_PAIR
+        pool_names = sorted(set(failing) | set(EQUIVALENCE_PAIR))
+        return shrink(program, make_predicate(factories, pool_names))
     if not use_snapshots:
         return shrink(program, make_predicate(factories, failing or None))
     predicate = make_snapshot_predicate(factories, failing or None)

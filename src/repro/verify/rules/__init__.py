@@ -8,6 +8,7 @@ from repro.verify.rules.layering import LayeringRule
 from repro.verify.rules.cluster import ClusterDisciplineRule
 from repro.verify.rules.cycles import CycleAccountingRule
 from repro.verify.rules.errors import ErrorDisciplineRule
+from repro.verify.rules.fastcore import FastcoreDisciplineRule
 from repro.verify.rules.obs import ObsDisciplineRule
 from repro.verify.rules.aio import AioDisciplineRule
 from repro.verify.rules.proptest import ProptestDisciplineRule
@@ -20,16 +21,17 @@ def default_rules():
     return [LayeringRule(), CycleAccountingRule(), ErrorDisciplineRule(),
             StateMutationRule(), ObsDisciplineRule(), AioDisciplineRule(),
             ClusterDisciplineRule(), ProptestDisciplineRule(),
-            SnapDisciplineRule()]
+            SnapDisciplineRule(), FastcoreDisciplineRule()]
 
 
 #: The rule classes, for introspection / selective runs.
 DEFAULT_RULES = (LayeringRule, CycleAccountingRule, ErrorDisciplineRule,
                  StateMutationRule, ObsDisciplineRule, AioDisciplineRule,
                  ClusterDisciplineRule, ProptestDisciplineRule,
-                 SnapDisciplineRule)
+                 SnapDisciplineRule, FastcoreDisciplineRule)
 
-__all__ = ["AioDisciplineRule", "ClusterDisciplineRule", "LayeringRule",
+__all__ = ["AioDisciplineRule", "ClusterDisciplineRule",
+           "FastcoreDisciplineRule", "LayeringRule",
            "CycleAccountingRule", "ErrorDisciplineRule",
            "ObsDisciplineRule", "ProptestDisciplineRule",
            "SnapDisciplineRule", "StateMutationRule", "default_rules",

@@ -37,6 +37,12 @@ from repro.verify.lint import LintViolation, ModuleInfo, Rule
 ALLOWED_IMPORTS = {
     "params": set(),
     "faults": set(),
+    # The table-driven fast core sits beside ``params`` at the bottom:
+    # it precomputes cycle tables from CycleParams and must never see
+    # the reference stack it re-implements (see also the dedicated
+    # ``fastcore-discipline`` rule, which forbids the reverse edge and
+    # pins this set).
+    "fastcore": {"params"},
     "hw": {"params", "faults", "obs", "san"},
     "xpc": {"hw", "params", "faults", "obs", "san"},
     "kernel": {"xpc", "hw", "params", "faults", "obs", "san"},
@@ -54,8 +60,11 @@ ALLOWED_IMPORTS = {
     # Async/batched XPC sits between ipc and services: it builds on the
     # transport's payload surface and the runtime library, and the
     # service servers adopt it for their batched front-ends.
+    # ``fastcore`` appears here for the opt-in fast-forecast helpers
+    # only (open-loop sweep planning); the serving path stays on the
+    # reference engine.
     "aio": {"ipc", "runtime", "kernel", "xpc", "hw", "params", "faults",
-            "obs", "san"},
+            "obs", "san", "fastcore"},
     "apps": {"services", "ipc", "runtime", "kernel", "xpc", "hw", "params",
              "faults", "obs", "san"},
     # Side packages: measurement and analysis tooling.
@@ -78,7 +87,8 @@ ALLOWED_IMPORTS = {
     # model) from above, so it sits at the top of the stack alongside
     # apps; nothing may import *it*.
     "proptest": {"compare", "aio", "ipc", "sel4", "zircon", "runtime",
-                 "kernel", "xpc", "hw", "params", "faults", "obs", "san"},
+                 "kernel", "xpc", "hw", "params", "faults", "obs", "san",
+                 "fastcore"},
     # Snapshot/record-replay/time-travel sits at the very top: it
     # deepcopies whole worlds built from any layer (including proptest
     # executors and verify's live invariants), so everything below is
@@ -104,7 +114,7 @@ ALLOWED_IMPORTS = {
     # Nothing below imports repro.cluster.
     "cluster": {"prof", "aio", "ipc", "sel4", "services", "apps",
                 "runtime", "kernel", "xpc", "hw", "params", "faults",
-                "obs", "san", "analysis"},
+                "obs", "san", "analysis", "fastcore"},
 }
 
 #: Modules of repro.hw that form its public, architectural surface.

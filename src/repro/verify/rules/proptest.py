@@ -26,8 +26,10 @@ from typing import Iterator
 from repro.verify.lint import LintViolation, ModuleInfo, Rule
 
 #: Modules of repro.proptest that drive the real mechanisms and must
-#: stay blind to the reference model.
-MECHANISM_SIDE = frozenset({"executors", "gen"})
+#: stay blind to the reference model.  ``fastexec`` (the table-driven
+#: fast core's executor) is mechanism-side too: its outcomes must be
+#: earned from the fastcore tables, never read off the oracle.
+MECHANISM_SIDE = frozenset({"executors", "gen", "fastexec"})
 
 #: The reference-model module they may not see.
 ORACLE_MODULE = "oracle"

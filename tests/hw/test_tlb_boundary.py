@@ -1,0 +1,175 @@
+"""Boundary suite pinning TLB and FastTLB to one contract.
+
+``repro.hw.tlb.TLB`` (the reference) and
+``repro.fastcore.hwmodel.FastTLB`` (the fast core's flat mirror) never
+import each other, so nothing but these tests keeps their semantics
+aligned.  Every test parametrizes over both classes; the interleaving
+tests additionally drive both through the *same* trace and diff the
+observable results and stats element-wise.
+
+The traces target the corners the fuzz tier rarely reaches: tagged vs
+untagged flush/shootdown interleavings, capacity-eviction order with
+LRU refresh-on-hit, and the untagged mode's ASID-blind shootdowns.
+"""
+
+import random
+
+import pytest
+
+from repro.fastcore.hwmodel import FastTLB
+from repro.fastcore.hwmodel import PAGE_SHIFT as FAST_PAGE_SHIFT
+from repro.hw.memory import PAGE_SHIFT
+from repro.hw.paging import PagePerm
+from repro.hw.tlb import TLB
+
+PAGE = 1 << PAGE_SHIFT
+IMPLS = [TLB, FastTLB]
+PERM = PagePerm.RW
+
+
+def test_page_geometry_agrees():
+    """fastcore duplicates PAGE_SHIFT by design (layering); it must
+    track the hw layer's value."""
+    assert FAST_PAGE_SHIFT == PAGE_SHIFT
+
+
+def _stats(tlb):
+    s = tlb.stats
+    return (s.hits, s.misses, s.flushes)
+
+
+def _run_trace(tlb, ops):
+    """Drive one op trace; return every observable (results + stats)."""
+    out = []
+    for op in ops:
+        name, args = op[0], op[1:]
+        if name == "lookup":
+            out.append(("lookup", args, tlb.lookup(*args)))
+        elif name == "insert":
+            tlb.insert(*args)
+        elif name == "invalidate":
+            tlb.invalidate(*args)
+        elif name == "flush_all":
+            tlb.flush_all()
+        elif name == "flush_asid":
+            tlb.flush_asid(*args)
+        else:
+            raise AssertionError(name)
+        out.append(("stats", _stats(tlb)))
+    return out
+
+
+def _diff_trace(ops, tagged, entries=16, ways=4):
+    ref = TLB(entries=entries, ways=ways, tagged=tagged)
+    fast = FastTLB(entries=entries, ways=ways, tagged=tagged)
+    assert _run_trace(ref, ops) == _run_trace(fast, ops)
+
+
+@pytest.mark.parametrize("tagged", [False, True])
+def test_flush_shootdown_interleavings_match(tagged):
+    """Hand-picked flush/shootdown interleaving, both modes: reference
+    and fast traces are identical step by step."""
+    ops = [
+        ("insert", 0 * PAGE, 1, 100, PERM),
+        ("insert", 1 * PAGE, 1, 101, PERM),
+        ("insert", 1 * PAGE, 2, 201, PERM),     # same vpn, other ASID
+        ("lookup", 1 * PAGE, 1),
+        ("lookup", 1 * PAGE, 2),
+        ("invalidate", 1 * PAGE, 2),            # shootdown one ASID
+        ("lookup", 1 * PAGE, 1),   # tagged: survives; untagged: gone
+        ("lookup", 1 * PAGE, 2),
+        ("flush_asid", 1),         # tagged: partial; untagged: full
+        ("lookup", 0 * PAGE, 1),
+        ("lookup", 1 * PAGE, 2),
+        ("insert", 2 * PAGE, 3, 302, PERM),
+        ("flush_all",),
+        ("lookup", 2 * PAGE, 3),
+    ]
+    _diff_trace(ops, tagged)
+
+
+def test_untagged_mode_is_asid_blind():
+    """Untagged: inserts and shootdowns ignore the ASID argument."""
+    for tlb in (TLB(tagged=False), FastTLB(tagged=False)):
+        tlb.insert(4 * PAGE, 7, 40, PERM)
+        assert tlb.lookup(4 * PAGE, 9) == (40, PERM)   # other ASID hits
+        tlb.invalidate(4 * PAGE, 3)                    # any ASID evicts
+        assert tlb.lookup(4 * PAGE, 7) is None
+        # flush_asid degenerates to a full flush.
+        tlb.insert(5 * PAGE, 1, 50, PERM)
+        tlb.flush_asid(2)
+        assert tlb.lookup(5 * PAGE, 1) is None
+        assert tlb.stats.flushes == 1
+
+
+def test_tagged_flush_asid_is_selective():
+    """Tagged: flush_asid drops exactly that ASID's translations."""
+    for tlb in (TLB(tagged=True), FastTLB(tagged=True)):
+        tlb.insert(0 * PAGE, 1, 10, PERM)
+        tlb.insert(1 * PAGE, 2, 21, PERM)
+        tlb.flush_asid(1)
+        assert tlb.lookup(0 * PAGE, 1) is None
+        assert tlb.lookup(1 * PAGE, 2) == (21, PERM)
+        assert tlb.stats.flushes == 1
+
+
+@pytest.mark.parametrize("cls", IMPLS)
+def test_capacity_eviction_is_lru(cls):
+    """A full set evicts its oldest way; a hit refreshes recency and
+    redirects the eviction to the new oldest entry."""
+    tlb = cls(entries=4, ways=2, tagged=False)   # 2 sets of 2 ways
+    stride = tlb.sets * PAGE                     # same-set conflicts
+    a, b, c = 0 * stride, 1 * stride, 2 * stride
+    tlb.insert(a, 0, 1, PERM)
+    tlb.insert(b, 0, 2, PERM)
+    tlb.insert(c, 0, 3, PERM)                    # evicts a (oldest)
+    assert tlb.lookup(a, 0) is None
+    assert tlb.lookup(b, 0) == (2, PERM)
+    assert tlb.lookup(c, 0) == (3, PERM)
+    # The hits above refreshed b then c, so b is now the oldest way.
+    d = 3 * stride
+    tlb.insert(d, 0, 4, PERM)
+    assert tlb.lookup(b, 0) is None
+    assert tlb.lookup(c, 0) == (3, PERM)
+    # Re-inserting an existing key refreshes it rather than duplicating.
+    tlb.insert(c, 0, 5, PERM)
+    tlb.insert(a, 0, 1, PERM)                    # evicts d, not c
+    assert tlb.lookup(d, 0) is None
+    assert tlb.lookup(c, 0) == (5, PERM)
+
+
+@pytest.mark.parametrize("tagged", [False, True])
+def test_randomized_traces_match(tagged):
+    """Seeded random op soup over a tiny TLB: the two implementations
+    stay observable-identical on every step."""
+    rng = random.Random(0xB0D1 + tagged)
+    for _ in range(20):
+        ops = []
+        for _ in range(200):
+            va = rng.randrange(8) * PAGE
+            asid = rng.randrange(3)
+            roll = rng.random()
+            if roll < 0.45:
+                ops.append(("lookup", va, asid))
+            elif roll < 0.80:
+                ops.append(("insert", va, asid, rng.randrange(100), PERM))
+            elif roll < 0.90:
+                ops.append(("invalidate", va, asid))
+            elif roll < 0.96:
+                ops.append(("flush_asid", asid))
+            else:
+                ops.append(("flush_all",))
+        _diff_trace(ops, tagged, entries=8, ways=2)
+
+
+@pytest.mark.parametrize("cls", IMPLS)
+def test_stats_surface(cls):
+    """Both stat surfaces expose the same derived readings."""
+    tlb = cls(entries=8, ways=2)
+    assert tlb.stats.hit_rate == 0.0
+    tlb.insert(0, 0, 9, PERM)
+    tlb.lookup(0, 0)
+    tlb.lookup(PAGE, 0)
+    assert (tlb.stats.hits, tlb.stats.misses) == (1, 1)
+    assert tlb.stats.accesses == 2
+    assert tlb.stats.hit_rate == 0.5

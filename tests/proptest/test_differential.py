@@ -52,7 +52,7 @@ def test_all_mechanisms_agree_on_the_full_coverage_program():
     assert result.invariant_failures == []
     assert result.divergences == [], "\n".join(
         d.describe() for d in result.divergences)
-    assert len(result.reports) == 9
+    assert len(result.reports) == 10
     assert result.sim_cycles > 0
 
 

@@ -1,0 +1,92 @@
+"""Fast-core equivalence gate: seed a one-cycle table bug, watch the
+differential tier catch it and shrink it.
+
+The seeded bug is the smallest possible table corruption —
+``CycleTable.perturb_captest_extra`` adds **one** cycle to the
+capability-test charge, so every xcall the fast core replays lands one
+cycle hot while its outcomes stay perfectly correct.  Outcome-only
+differencing can never see it; the op-by-op cycle identity check
+(:data:`repro.proptest.harness.EQUIVALENCE_PAIR`) must, and the
+shrinker must cut the counterexample down to the two ops that matter:
+one register, one call.
+"""
+
+import pytest
+
+from repro.fastcore.tables import CycleTable
+from repro.proptest.executors import SyncExecutor
+from repro.proptest.fastexec import FastCoreExecutor
+from repro.proptest.gen import generate
+from repro.proptest.harness import run_differential
+from repro.proptest.shrink import minimize_failure
+from repro.sel4 import Sel4Kernel, Sel4XPCTransport
+
+#: The equivalence pair only — reference plus fast core — keeps the
+#: shrinker's probes cheap, exactly like the protocol seeded-bug suite.
+FACTORIES = [
+    ("seL4-XPC", lambda: SyncExecutor(
+        "seL4-XPC", Sel4Kernel, Sel4XPCTransport, is_xpc=True)),
+    ("fastcore", lambda: FastCoreExecutor()),
+]
+
+#: Seed 3 generates a program with several sync calls — plenty of
+#: captest charges for the perturbation to surface in.
+PROGRAM = generate(3)
+
+
+@pytest.fixture
+def perturbed_captest():
+    """+1 cycle on the fast core's capability test.  The class
+    attribute participates in the table cache key, so fresh executors
+    pick the corruption up without any cache flush."""
+    CycleTable.perturb_captest_extra = 1
+    try:
+        yield
+    finally:
+        CycleTable.perturb_captest_extra = 0
+
+
+def test_unperturbed_tables_are_equivalent():
+    result = run_differential(PROGRAM, factories=FACTORIES)
+    assert result.ok, [d.describe() for d in result.divergences]
+
+
+def test_one_cycle_perturbation_is_caught(perturbed_captest):
+    result = run_differential(PROGRAM, factories=FACTORIES)
+    assert result.divergences, \
+        "equivalence gate missed a one-cycle table corruption"
+    for div in result.divergences:
+        # Cycle divergences, attributed to the fast core, one cycle hot
+        # per capability test the op performs (a chain hop tests more
+        # than once).
+        assert div.executor == "fastcore"
+        assert div.expected[0] == "cycles" and div.actual[0] == "cycles"
+        assert 1 <= div.actual[1] - div.expected[1] <= 4
+
+
+def test_outcomes_stay_clean_under_perturbation(perturbed_captest):
+    """The corruption is invisible to outcome differencing — only the
+    cycle identity check has the teeth to find it."""
+    result = run_differential(PROGRAM, factories=FACTORIES)
+    for div in result.divergences:
+        assert div.expected[0] == "cycles"
+
+
+def test_perturbation_shrinks_to_register_plus_call(perturbed_captest):
+    result = run_differential(PROGRAM, factories=FACTORIES)
+    small = minimize_failure(PROGRAM, result, factories=FACTORIES)
+    # Minimal counterexample: something to call, and one call whose
+    # captest charge disagrees.
+    assert len(small) <= 3
+    assert sorted(op.op for op in small.ops)[-1] != "wait"
+    assert any(op.op in ("call", "submit") for op in small.ops)
+    shrunk = run_differential(small, factories=FACTORIES)
+    assert shrunk.divergences, "shrunk program no longer reproduces"
+    assert all(d.expected[0] == "cycles" for d in shrunk.divergences)
+
+
+def test_repaired_table_is_equivalent_again(perturbed_captest):
+    result = run_differential(PROGRAM, factories=FACTORIES)
+    small = minimize_failure(PROGRAM, result, factories=FACTORIES)
+    CycleTable.perturb_captest_extra = 0         # "fix" the table
+    assert run_differential(small, factories=FACTORIES).ok

@@ -1,0 +1,95 @@
+"""Property: the fast-core tables predict the engine for *any* params.
+
+The benchmarks pin table/engine agreement at the default calibration
+(``DEFAULT_PARAMS``); this suite removes that crutch.  Hypothesis draws
+random :class:`CycleParams` overrides and random optimization-flag
+combinations, builds a real machine with them, and asserts that
+``cycle_table(custom, ...)`` still predicts the measured one-way and
+round-trip xcall cycles **exactly** — i.e. the tables encode the
+engine's charging structure, not a set of memorized constants.
+"""
+
+from hypothesis import given, settings, strategies as st
+
+from repro.fastcore import cycle_table
+from repro.hw.machine import Machine
+from repro.kernel.kernel import BaseKernel
+from repro.params import DEFAULT_PARAMS
+from repro.runtime.xpclib import XPCService, xpc_call
+from repro.xpc.engine import XPCConfig
+
+#: The per-phase charges the hot path is built from.  Randomizing them
+#: perturbs every rung of the fig5 ladder independently.
+TUNABLE = ("trampoline_full_ctx", "trampoline_partial_ctx",
+           "cstack_switch", "xentry_load", "xentry_cache_hit",
+           "link_push", "link_push_nonblocking", "tlb_flush",
+           "asid_switch", "xcall_base", "xret_base")
+
+params_strategy = st.fixed_dictionaries(
+    {name: st.integers(min_value=0, max_value=300) for name in TUNABLE})
+
+
+def measure(params, partial, tagged, nonblock, cache):
+    """(one-way, round-trip) cycles on a real machine, fig5-style."""
+    machine = Machine(
+        cores=1, mem_bytes=64 * 1024 * 1024, params=params,
+        tagged_tlb=tagged,
+        xpc_config=XPCConfig(nonblocking_linkstack=nonblock,
+                             engine_cache=cache))
+    kernel = BaseKernel(machine)
+    core = machine.core0
+    server = kernel.create_process("server")
+    client = kernel.create_process("client")
+    st_ = kernel.create_thread(server)
+    ct = kernel.create_thread(client)
+    kernel.run_thread(core, st_)
+    marker = {}
+    service = XPCService(
+        kernel, core, st_,
+        lambda call: marker.__setitem__("at", core.cycles),
+        partial_context=partial)
+    kernel.grant_xcall_cap(core, server, ct, service.entry_id)
+    kernel.run_thread(core, ct)
+    if cache:
+        machine.engines[0].prefetch(service.entry_id)
+    start = core.cycles
+    xpc_call(core, service.entry_id)
+    oneway = marker["at"] - start - params.cstack_switch
+    roundtrip = core.cycles - start
+    return oneway, roundtrip
+
+
+@settings(max_examples=40, deadline=None)
+@given(overrides=params_strategy,
+       partial=st.booleans(), tagged=st.booleans(),
+       nonblock=st.booleans(), cache=st.booleans())
+def test_tables_predict_engine_for_random_params(
+        overrides, partial, tagged, nonblock, cache):
+    params = DEFAULT_PARAMS.clone(**overrides)
+    table = cycle_table(params, tagged=tagged, partial=partial,
+                        nonblock=nonblock, cache=cache)
+    oneway, roundtrip = measure(params, partial, tagged, nonblock, cache)
+    assert table.oneway() == oneway
+    assert table.roundtrip() == roundtrip
+
+
+@settings(max_examples=20, deadline=None)
+@given(overrides=params_strategy)
+def test_ladder_structure_holds_for_random_params(overrides):
+    """The fig5 decomposition is structural: for any calibration, each
+    optimization removes exactly its own phase from the one-way sum."""
+    params = DEFAULT_PARAMS.clone(**overrides)
+    full = cycle_table(params, partial=False, nonblock=False)
+    part = cycle_table(params, partial=True, nonblock=False)
+    tag = cycle_table(params, partial=True, tagged=True, nonblock=False)
+    nb = cycle_table(params, partial=True, tagged=True, nonblock=True)
+    ec = cycle_table(params, partial=True, tagged=True, nonblock=True,
+                     cache=True)
+    assert full.oneway() - part.oneway() == (
+        params.trampoline_full_ctx - params.trampoline_partial_ctx)
+    assert part.oneway() - tag.oneway() == (
+        params.tlb_flush - params.asid_switch)
+    assert tag.oneway() - nb.oneway() == (
+        params.link_push - params.link_push_nonblocking)
+    assert nb.oneway() - ec.oneway() == (
+        params.xentry_load - params.xentry_cache_hit)
